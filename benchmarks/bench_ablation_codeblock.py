@@ -1,0 +1,75 @@
+"""Ablation A4 — code block size: 64x64 (ours) vs 32x32 (Muta et al.).
+
+Section 3.2: "Smaller code block size reduces the Local Store memory
+requirements and enables double buffering, but increases the interaction
+among the PPE and SPE threads.  This lowers the scalability of the
+implementation."  This bench quantifies both sides: Local Store footprint
+and queue-interaction overhead.
+"""
+
+from repro.baselines.muta import split_blocks_to_32
+from repro.cell.localstore import LocalStore
+from repro.cell.machine import SINGLE_CELL
+from repro.cell.spe import SPECore
+from repro.cell.workqueue import WorkerSpec, simulate_work_queue
+from repro.core.calibration import DEFAULT_CALIBRATION
+from repro.kernels.tier1_kernel import tier1_block_cost_s
+
+
+def test_ablation_local_store_footprint(benchmark):
+    def footprints():
+        out = {}
+        for cb in (32, 64):
+            ls = LocalStore()
+            # coefficients in, coded bytes out, state arrays, double buffers
+            coeff = cb * cb * 4
+            ls.alloc("coeff_in_a", coeff)
+            ls.alloc("coeff_in_b", coeff)       # double buffering
+            ls.alloc("state", cb * cb * 2)
+            ls.alloc("out", coeff // 2)
+            out[cb] = ls.used
+        return out
+
+    used = benchmark(footprints)
+    print("\nAblation A4 — SPE Local Store footprint for Tier-1")
+    for cb, bytes_used in used.items():
+        print(f"{cb}x{cb} blocks: {bytes_used / 1024:.1f} KiB of 256 KiB")
+    assert used[32] < used[64]  # Muta's motivation for 32x32 is real
+
+
+def test_ablation_queue_interaction(benchmark, workload_frame):
+    """...but 4x the blocks means 4x the queue traffic, hurting scalability."""
+    stats = workload_frame
+    spe = SPECore()
+    cal = DEFAULT_CALIBRATION
+
+    def makespans():
+        out = {}
+        for tag, blocks in (("64x64", stats.blocks),
+                            ("32x32", split_blocks_to_32(stats.blocks))):
+            costs = tuple(
+                tier1_block_cost_s(b.total_symbols, b.height * b.width, spe, cal)
+                for b in blocks
+            )
+            workers = [
+                WorkerSpec(f"SPE{i}", costs, dequeue_overhead_s=cal.queue_dequeue_s)
+                for i in range(SINGLE_CELL.num_spes)
+            ]
+            res = simulate_work_queue(len(blocks), workers)
+            out[tag] = (len(blocks), res.makespan_s)
+        return out
+
+    res = benchmark(makespans)
+    print("\nAblation A4 — Tier-1 work-queue makespan on 8 SPEs (HD frame)")
+    for tag, (nblocks, t) in res.items():
+        print(f"{tag}: {nblocks:>6} blocks -> {t * 1e3:8.1f} ms")
+    n64, t64 = res["64x64"]
+    n32, t32 = res["32x32"]
+    # full 64x64 blocks quarter into four; the many sub-64 boundary blocks
+    # of the scaled crop split less, so the factor lands between 1.5x and 4x
+    assert n32 > 1.5 * n64
+    overhead_32 = n32 * (cal.queue_dequeue_s + cal.tier1_block_overhead_s)
+    overhead_64 = n64 * (cal.queue_dequeue_s + cal.tier1_block_overhead_s)
+    print(f"interaction overhead: 32x32 {overhead_32*1e3:.1f} ms vs "
+          f"64x64 {overhead_64*1e3:.1f} ms")
+    assert t32 > t64  # the extra interactions cost real time

@@ -1,0 +1,61 @@
+"""Ablation A1 — the data decomposition scheme (Section 2).
+
+Compares the paper's cache-line-aligned constant-width chunking against a
+naive equal-width split on a ragged-width image: DMA bus efficiency,
+alignment fraction, and the resulting stage times.
+"""
+
+import dataclasses
+
+from repro.cell.machine import SINGLE_CELL
+from repro.core.decomposition import (
+    dma_row_alignment_report,
+    plan_decomposition,
+    plan_naive_decomposition,
+)
+from repro.core.pipeline import PipelineModel, PipelineOptions
+
+
+def test_ablation_dma_efficiency(benchmark):
+    # a ragged width (not a multiple of 32 int32 elements per cache line)
+    height, width = 512, 1003
+
+    def reports():
+        return (
+            dma_row_alignment_report(plan_decomposition(height, width, 4, 8)),
+            dma_row_alignment_report(plan_naive_decomposition(height, width, 4, 8)),
+        )
+
+    aligned, naive = benchmark(reports)
+    print("\nAblation A1 — DMA transfer quality (512x1003 int32 array, 8 SPEs)")
+    print(f"{'scheme':<10} {'aligned rows':>13} {'bus efficiency':>15}")
+    print(f"{'paper':<10} {aligned['aligned_fraction']:>12.0%} "
+          f"{aligned['bus_efficiency']:>15.3f}")
+    print(f"{'naive':<10} {naive['aligned_fraction']:>12.0%} "
+          f"{naive['bus_efficiency']:>15.3f}")
+    assert aligned["aligned_fraction"] == 1.0
+    assert aligned["bus_efficiency"] == 1.0
+    assert naive["bus_efficiency"] < 0.95
+
+
+def test_ablation_stage_times(benchmark, workload_lossless):
+    # make the image width ragged so the naive layout actually misaligns
+    stats = dataclasses.replace(workload_lossless, width=workload_lossless.width + 37)
+
+    def times():
+        out = {}
+        for aligned in (True, False):
+            opts = PipelineOptions(aligned_decomposition=aligned)
+            tl = PipelineModel(SINGLE_CELL, stats, opts).simulate()
+            out[aligned] = (tl.stage("dwt").wall_s,
+                            tl.stage("levelshift+mct").wall_s)
+        return out
+
+    t = benchmark(times)
+    print("\nAblation A1 — stage wall times, aligned vs naive chunking")
+    print(f"{'scheme':<10} {'dwt (ms)':>10} {'levelshift+mct (ms)':>20}")
+    for aligned, (dwt, mct) in t.items():
+        tag = "paper" if aligned else "naive"
+        print(f"{tag:<10} {dwt * 1e3:>10.2f} {mct * 1e3:>20.2f}")
+    assert t[False][0] > t[True][0]
+    assert t[False][1] > t[True][1]

@@ -1,0 +1,60 @@
+"""Ablation A3 — fixed-point vs floating-point real arithmetic (Section 4).
+
+Jasper represents real numbers in Q13 fixed point; the paper replaces that
+with single-precision floats on the Cell because the SPE must emulate the
+32-bit integer multiply (Table 1).  This bench regenerates the trade on
+both architectures and the numerical cost of the fixed representation.
+"""
+
+import numpy as np
+
+from repro.baselines.pentium4 import P4PipelineModel
+from repro.cell.machine import SINGLE_CELL
+from repro.cell.spe import SPECore
+from repro.core.pipeline import PipelineModel, PipelineOptions
+from repro.jpeg2000.fixmath import max_fixed_error_vs_float
+from repro.kernels.dwt_kernels import dwt_mix
+
+
+def test_ablation_spe_kernel_cost(benchmark):
+    spe = SPECore()
+    t = benchmark(
+        lambda: {
+            "float": spe.seconds_per_element(dwt_mix(False, fixed_point=False)),
+            "fixed": spe.seconds_per_element(dwt_mix(False, fixed_point=True)),
+        }
+    )
+    print("\nAblation A3 — 9/7 DWT per sample-visit on one SPE")
+    for k, v in t.items():
+        print(f"{k:>6}: {v * 1e9:6.2f} ns")
+    print(f"fixed/float: {t['fixed'] / t['float']:.2f}x "
+          "(fixed point loses its benefit on the Cell/B.E.)")
+    assert t["fixed"] > 1.5 * t["float"]
+
+
+def test_ablation_full_lossy_encode(benchmark, workload_lossy):
+    stats = workload_lossy
+
+    def times():
+        flt = PipelineModel(SINGLE_CELL, stats,
+                            PipelineOptions(fixed_point=False)).simulate()
+        fix = PipelineModel(SINGLE_CELL, stats,
+                            PipelineOptions(fixed_point=True)).simulate()
+        return flt, fix
+
+    flt, fix = benchmark(times)
+    print("\nAblation A3 — lossy encode, Cell 8 SPE")
+    print(f"float DWT: total {flt.total_s:.3f} s (dwt {flt.stage('dwt').wall_s*1e3:.1f} ms)")
+    print(f"fixed DWT: total {fix.total_s:.3f} s (dwt {fix.stage('dwt').wall_s*1e3:.1f} ms)")
+    assert fix.stage("dwt").wall_s > flt.stage("dwt").wall_s
+    assert fix.total_s > flt.total_s
+
+
+def test_ablation_numerical_cost_of_fixed(benchmark):
+    """The fixed representation is an *approximation*: quantify it."""
+    rng = np.random.default_rng(0)
+    x = rng.integers(-128, 128, size=(512, 8)).astype(np.int32)
+    err = benchmark(lambda: max_fixed_error_vs_float(x))
+    print(f"\nmax |fixed - float| 9/7 coefficient error: {err:.5f} "
+          "(Q13 rounding)")
+    assert 0 < err < 0.1

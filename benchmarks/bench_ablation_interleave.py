@@ -1,0 +1,55 @@
+"""Ablation A2 — lifting-step interleaving and split merging (Section 4).
+
+The paper's DWT optimization sequence: naive (3 or 6 full DMA passes of the
+column group per level) -> interleaved lifting (Algorithm 2) -> merged
+split with auxiliary buffer (1.5 passes).  Regenerates the DMA-traffic
+reduction and the simulated stage times for both modes.
+"""
+
+from repro.cell.machine import SINGLE_CELL
+from repro.core.pipeline import PipelineModel, PipelineOptions
+from repro.kernels.dwt_kernels import DwtVariant, vertical_dma_passes
+
+
+def test_ablation_dma_pass_counts(benchmark):
+    rows = benchmark(
+        lambda: {
+            (v, ll): vertical_dma_passes(v, ll)
+            for v in DwtVariant for ll in (True, False)
+        }
+    )
+    print("\nAblation A2 — vertical filtering DMA passes per level")
+    print(f"{'variant':<14} {'lossless':>9} {'lossy':>7}")
+    for v in DwtVariant:
+        print(f"{v.value:<14} {rows[(v, True)]:>9.1f} {rows[(v, False)]:>7.1f}")
+    assert rows[(DwtVariant.NAIVE, True)] == 3.0
+    assert rows[(DwtVariant.NAIVE, False)] == 6.0
+    assert rows[(DwtVariant.MERGED, True)] == 1.5
+    assert rows[(DwtVariant.MERGED, False)] == 1.5
+
+
+def test_ablation_dwt_times(benchmark, workload_lossless, workload_lossy):
+    def times():
+        out = {}
+        for tag, stats in (("lossless", workload_lossless),
+                           ("lossy", workload_lossy)):
+            for v in DwtVariant:
+                tl = PipelineModel(SINGLE_CELL, stats,
+                                   PipelineOptions(dwt_variant=v)).simulate()
+                out[(tag, v)] = tl.stage("dwt").wall_s
+        return out
+
+    t = benchmark(times)
+    print("\nAblation A2 — DWT stage time by variant (8 SPEs, 28.3 MB image)")
+    print(f"{'variant':<14} {'lossless (ms)':>14} {'lossy (ms)':>11}")
+    for v in DwtVariant:
+        print(f"{v.value:<14} {t[('lossless', v)] * 1e3:>14.2f} "
+              f"{t[('lossy', v)] * 1e3:>11.2f}")
+    for tag in ("lossless", "lossy"):
+        assert t[(tag, DwtVariant.MERGED)] <= t[(tag, DwtVariant.INTERLEAVED)]
+        assert t[(tag, DwtVariant.INTERLEAVED)] < t[(tag, DwtVariant.NAIVE)]
+    # the lossy mode gains more: 6 -> 1.5 passes vs 3 -> 1.5
+    gain_ll = t[("lossless", DwtVariant.NAIVE)] / t[("lossless", DwtVariant.MERGED)]
+    gain_lossy = t[("lossy", DwtVariant.NAIVE)] / t[("lossy", DwtVariant.MERGED)]
+    print(f"merge gain: lossless {gain_ll:.2f}x, lossy {gain_lossy:.2f}x")
+    assert gain_lossy > gain_ll

@@ -1,0 +1,68 @@
+"""Microbenchmarks of the functional codec kernels themselves.
+
+These time the *Python/NumPy implementation* (not the Cell model) so
+regressions in the functional substrate are caught: DWT throughput, MQ
+coder symbol rate, Tier-1 block coding rate, and full encode/decode.
+"""
+
+import numpy as np
+
+from repro.image.synthetic import watch_face_image
+from repro.jpeg2000.decoder import decode
+from repro.jpeg2000.dwt import forward_dwt2d, inverse_dwt2d
+from repro.jpeg2000.encoder import encode
+from repro.jpeg2000.mq import MQDecoder, MQEncoder
+from repro.jpeg2000.params import EncoderParams
+from repro.jpeg2000.tier1 import encode_codeblock
+
+
+def test_bench_dwt53_forward(benchmark):
+    img = watch_face_image(512, 512, 1).astype(np.int32)
+    d = benchmark(lambda: forward_dwt2d(img, 5, reversible=True))
+    assert d.levels == 5
+
+
+def test_bench_dwt97_roundtrip(benchmark):
+    img = watch_face_image(256, 256, 1).astype(np.float64)
+
+    def run():
+        return inverse_dwt2d(forward_dwt2d(img, 5, reversible=False))
+
+    out = benchmark(run)
+    assert np.allclose(out, img, atol=1e-6)
+
+
+def test_bench_mq_encoder(benchmark):
+    rng = np.random.default_rng(0)
+    bits = rng.integers(0, 2, 20000).tolist()
+    cxs = rng.integers(0, 19, 20000).tolist()
+
+    def run():
+        enc = MQEncoder(19)
+        for b, c in zip(bits, cxs):
+            enc.encode(b, c)
+        return enc.flush()
+
+    data = benchmark(run)
+    dec = MQDecoder(data, 19)
+    assert [dec.decode(c) for c in cxs[:100]] == bits[:100]
+
+
+def test_bench_tier1_codeblock(benchmark):
+    rng = np.random.default_rng(1)
+    cb = rng.integers(-300, 300, size=(64, 64)).astype(np.int32)
+    res = benchmark(lambda: encode_codeblock(cb, "HL"))
+    assert res.num_passes > 0
+
+
+def test_bench_full_encode_lossless(benchmark):
+    img = watch_face_image(64, 64, 1)
+    res = benchmark(lambda: encode(img, EncoderParams(lossless=True, levels=3)))
+    assert len(res.codestream) > 0
+
+
+def test_bench_full_decode(benchmark):
+    img = watch_face_image(64, 64, 1)
+    cs = encode(img, EncoderParams(lossless=True, levels=3)).codestream
+    out = benchmark(lambda: decode(cs))
+    assert np.array_equal(out, img)

@@ -1,0 +1,64 @@
+"""Figure 4 — lossless encoding: execution time and speedup vs SPE count.
+
+Regenerates the figure's series: execution time for 1-16 SPEs (the 9-16 SPE
+points span the second QS20 chip) plus the "+1 PPE" / "+2 PPE" variants
+where additional PPE threads participate in Tier-1 encoding.
+
+Paper shape targets: near-linear speedup in SPEs; 6.6x at 8 SPEs vs 1 SPE;
+extra speedup from additional PPE threads; 6.9x vs the PPE-only case.
+"""
+
+from repro.cell.machine import CellMachine
+from repro.core.pipeline import PipelineModel
+
+SPE_COUNTS = [1, 2, 4, 6, 8, 12, 16]
+
+
+def _time(stats, spes: int, ppes: int) -> float:
+    chips = 2 if (spes > 8 or ppes > 1) else 1
+    machine = CellMachine(chips=chips, num_spes=spes, num_ppe_threads=ppes)
+    return PipelineModel(machine, stats).simulate().total_s
+
+
+def test_fig4_lossless_scaling(benchmark, workload_lossless):
+    stats = workload_lossless
+    times = benchmark(lambda: {n: _time(stats, n, 1) for n in SPE_COUNTS})
+    base = times[1]
+    print("\nFigure 4 — lossless encoding time and speedup")
+    print(f"{'SPEs':>5} {'time (s)':>10} {'speedup':>9}")
+    for n in SPE_COUNTS:
+        print(f"{n:>5} {times[n]:>10.3f} {base / times[n]:>9.2f}")
+    s8 = base / times[8]
+    print(f"speedup @8 SPEs: {s8:.2f} (paper: 6.6)")
+    assert 5.5 <= s8 <= 7.8
+    # near-linear: monotone and not super-linear
+    for a, b in zip(SPE_COUNTS, SPE_COUNTS[1:]):
+        assert times[b] < times[a]
+
+
+def test_fig4_additional_ppe_threads(benchmark, workload_lossless):
+    stats = workload_lossless
+    rows = benchmark(
+        lambda: {ppes: _time(stats, 16, ppes) for ppes in (1, 2, 3, 4)}
+    )
+    print("\nFigure 4 (right side) — 16 SPEs with additional PPE threads in Tier-1")
+    for ppes, t in rows.items():
+        print(f"16 SPE + {ppes} PPE thread(s): {t:.3f} s")
+    assert rows[2] < rows[1]
+    assert rows[4] <= rows[2]
+
+
+def test_fig4_vs_ppe_only(benchmark, workload_lossless):
+    stats = workload_lossless
+
+    def measure():
+        ppe_only = PipelineModel(
+            CellMachine(num_spes=0, num_ppe_threads=1), stats
+        ).simulate().total_s
+        return ppe_only, _time(stats, 8, 1)
+
+    ppe_only, cell8 = benchmark(measure)
+    ratio = ppe_only / cell8
+    print(f"\nPPE-only {ppe_only:.3f} s vs 8 SPE + PPE {cell8:.3f} s -> "
+          f"{ratio:.2f}x (paper: 6.9)")
+    assert 5.0 <= ratio <= 8.5

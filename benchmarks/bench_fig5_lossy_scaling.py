@@ -1,0 +1,57 @@
+"""Figure 5 — lossy encoding: execution time and speedup vs SPE count.
+
+Paper shape targets: speedup 3.1 at 8 SPEs vs 1 SPE (well below the
+lossless 6.6 because the rate allocation stage is sequential); the curve
+flattens with more SPEs, with rate control ~60% of total at 16 SPE + 2 PPE.
+"""
+
+from repro.cell.machine import CellMachine
+from repro.core.pipeline import PipelineModel
+
+SPE_COUNTS = [1, 2, 4, 6, 8, 12, 16]
+
+
+def _timeline(stats, spes: int, ppes: int):
+    chips = 2 if (spes > 8 or ppes > 1) else 1
+    machine = CellMachine(chips=chips, num_spes=spes, num_ppe_threads=ppes)
+    return PipelineModel(machine, stats).simulate()
+
+
+def test_fig5_lossy_scaling(benchmark, workload_lossy):
+    stats = workload_lossy
+    times = benchmark(
+        lambda: {n: _timeline(stats, n, 1).total_s for n in SPE_COUNTS}
+    )
+    base = times[1]
+    print("\nFigure 5 — lossy encoding time and speedup")
+    print(f"{'SPEs':>5} {'time (s)':>10} {'speedup':>9}")
+    for n in SPE_COUNTS:
+        print(f"{n:>5} {times[n]:>10.3f} {base / times[n]:>9.2f}")
+    s8 = base / times[8]
+    print(f"speedup @8 SPEs: {s8:.2f} (paper: 3.1)")
+    assert 2.5 <= s8 <= 4.5
+    # flattening: the 8->16 gain is clearly sublinear
+    assert times[8] / times[16] < 1.6
+
+
+def test_fig5_rate_control_fraction(benchmark, workload_lossy):
+    stats = workload_lossy
+    tl = benchmark(lambda: _timeline(stats, 16, 2))
+    frac = tl.fraction("rate_control")
+    print(f"\nrate control share at 16 SPE + 2 PPE: {frac:.0%} (paper: ~60%)")
+    print(tl.report())
+    assert 0.45 <= frac <= 0.75
+
+
+def test_fig5_lossy_flattens_vs_lossless(benchmark, workload_lossy, workload_lossless):
+    def speedups():
+        out = {}
+        for tag, st in (("lossless", workload_lossless), ("lossy", workload_lossy)):
+            out[tag] = (_timeline(st, 1, 1).total_s
+                        / _timeline(st, 16, 2).total_s)
+        return out
+
+    s = benchmark(speedups)
+    print(f"\nspeedup @16 SPE + 2 PPE: lossless {s['lossless']:.2f}, "
+          f"lossy {s['lossy']:.2f}")
+    assert s["lossy"] < 0.6 * s["lossless"]

@@ -1,0 +1,42 @@
+"""Figure 6 — overall encoding performance vs Muta et al. (ACM-MM 2007).
+
+Regenerates the figure's four bars for an HD-frame lossless encode: our
+implementation on one and two Cell/B.E. chips vs the reported Muta0 (two
+encoder threads on two chips, throughput mode) and Muta1 (one thread on two
+chips) numbers.
+
+Paper shape target: "Our implementation with one Cell/B.E. processor and
+two Cell/B.E. processors demonstrates superior overall performance than the
+previous implementations with the two Cell/B.E. processors."
+"""
+
+from repro.baselines.muta import MutaConfig, MutaPipelineModel
+from repro.cell.machine import CellMachine
+from repro.core.pipeline import PipelineModel
+
+
+def _ours(stats, chips: int) -> float:
+    machine = CellMachine(chips=chips, num_spes=8 * chips, num_ppe_threads=chips)
+    return PipelineModel(machine, stats).simulate().total_s
+
+
+def test_fig6_overall_comparison(benchmark, workload_frame):
+    stats = workload_frame
+
+    def bars():
+        return {
+            "Muta0": MutaPipelineModel(stats, MutaConfig.MUTA0).reported_frame_time(),
+            "Muta1": MutaPipelineModel(stats, MutaConfig.MUTA1).reported_frame_time(),
+            "Ours (1 Cell/B.E.)": _ours(stats, 1),
+            "Ours (2 Cell/B.E.)": _ours(stats, 2),
+        }
+
+    t = benchmark(bars)
+    muta0 = t["Muta0"]
+    print("\nFigure 6 — overall encoding performance (HD frame, lossless)")
+    print(f"{'configuration':<22} {'time (ms)':>10} {'speedup vs Muta0':>18}")
+    for name, v in t.items():
+        print(f"{name:<22} {v * 1e3:>10.1f} {muta0 / v:>18.2f}")
+    assert t["Ours (1 Cell/B.E.)"] < muta0
+    assert t["Ours (2 Cell/B.E.)"] < t["Ours (1 Cell/B.E.)"]
+    assert t["Muta1"] > muta0  # their one-thread mode is slower than Muta0

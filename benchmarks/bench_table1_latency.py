@@ -1,0 +1,47 @@
+"""Table 1 — SPE instruction latencies and their consequence.
+
+Regenerates the paper's Table 1 rows (mpyh/mpyu/a/fm latencies) and the
+conclusion drawn from them: an emulated 32-bit integer multiply costs more
+than a single-precision float multiply on the SPE, so Jasper's fixed-point
+real path should be replaced with floats (Section 4).
+"""
+
+from repro.cell.isa import SPE_ISA, InstrClass, int32_multiply_mix
+from repro.cell.spe import SPECore
+from repro.kernels.dwt_kernels import dwt_mix
+
+_TABLE1 = [
+    (InstrClass.MPYH, "two byte integer multiply high", 7),
+    (InstrClass.MPYU, "two byte integer multiply unsigned", 7),
+    (InstrClass.ADD, "add word", 2),
+    (InstrClass.FM, "single precision floating point multiply", 6),
+]
+
+
+def test_table1_rows(benchmark):
+    def lookup_all():
+        return {i: SPE_ISA.latency(i) for i, _, _ in _TABLE1}
+
+    got = benchmark(lookup_all)
+    print("\nTable 1: Latency for the SPE instructions")
+    print(f"{'Instruction':<8} {'Description':<42} {'Latency':>8}")
+    for instr, desc, paper in _TABLE1:
+        print(f"{instr.value:<8} {desc:<42} {got[instr]:>6} cy   (paper: {paper})")
+        assert got[instr] == paper
+
+
+def test_emulated_multiply_vs_fm(benchmark):
+    spe = SPECore()
+
+    def emulation_latency():
+        return sum(SPE_ISA.latency(i) * c for i, c in int32_multiply_mix().items())
+
+    emul = benchmark(emulation_latency)
+    fm = SPE_ISA.latency(InstrClass.FM)
+    fixed = spe.seconds_per_element(dwt_mix(False, fixed_point=True))
+    flt = spe.seconds_per_element(dwt_mix(False, fixed_point=False))
+    print(f"\nemulated int32 multiply: {emul} cycles vs fm: {fm} cycles")
+    print(f"9/7 DWT per sample-visit on SPE: fixed {fixed*1e9:.2f} ns, "
+          f"float {flt*1e9:.2f} ns ({fixed/flt:.2f}x)")
+    assert emul > fm
+    assert fixed > flt

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Scaling study: Figures 4/5 style tables plus the loop-level ceiling.
+
+Encodes a crop of the watch image, scales the workload statistics to the
+paper's 28.3 MB test photo, and prints the lossless and lossy scaling
+tables for 1-16 SPEs, the PPE-only baseline, the Pentium IV comparison,
+and the Meerwald-style loop-level parallelization ceiling.
+
+    python examples/scaling_study.py
+"""
+
+from repro.baselines.meerwald import meerwald_speedup
+from repro.baselines.pentium4 import P4PipelineModel
+from repro.cell.machine import CellMachine
+from repro.core.pipeline import PipelineModel
+from repro.core.stats import format_scaling_table, scaling_table
+from repro.image.synthetic import watch_face_image
+from repro.jpeg2000.encoder import encode, scale_workload
+from repro.jpeg2000.params import EncoderParams
+
+SPE_COUNTS = [1, 2, 4, 8, 12, 16]
+
+
+def simulate(stats, spes: int, ppes: int = 1):
+    chips = 2 if (spes > 8 or ppes > 1) else 1
+    machine = CellMachine(chips=chips, num_spes=spes, num_ppe_threads=ppes)
+    return PipelineModel(machine, stats).simulate()
+
+
+def main() -> None:
+    image = watch_face_image(160, 160, channels=3)
+    print("encoding crop (the slow functional part, once per mode)...")
+    for params, tag in (
+        (EncoderParams.lossless_default(), "LOSSLESS"),
+        (EncoderParams.lossy_rate(0.1), "LOSSY rate=0.1"),
+    ):
+        res = encode(image, params)
+        stats = scale_workload(res.stats, 19)  # 3040x3040x3 ≈ 28.3 MB
+        timelines = {n: simulate(stats, n) for n in SPE_COUNTS}
+        rows = scaling_table(timelines)
+        print("\n" + format_scaling_table(
+            rows, f"{tag}: {stats.width}x{stats.height}x3 "
+                  f"({stats.raw_bytes / 2**20:.1f} MB)"))
+
+        ppe_only = PipelineModel(
+            CellMachine(num_spes=0, num_ppe_threads=1), stats
+        ).simulate()
+        p4 = P4PipelineModel(stats).simulate()
+        best = timelines[8]
+        print(f"PPE-only: {ppe_only.total_s:.3f} s "
+              f"({ppe_only.total_s / best.total_s:.2f}x slower than 8 SPE)")
+        print(f"Pentium IV 3.2 GHz: {p4.total_s:.3f} s "
+              f"({p4.total_s / best.total_s:.2f}x slower than 8 SPE)")
+        print(f"Meerwald loop-level ceiling on 8 threads: "
+              f"{meerwald_speedup(p4, 8):.2f}x "
+              f"(vs our whole-pipeline {timelines[1].total_s / best.total_s:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Comparison systems the paper evaluates against.
+
+* :mod:`repro.baselines.pentium4` — Intel Pentium IV 3.2 GHz running
+  scalar, fixed-point Jasper (Figure 9).
+* :mod:`repro.baselines.convolution_dwt` — convolution-based DWT, the
+  pre-lifting formulation Muta et al. use (functional + cost model).
+* :mod:`repro.baselines.muta` — the Motion JPEG2000 encoder of Muta et
+  al. (ACM-MM 2007): 128x128 overlapped tiles, 32x32 code blocks,
+  SPE-only Tier-1 (Figures 6-8).
+* :mod:`repro.baselines.meerwald` — Meerwald et al.'s loop-level OpenMP
+  parallelization: only DWT and Tier-1 parallel (Amdahl ceiling).
+"""
+
+from repro.baselines.pentium4 import P4Core, P4PipelineModel
+from repro.baselines.muta import MutaConfig, MutaPipelineModel
+from repro.baselines.meerwald import meerwald_speedup, meerwald_time
+
+__all__ = [
+    "MutaConfig",
+    "MutaPipelineModel",
+    "P4Core",
+    "P4PipelineModel",
+    "meerwald_speedup",
+    "meerwald_time",
+]

@@ -1,0 +1,109 @@
+"""Convolution-based DWT (the pre-lifting formulation).
+
+Muta et al. parallelize a *convolution* DWT (paper Section 3.2: "In [10],
+the authors parallelize convolution based DWT for the Cell/B.E."); the
+paper adopts lifting instead, which needs roughly half the arithmetic
+(Sweldens).  This module provides the functional convolution transform
+(verified equivalent to the lifting transform) and its instruction mix for
+the Muta cost model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cell.isa import InstrClass, InstructionMix
+from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.jpeg2000.dwt import sym_indices
+
+# CDF 9/7 analysis filters, normalized to match the lifting implementation
+# (unit-DC lowpass; highpass scaled by K).
+_H0_97 = np.array(
+    [0.026748757410810, -0.016864118442875, -0.078223266528990,
+     0.266864118442875, 0.602949018236360, 0.266864118442875,
+     -0.078223266528990, -0.016864118442875, 0.026748757410810]
+)
+_H1_97_BASE = np.array(
+    [0.045635881557124, -0.028771763114250, -0.295635881557124,
+     0.557543526228500, -0.295635881557124, -0.028771763114250,
+     0.045635881557124]
+)
+
+# 5/3 analysis filters (linearized; the reversible transform adds floors).
+_H0_53 = np.array([-0.125, 0.25, 0.75, 0.25, -0.125])
+_H1_53 = np.array([-0.5, 1.0, -0.5])
+
+
+def _analyze(x: np.ndarray, h0: np.ndarray, h1: np.ndarray,
+             high_scale: float = 1.0) -> tuple[np.ndarray, np.ndarray]:
+    """Convolve-and-downsample along axis 0 with symmetric extension."""
+    n = x.shape[0]
+    if n == 1:
+        xf = x.astype(np.float64)
+        return xf.copy(), xf[:0].copy()
+    pad = max(len(h0), len(h1)) // 2 + 1
+    idx = sym_indices(n, pad, pad)
+    ext = x.astype(np.float64)[idx]
+    c0 = len(h0) // 2
+    c1 = len(h1) // 2
+    ne, no = (n + 1) // 2, n // 2
+    low = np.zeros((ne,) + x.shape[1:], dtype=np.float64)
+    high = np.zeros((no,) + x.shape[1:], dtype=np.float64)
+    for i in range(ne):
+        p = pad + 2 * i
+        seg = ext[p - c0 : p + c0 + 1]
+        low[i] = np.tensordot(h0, seg, axes=(0, 0))
+    for i in range(no):
+        p = pad + 2 * i + 1
+        seg = ext[p - c1 : p + c1 + 1]
+        high[i] = np.tensordot(h1, seg, axes=(0, 0))
+    return low, high * high_scale
+
+
+def conv_forward_97_1d(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Convolution 9/7 analysis; equals the lifting transform to fp error."""
+    # The halved base taps above times 2 give the standard CDF highpass,
+    # which already carries the K normalization the lifting code applies.
+    return _analyze(x, _H0_97, _H1_97_BASE, high_scale=2.0)
+
+
+def conv_forward_53_1d(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Convolution 5/3 analysis (linearized: no integer floors)."""
+    return _analyze(x, _H0_53, _H1_53)
+
+
+def convolution_dwt_mix(
+    lossless: bool, calibration: Calibration = DEFAULT_CALIBRATION
+) -> InstructionMix:
+    """Per sample-visit cost of the convolution formulation.
+
+    Convolution evaluates the full filter at every output: the 9/7 averages
+    (9 + 7) / 2 = 8 multiply-accumulates per sample where lifting needs ~2.5
+    multiplies + 4 adds; the 5/3's shift-and-add taps average ~4 per sample
+    (7 adds + 3 shifts counting the accumulations) vs lifting's ~3.5 ops.
+    This is Sweldens' factor-of-two that the paper banks on.
+    """
+    if lossless:
+        ops = {
+            InstrClass.ADD: 7.0,
+            InstrClass.SHIFT: 3.0,
+            InstrClass.LOAD: 1.5,
+            InstrClass.STORE: 1.0,
+            InstrClass.SHUFFLE: 1.5,
+        }
+    else:
+        ops = {
+            InstrClass.FM: 8.0,
+            InstrClass.FA: 7.0,
+            InstrClass.LOAD: 1.5,
+            InstrClass.STORE: 1.0,
+            InstrClass.SHUFFLE: 1.5,
+        }
+    return InstructionMix(
+        ops=ops,
+        vectorizable=True,
+        simd_efficiency=calibration.dwt_simd_efficiency,
+        dependency_factor=calibration.dwt_dependency_factor,
+        branches=0.06,
+        branch_miss_rate=0.5,
+    )

@@ -1,0 +1,32 @@
+"""Meerwald et al. loop-level OpenMP parallelization model (IPDPS 2002).
+
+"the authors parallelize Tier-1 coding in the EBCOT and the DWT only to
+minimize the code modification.  The maximum achievable speedup is limited
+by the sequentialization in this loop-level parallelization approach"
+(paper Section 1).  This is a plain Amdahl model over the stage breakdown
+of a sequential baseline timeline.
+"""
+
+from __future__ import annotations
+
+from repro.cell.timeline import StageTiming, Timeline
+
+#: Stages Meerwald et al. parallelize.
+_PARALLEL_STAGES = frozenset({"dwt", "tier1"})
+
+
+def meerwald_time(sequential: Timeline, num_threads: int) -> Timeline:
+    """Timeline with only DWT and Tier-1 sped up ``num_threads``-fold."""
+    if num_threads < 1:
+        raise ValueError(f"num_threads must be >= 1, got {num_threads}")
+    tl = Timeline(machine_name=f"{sequential.machine_name} x{num_threads} (loop-level)")
+    for s in sequential.stages:
+        wall = s.wall_s / num_threads if s.name in _PARALLEL_STAGES else s.wall_s
+        tl.add(StageTiming(s.name, wall, notes=s.notes))
+    return tl
+
+
+def meerwald_speedup(sequential: Timeline, num_threads: int) -> float:
+    """Overall speedup of the loop-level approach (the Amdahl ceiling)."""
+    par = meerwald_time(sequential, num_threads)
+    return sequential.total_s / par.total_s

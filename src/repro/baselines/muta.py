@@ -1,0 +1,203 @@
+"""Model of Muta et al.'s Motion JPEG2000 encoder (ACM-MM 2007).
+
+The design differences the paper documents (Sections 3.2, 5.2):
+
+* convolution-based DWT over 128x128 tiles with overlap (net 112x112):
+  redundant halo compute, and "their implementation does not satisfy the
+  cache line alignment requirements for the most efficient DMA transfer
+  due to the overlapped area";
+* "their DWT implementation does not scale beyond a single SPE";
+* 32x32 code blocks (4x the queue interactions of 64x64);
+* Tier-1 on SPEs only; the PPE performs Tier-2 *overlapped* with Tier-1
+  and distributes code blocks;
+* level shift / inter-component transform / quantization stay on the PPE
+  "to avoid the offloading overhead";
+* lossless only, on 2.4 GHz Cell/B.E. chips.
+
+``Muta0`` runs two encoder threads on two chips (reported per-frame time is
+the two-frame throughput, i.e. half the real latency — the paper's caveat);
+``Muta1`` runs one thread across both chips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.cell.buffering import buffered_loop_time
+from repro.cell.machine import CellMachine
+from repro.cell.ppe import PPECore
+from repro.cell.spe import SPECore
+from repro.cell.timeline import StageTiming, Timeline
+from repro.cell.workqueue import WorkerSpec, simulate_work_queue
+from repro.baselines.convolution_dwt import convolution_dwt_mix
+from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.jpeg2000.encoder import BlockStats, WorkloadStats
+from repro.kernels.levelshift import levelshift_mct_mix
+from repro.kernels.readconv import readconv_mix
+from repro.kernels.tier1_kernel import tier1_block_cost_s
+
+#: Tile geometry: 128x128 gross, 112x112 net payload (paper Section 3.2).
+_TILE_GROSS = 128
+_TILE_NET = 112
+#: Extra compute from re-filtering the halo.
+_HALO_COMPUTE = (_TILE_GROSS / _TILE_NET) ** 2
+#: Bus inflation: overlapped tiles start at arbitrary offsets, so each
+#: 448-512 B row transfer straddles an extra 128 B line.
+_HALO_BUS = 1.25
+
+
+class MutaConfig(str, Enum):
+    MUTA0 = "Muta0"   # two encoder threads, one chip each (throughput mode)
+    MUTA1 = "Muta1"   # one encoder thread across two chips
+
+
+def split_blocks_to_32(blocks: list[BlockStats]) -> list[BlockStats]:
+    """Re-express 64x64-code-block statistics as 32x32 blocks.
+
+    Each 64x64 block becomes (up to) four quarter blocks with a quarter of
+    the coded symbols each — the load Muta's queue must distribute.
+    """
+    out = []
+    for b in blocks:
+        rows = max(1, (b.height + 31) // 32)
+        cols = max(1, (b.width + 31) // 32)
+        parts = rows * cols
+        for k in range(parts):
+            out.append(
+                BlockStats(
+                    comp=b.comp, band=b.band, dlevel=b.dlevel,
+                    height=min(32, b.height), width=min(32, b.width),
+                    msbs=b.msbs, num_passes=b.num_passes,
+                    total_symbols=b.total_symbols // parts,
+                    coded_bytes=b.coded_bytes // parts,
+                )
+            )
+    return out
+
+
+@dataclass
+class MutaPipelineModel:
+    """Prices one frame's encode under Muta et al.'s design."""
+
+    stats: WorkloadStats
+    config: MutaConfig = MutaConfig.MUTA0
+    clock_hz: float = 2.4e9
+    calibration: Calibration = DEFAULT_CALIBRATION
+    machine: CellMachine = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not self.stats.lossless:
+            raise ValueError("Muta et al. support lossless encoding only")
+        if self.config is MutaConfig.MUTA0:
+            # One encoder thread's resources: one chip.
+            self.machine = CellMachine(
+                name="Muta (per thread)", clock_hz=self.clock_hz, chips=1,
+                num_spes=8, num_ppe_threads=1,
+            )
+        else:
+            self.machine = CellMachine(
+                name="Muta (one thread)", clock_hz=self.clock_hz, chips=2,
+                num_spes=16, num_ppe_threads=1,
+            )
+
+    @property
+    def spe(self) -> SPECore:
+        return SPECore(clock_hz=self.clock_hz)
+
+    @property
+    def ppe(self) -> PPECore:
+        return PPECore(clock_hz=self.clock_hz)
+
+    def stage_ppe_pixel_stages(self) -> StageTiming:
+        """Level shift + MCT on the PPE (not offloaded)."""
+        n = self.stats.num_pixels * self.stats.num_components
+        mix = levelshift_mct_mix(True, self.stats.num_components, self.calibration)
+        t = self.ppe.kernel_time(mix, n)
+        t += self.ppe.kernel_time(readconv_mix(self.calibration), n)
+        return StageTiming("ppe_pixel_stages", t, ppe_busy_s=t,
+                           notes="level shift/MCT on PPE")
+
+    def stage_dwt(self) -> StageTiming:
+        """Convolution DWT on a single SPE over overlapped tiles."""
+        mix = convolution_dwt_mix(True, self.calibration)
+        spe_sec = self.spe.seconds_per_element(mix)
+        h, w = self.stats.height, self.stats.width
+        wall = 0.0
+        bw = self.machine.memory.single_stream_bw  # sole DWT stream
+        for _ in range(self.stats.levels):
+            if h <= 1 and w <= 1:
+                break
+            n = h * w * self.stats.num_components
+            visits = 2.0 * n * _HALO_COMPUTE          # vertical + horizontal
+            compute = visits * spe_sec
+            payload = 2.0 * 4.0 * n * _HALO_COMPUTE   # one read+write pass
+            dma = payload * _HALO_BUS / bw
+            tiles = max(1, (h // _TILE_NET + 1) * (w // _TILE_NET + 1))
+            bt = buffered_loop_time(tiles, compute / tiles, dma / tiles, buffers=2)
+            wall += bt.total_s
+            h, w = (h + 1) // 2, (w + 1) // 2
+        return StageTiming("dwt", wall, spe_busy_s=wall,
+                           notes="convolution, 128x128 tiles, 1 SPE")
+
+    def stage_tier1_tier2(self) -> StageTiming:
+        """SPE-only Tier-1 through the queue; Tier-2 overlapped on the PPE."""
+        cal = self.calibration
+        blocks = split_blocks_to_32(self.stats.blocks)
+        spe_costs = []
+        bw = self.machine.per_spe_bandwidth()
+        for b in blocks:
+            c = tier1_block_cost_s(b.total_symbols, b.height * b.width,
+                                   self.spe, cal)
+            c += (b.height * b.width * 4 + b.coded_bytes) / bw
+            spe_costs.append(c)
+        workers = [
+            WorkerSpec(f"SPE{s}", tuple(spe_costs),
+                       dequeue_overhead_s=cal.queue_dequeue_s)
+            for s in range(self.machine.num_spes)
+        ]
+        res = simulate_work_queue(len(blocks), workers)
+        # The PPE both runs Tier-2 and centrally dispatches every block to
+        # an SPE; this serial duty is the scalability ceiling the paper
+        # attributes to this design.
+        ppe_duty = len(blocks) * (cal.tier2_per_block_s + cal.muta_dispatch_s) \
+            + self.stats.codestream_bytes * cal.stream_io_per_byte_s
+        wall = max(res.makespan_s, ppe_duty)
+        return StageTiming(
+            "tier1+tier2", wall,
+            spe_busy_s=sum(res.per_worker_busy_s.values()),
+            ppe_busy_s=ppe_duty,
+            notes=f"{len(blocks)} 32x32 blocks, SPE-only Tier-1",
+        )
+
+    def simulate(self) -> Timeline:
+        tl = Timeline(machine_name=f"{self.config.value} @ {self.clock_hz/1e9:.1f} GHz")
+        tl.add(self.stage_ppe_pixel_stages())
+        tl.add(self.stage_dwt())
+        tl.add(self.stage_tier1_tier2())
+        tl.add(
+            StageTiming(
+                "stream_io",
+                self.stats.codestream_bytes * self.calibration.stream_io_per_byte_s,
+            )
+        )
+        return tl
+
+    def reported_frame_time(self) -> float:
+        """The number their paper reports (throughput per frame).
+
+        Muta0 overlaps two frames on two chips, so the reported per-frame
+        time is half the single-frame latency (the paper's caveat that "the
+        encoding time for one frame can be up to two times higher than the
+        reported number").
+        """
+        latency = self.simulate().total_s
+        return latency / 2.0 if self.config is MutaConfig.MUTA0 else latency
+
+    def dwt_reported_time(self) -> float:
+        t = self.stage_dwt().wall_s
+        return t / 2.0 if self.config is MutaConfig.MUTA0 else t
+
+    def ebcot_reported_time(self) -> float:
+        t = self.stage_tier1_tier2().wall_s
+        return t / 2.0 if self.config is MutaConfig.MUTA0 else t

@@ -1,0 +1,205 @@
+"""Intel Pentium IV 3.2 GHz baseline (Figure 9).
+
+The paper's comparison conditions (Section 5.3):
+
+* Jasper compiled with gcc -O5; *no vectorization* ("vectorization is not
+  implemented in the Jasper code for the Pentium IV processor");
+* the real-number path runs in *fixed point* on the P4 ("the Pentium IV
+  processor emulates the floating point operations with the fixed point
+  instructions") — but the P4 has a native 32-bit multiply, so the fixed
+  path is merely scalar, not emulated;
+* the non-Cell-specific optimizations (lifting, loop interleaving, column
+  grouping) are applied to both architectures.
+
+The core model is an out-of-order scalar machine: sustained IPC on
+compiled code, a strong branch predictor, and a streaming memory system
+with hardware prefetch whose exposed miss cost appears once the working
+set exceeds the 2 MB L2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cell.isa import InstrClass, InstructionMix
+from repro.cell.timeline import StageTiming, Timeline
+from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.jpeg2000.encoder import WorkloadStats
+from repro.kernels.dwt_kernels import dwt_mix, sample_visits_per_pixel
+from repro.kernels.levelshift import levelshift_mct_mix
+from repro.kernels.quantize_kernel import quantize_mix
+from repro.kernels.readconv import readconv_mix
+from repro.kernels.tier1_kernel import tier1_symbol_mix
+
+#: Approximate per-class costs folded into "one scalar op" accounting;
+#: multiplies count as several slots to reflect their longer latency even
+#: under out-of-order execution.
+_P4_OP_WEIGHT = {
+    InstrClass.ADD: 1.0,
+    InstrClass.SHIFT: 1.0,
+    InstrClass.MPYH: 3.0,
+    InstrClass.MPYU: 3.0,
+    InstrClass.FM: 2.0,
+    InstrClass.FA: 1.5,
+    InstrClass.FMA: 2.5,
+    InstrClass.CVT: 2.0,
+    InstrClass.LOAD: 1.0,
+    InstrClass.STORE: 1.0,
+    InstrClass.SHUFFLE: 1.0,
+}
+
+
+
+@dataclass(frozen=True)
+class P4Core:
+    """Pentium IV core: OoO scalar with dynamic branch prediction."""
+
+    calibration: Calibration = DEFAULT_CALIBRATION
+
+    @property
+    def clock_hz(self) -> float:
+        return self.calibration.p4_clock_hz
+
+    def cycles_per_element(self, mix: InstructionMix) -> float:
+        cal = self.calibration
+        slots = sum(_P4_OP_WEIGHT[i] * c for i, c in mix.ops.items())
+        core = slots / cal.p4_ipc
+        effective_miss = mix.branch_miss_rate * (1.0 - cal.p4_predictor_hit_rate)
+        core += mix.branches * (1.0 + effective_miss * cal.p4_branch_miss_penalty)
+        return core
+
+    def seconds_per_element(self, mix: InstructionMix) -> float:
+        return self.cycles_per_element(mix) / self.clock_hz
+
+    def stage_time(
+        self, mix: InstructionMix, elements: int, bytes_per_elem: float,
+        working_set_bytes: int,
+    ) -> float:
+        """Compute overlapped with streaming memory; misses exposed only
+        when the working set spills the L2."""
+        if elements < 0:
+            raise ValueError("elements must be non-negative")
+        compute = self.seconds_per_element(mix) * elements
+        if working_set_bytes <= self.calibration.p4_l2_bytes:
+            return compute
+        mem = elements * bytes_per_elem / self.calibration.p4_stream_bw
+        # Out-of-order + prefetch overlap most of the smaller term.
+        return max(compute, mem) + 0.15 * min(compute, mem)
+
+
+@dataclass
+class P4PipelineModel:
+    """Sequential Jasper on the Pentium IV, stage by stage."""
+
+    stats: WorkloadStats
+    calibration: Calibration = DEFAULT_CALIBRATION
+    core: P4Core = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.core = P4Core(self.calibration)
+
+    def _ws(self) -> int:
+        """Working set: the full int32 image (Jasper keeps planes resident)."""
+        return self.stats.num_pixels * self.stats.num_components * 4
+
+    def _dwt_mix_p4(self) -> InstructionMix:
+        """P4 DWT mix: 5/3 integer lifting, or Jasper's fixed-point 9/7.
+
+        Unlike the SPE, the P4 has a native 32-bit multiply, so the fixed
+        path is scalar ``imul``s (weighted 3 slots each) plus Q-format
+        shifts and rounding adds — not the mpyh/mpyu emulation sequence.
+        """
+        if self.stats.lossless:
+            return dwt_mix(True, calibration=self.calibration)
+        # Jasper's jas_fix_mul widens to a 64-bit intermediate before the
+        # Q13 shift, so each fixed multiply is an imul pair plus a
+        # double-width shift on 32-bit x86 — ~4 weighted multiply slots.
+        return InstructionMix(
+            ops={
+                InstrClass.MPYH: 4.0,
+                InstrClass.ADD: 10.0,   # lifting adds + rounding + carries
+                InstrClass.SHIFT: 4.0,  # double-width Q13 renormalization
+                InstrClass.LOAD: 3.0,
+                InstrClass.STORE: 2.0,
+            },
+            vectorizable=False,
+            branches=0.06,
+            branch_miss_rate=0.5,
+        )
+
+    def stage_dwt(self) -> StageTiming:
+        mix = self._dwt_mix_p4()
+        visits = sample_visits_per_pixel(self.stats.levels)
+        elements = int(self.stats.num_pixels * self.stats.num_components * visits)
+        t = self.core.stage_time(mix, elements, 8.0, self._ws())
+        return StageTiming("dwt", t, notes="scalar lifting, "
+                           + ("5/3 int" if self.stats.lossless else "9/7 fixed-point"))
+
+    def stage_tier1(self) -> StageTiming:
+        mix = tier1_symbol_mix(self.calibration)
+        per_symbol = self.core.seconds_per_element(mix)
+        total = 0.0
+        for b in self.stats.blocks:
+            total += (b.total_symbols + 0.45 * b.height * b.width) * per_symbol
+        return StageTiming("tier1", total, notes="sequential")
+
+    def stage_other(self) -> list[StageTiming]:
+        cal = self.calibration
+        n = self.stats.num_pixels * self.stats.num_components
+        out = [
+            StageTiming(
+                "read+convert",
+                self.core.stage_time(readconv_mix(cal), n, 6.0, self._ws()),
+            ),
+            StageTiming(
+                "levelshift+mct",
+                self.core.stage_time(
+                    levelshift_mct_mix(self.stats.lossless,
+                                       self.stats.num_components, cal),
+                    n, 8.0, self._ws(),
+                ),
+            ),
+        ]
+        if not self.stats.lossless:
+            out.append(
+                StageTiming(
+                    "quantize",
+                    self.core.stage_time(quantize_mix(cal), n, 8.0, self._ws()),
+                )
+            )
+            passes = sum(b.num_passes for b in self.stats.blocks)
+            out.append(
+                StageTiming(
+                    "rate_control",
+                    passes * cal.rate_control_per_pass_s * cal.rate_control_sweeps,
+                )
+            )
+        out.append(
+            StageTiming(
+                "tier2",
+                len(self.stats.blocks) * cal.tier2_per_block_s
+                + self.stats.codestream_bytes * cal.stream_io_per_byte_s,
+            )
+        )
+        out.append(
+            StageTiming(
+                "stream_io",
+                self.stats.codestream_bytes * cal.stream_io_per_byte_s,
+            )
+        )
+        return out
+
+    def simulate(self) -> Timeline:
+        tl = Timeline(machine_name="Intel Pentium IV 3.2 GHz")
+        others = self.stage_other()
+        tl.add(others[0])             # read+convert
+        tl.add(others[1])             # levelshift+mct
+        tl.add(self.stage_dwt())
+        for s in others[2:]:
+            if s.name == "quantize":
+                tl.add(s)
+        tl.add(self.stage_tier1())
+        for s in others[2:]:
+            if s.name != "quantize":
+                tl.add(s)
+        return tl

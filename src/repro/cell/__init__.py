@@ -1,0 +1,43 @@
+"""Cell Broadband Engine performance simulator.
+
+The Cell/B.E. hardware the paper runs on (IBM QS20 blade, two 3.2 GHz
+Cell/B.E. chips) no longer exists, and Python cannot express SIMD intrinsics
+or explicit DMA.  This subpackage substitutes a parameterized performance
+model exposing exactly the mechanisms the paper's results hinge on:
+
+* per-instruction SPE/PPE latency and issue modelling (Table 1),
+* a 256 KB Local Store with explicit allocation,
+* a DMA engine enforcing the real alignment/size rules with an efficiency
+  model that rewards cache-line-aligned, line-multiple transfers,
+* EIB / off-chip XDR bandwidth with contention across active SPEs,
+* single/double/N-buffer pipelining of compute against DMA,
+* a dynamic work-queue scheduler (Tier-1 load balancing).
+
+Functional results come from :mod:`repro.jpeg2000`; this layer computes
+*time*.
+"""
+
+from repro.cell.isa import SPE_ISA, PPE_ISA, InstrClass
+from repro.cell.localstore import LocalStore, LocalStoreError
+from repro.cell.dma import DmaEngine, DmaError, DmaTransfer
+from repro.cell.eib import MemorySystem
+from repro.cell.spe import SPECore
+from repro.cell.ppe import PPECore
+from repro.cell.machine import CellMachine, QS20_BLADE, SINGLE_CELL
+
+__all__ = [
+    "CellMachine",
+    "DmaEngine",
+    "DmaError",
+    "DmaTransfer",
+    "InstrClass",
+    "LocalStore",
+    "LocalStoreError",
+    "MemorySystem",
+    "PPECore",
+    "PPE_ISA",
+    "QS20_BLADE",
+    "SINGLE_CELL",
+    "SPECore",
+    "SPE_ISA",
+]

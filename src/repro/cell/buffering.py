@@ -1,0 +1,72 @@
+"""Compute/DMA overlap under single, double, or N-level buffering.
+
+Paper Section 2: "double buffering or multi-level buffering is an efficient
+technique for hiding latency but increases the Local Store space
+requirement at the same time.  However, owing to the constant memory
+requirement in our data decomposition scheme, we can increase the level of
+buffering to a higher value that fits within the Local Store."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BufferedLoopTime:
+    """Steady-state timing of a unit-at-a-time SPE processing loop."""
+
+    total_s: float
+    compute_s: float
+    dma_s: float
+    overlapped: bool
+
+    @property
+    def dma_hidden_fraction(self) -> float:
+        """How much of the DMA time the buffering hid."""
+        if self.dma_s == 0:
+            return 1.0
+        exposed = self.total_s - self.compute_s
+        return max(0.0, 1.0 - exposed / self.dma_s)
+
+
+def buffered_loop_time(
+    units: int,
+    compute_per_unit_s: float,
+    dma_per_unit_s: float,
+    buffers: int = 2,
+    dma_latency_s: float = 250e-9,
+) -> BufferedLoopTime:
+    """Total time for ``units`` iterations of a (DMA in, compute, DMA out) loop.
+
+    With one buffer, DMA and compute serialize.  With ``buffers >= 2``,
+    steady-state cost per unit is ``max(compute, dma)``; deeper buffering
+    additionally rides out the fixed DMA latency (up to ``buffers - 1``
+    transfers in flight).
+    """
+    if units < 0:
+        raise ValueError(f"units must be non-negative, got {units}")
+    if compute_per_unit_s < 0 or dma_per_unit_s < 0:
+        raise ValueError("per-unit times must be non-negative")
+    if buffers < 1:
+        raise ValueError(f"buffers must be >= 1, got {buffers}")
+    if units == 0:
+        return BufferedLoopTime(0.0, 0.0, 0.0, buffers >= 2)
+    compute_total = compute_per_unit_s * units
+    dma_total = dma_per_unit_s * units
+    if buffers == 1:
+        total = compute_total + dma_total + dma_latency_s * units
+        return BufferedLoopTime(total, compute_total, dma_total, False)
+    # Steady state: per-unit max(compute, dma).  The fixed DMA latency is
+    # exposed only when (buffers - 1) in-flight transfers cannot cover it;
+    # the pipeline fill pays one full transfer up front.
+    steady_unit = max(compute_per_unit_s, dma_per_unit_s)
+    steady = steady_unit * (units - 1)
+    if dma_per_unit_s > 0:
+        exposed_per_unit = max(0.0, dma_latency_s - (buffers - 1) * steady_unit)
+        exposed_latency = exposed_per_unit * units + dma_latency_s
+    else:
+        exposed_latency = 0.0
+    fill = dma_per_unit_s + compute_per_unit_s
+    total = steady + fill + exposed_latency
+    return BufferedLoopTime(total, compute_total, dma_total, True)

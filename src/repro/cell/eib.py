@@ -1,0 +1,51 @@
+"""EIB and off-chip memory bandwidth with contention.
+
+Paper Section 4: "As the number of SPEs increases, the limited off-chip
+memory bandwidth becomes a bottleneck and nullifies the performance
+enhancement achieved by vectorization."  This module prices the bus bytes
+reported by :class:`~repro.cell.dma.DmaEngine`:
+
+* the EIB itself sustains ~96 bytes/cycle (~204.8 GB/s at 3.2 GHz) — rarely
+  the limit for this workload;
+* the XDR off-chip interface sustains 25.6 GB/s per chip; concurrent SPE
+  streams share it;
+* a single SPE's MFC sustains at most ~16 GB/s on its own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MemorySystem:
+    """Bandwidth model of one Cell/B.E. chip's path to main memory."""
+
+    offchip_bw: float = 25.6e9      # XDR sustained, bytes/s per chip
+    single_stream_bw: float = 16.0e9  # one MFC's sustainable GET/PUT rate
+    eib_bw: float = 204.8e9         # on-chip ring aggregate
+
+    def __post_init__(self) -> None:
+        if min(self.offchip_bw, self.single_stream_bw, self.eib_bw) <= 0:
+            raise ValueError("bandwidths must be positive")
+
+    def per_stream_bandwidth(self, active_streams: int) -> float:
+        """Sustained bytes/s available to each of ``active_streams``."""
+        if active_streams <= 0:
+            raise ValueError(f"active_streams must be positive, got {active_streams}")
+        fair_share = min(self.offchip_bw, self.eib_bw) / active_streams
+        return min(self.single_stream_bw, fair_share)
+
+    def transfer_time(self, bus_bytes: int, active_streams: int = 1) -> float:
+        """Seconds to move ``bus_bytes`` for one stream among many."""
+        if bus_bytes < 0:
+            raise ValueError(f"bus_bytes must be non-negative, got {bus_bytes}")
+        if bus_bytes == 0:
+            return 0.0
+        return bus_bytes / self.per_stream_bandwidth(active_streams)
+
+    def aggregate_time(self, total_bus_bytes: int) -> float:
+        """Seconds for the chip to move ``total_bus_bytes`` at full tilt."""
+        if total_bus_bytes < 0:
+            raise ValueError("total_bus_bytes must be non-negative")
+        return total_bus_bytes / min(self.offchip_bw, self.eib_bw)

@@ -1,0 +1,190 @@
+"""Instruction latency/issue tables for the SPE and PPE cores.
+
+Table 1 of the paper gives the latencies that drive its fixed-point vs
+floating-point argument:
+
+=========  =========================================  ========
+``mpyh``   two-byte integer multiply high             7 cycles
+``mpyu``   two-byte integer multiply unsigned         7 cycles
+``a``      (word) add                                 2 cycles
+``fm``     single-precision floating point multiply   6 cycles
+=========  =========================================  ========
+
+The remaining SPE entries follow the Cell BE Handbook (v1.1, Table B-2
+class latencies): fixed-point unit 2 cycles, shuffle/quad-rotate 4, load 6,
+single-precision FP 6.  Each instruction is tagged with the SPE pipe it
+issues on (even = arithmetic, odd = load/store/permute/branch) because the
+SPE dual-issues one instruction per pipe per cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Pipe(Enum):
+    EVEN = "even"
+    ODD = "odd"
+
+
+class InstrClass(str, Enum):
+    """Instruction classes used by kernel instruction mixes."""
+
+    ADD = "a"            # word add/sub/compare/logical
+    SHIFT = "shl"        # shifts and rotates (element)
+    MPYH = "mpyh"        # 16-bit multiply high
+    MPYU = "mpyu"        # 16-bit multiply unsigned
+    FM = "fm"            # single-precision FP multiply
+    FA = "fa"            # single-precision FP add
+    FMA = "fma"          # fused multiply-add
+    CVT = "cvt"          # int<->float conversion
+    LOAD = "lqd"         # quadword load
+    STORE = "stqd"       # quadword store
+    SHUFFLE = "shufb"    # byte permute
+    BRANCH = "br"        # branch
+
+
+@dataclass(frozen=True)
+class InstrSpec:
+    latency: int
+    pipe: Pipe
+
+
+@dataclass(frozen=True)
+class IsaTable:
+    """Latency table plus core-level penalties."""
+
+    name: str
+    instrs: dict[InstrClass, InstrSpec]
+    branch_miss_penalty: int
+
+    def latency(self, instr: InstrClass) -> int:
+        return self.instrs[instr].latency
+
+    def pipe(self, instr: InstrClass) -> Pipe:
+        return self.instrs[instr].pipe
+
+
+SPE_ISA = IsaTable(
+    name="SPE",
+    instrs={
+        InstrClass.ADD: InstrSpec(2, Pipe.EVEN),      # Table 1: a = 2 cycles
+        InstrClass.SHIFT: InstrSpec(4, Pipe.EVEN),
+        InstrClass.MPYH: InstrSpec(7, Pipe.EVEN),     # Table 1
+        InstrClass.MPYU: InstrSpec(7, Pipe.EVEN),     # Table 1
+        InstrClass.FM: InstrSpec(6, Pipe.EVEN),       # Table 1
+        InstrClass.FA: InstrSpec(6, Pipe.EVEN),
+        InstrClass.FMA: InstrSpec(6, Pipe.EVEN),
+        InstrClass.CVT: InstrSpec(7, Pipe.EVEN),
+        InstrClass.LOAD: InstrSpec(6, Pipe.ODD),
+        InstrClass.STORE: InstrSpec(6, Pipe.ODD),
+        InstrClass.SHUFFLE: InstrSpec(4, Pipe.ODD),
+        InstrClass.BRANCH: InstrSpec(4, Pipe.ODD),
+    },
+    # SPE has no dynamic branch prediction: a taken branch that was not
+    # hinted costs ~18 cycles of fetch bubble.
+    branch_miss_penalty=18,
+)
+
+#: The PPE is a 2-way in-order SMT PowerPC with a conventional dynamic
+#: branch predictor.  Latencies are similar per class; the difference is in
+#: the core model (scalar-dominant issue, predictor, cache hierarchy).
+PPE_ISA = IsaTable(
+    name="PPE",
+    instrs={
+        InstrClass.ADD: InstrSpec(2, Pipe.EVEN),
+        InstrClass.SHIFT: InstrSpec(2, Pipe.EVEN),
+        InstrClass.MPYH: InstrSpec(9, Pipe.EVEN),
+        InstrClass.MPYU: InstrSpec(9, Pipe.EVEN),
+        InstrClass.FM: InstrSpec(10, Pipe.EVEN),
+        InstrClass.FA: InstrSpec(10, Pipe.EVEN),
+        InstrClass.FMA: InstrSpec(10, Pipe.EVEN),
+        InstrClass.CVT: InstrSpec(10, Pipe.EVEN),
+        InstrClass.LOAD: InstrSpec(4, Pipe.ODD),
+        InstrClass.STORE: InstrSpec(4, Pipe.ODD),
+        InstrClass.SHUFFLE: InstrSpec(4, Pipe.ODD),
+        InstrClass.BRANCH: InstrSpec(1, Pipe.ODD),
+    },
+    branch_miss_penalty=23,  # deep in-order pipeline refill
+)
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """Dynamic instruction mix of a kernel, per *element* processed.
+
+    ``ops`` counts instructions by class for one scalar element's worth of
+    work.  ``vectorizable`` kernels process SIMD-width elements per
+    instruction on cores with vector units.  ``dependency_limited`` kernels
+    (tight recurrences that cannot be unrolled, e.g. the MQ coder) pay
+    instruction *latency* instead of issue throughput.  ``branches`` counts
+    conditional branches per element with ``branch_miss_rate`` the fraction
+    a static (SPE) or dynamic (PPE/P4) predictor gets wrong.
+    """
+
+    ops: dict[InstrClass, float]
+    vectorizable: bool = True
+    dependency_limited: bool = False
+    branches: float = 0.0
+    branch_miss_rate: float = 0.0
+    #: Fraction of the ideal SIMD speedup actually achieved.  Kernels that
+    #: must shuffle data between lanes (transposes, interleaved lifting) or
+    #: handle alignment boundaries sustain well below peak; 1.0 = perfect.
+    simd_efficiency: float = 1.0
+    #: Fraction of the (latency - throughput) gap an *in-order* core exposes
+    #: on this kernel's dependence chains.  0.0 = fully unrollable streams,
+    #: 1.0 = one long serial chain (equivalent to ``dependency_limited``).
+    #: Out-of-order cores (the Pentium IV model) ignore this.
+    dependency_factor: float = 0.0
+
+    def scaled(self, factor: float) -> "InstructionMix":
+        """Mix with all dynamic counts multiplied by ``factor``."""
+        if factor < 0:
+            raise ValueError(f"factor must be non-negative, got {factor}")
+        return InstructionMix(
+            ops={k: v * factor for k, v in self.ops.items()},
+            vectorizable=self.vectorizable,
+            dependency_limited=self.dependency_limited,
+            branches=self.branches * factor,
+            branch_miss_rate=self.branch_miss_rate,
+            simd_efficiency=self.simd_efficiency,
+            dependency_factor=self.dependency_factor,
+        )
+
+    def merged(self, other: "InstructionMix") -> "InstructionMix":
+        """Elementwise sum of two mixes (kernel fusion)."""
+        ops = dict(self.ops)
+        for k, v in other.ops.items():
+            ops[k] = ops.get(k, 0.0) + v
+        total_br = self.branches + other.branches
+        miss = 0.0
+        if total_br > 0:
+            miss = (
+                self.branches * self.branch_miss_rate
+                + other.branches * other.branch_miss_rate
+            ) / total_br
+        return InstructionMix(
+            ops=ops,
+            vectorizable=self.vectorizable and other.vectorizable,
+            dependency_limited=self.dependency_limited or other.dependency_limited,
+            branches=total_br,
+            branch_miss_rate=miss,
+            simd_efficiency=min(self.simd_efficiency, other.simd_efficiency),
+            dependency_factor=max(self.dependency_factor, other.dependency_factor),
+        )
+
+
+def int32_multiply_mix() -> dict[InstrClass, float]:
+    """SPE emulation of a 32x32-bit integer multiply (paper Section 4).
+
+    "the SPE instruction set architecture does not support four byte integer
+    multiplication; thus four byte integer multiplication needs to be
+    emulated by two byte integer multiplications and additions" — the
+    standard sequence is two ``mpyh`` + one ``mpyu`` + two adds.
+    """
+    return {
+        InstrClass.MPYH: 2.0,
+        InstrClass.MPYU: 1.0,
+        InstrClass.ADD: 2.0,
+    }

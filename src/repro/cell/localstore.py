@@ -1,0 +1,103 @@
+"""SPE Local Store model: 256 KB, explicitly managed, 16-byte granularity.
+
+The paper's data decomposition scheme exists largely because of this
+memory: "the Local Store space requirement becomes constant independent of
+the data array size" (Section 2).  Buffer sizing decisions in the kernels
+(buffer depth, column-group width) are validated against this allocator so
+an infeasible configuration fails loudly instead of silently modelling
+impossible hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.alignment import QUADWORD_BYTES, round_up
+
+LOCAL_STORE_BYTES = 256 * 1024
+
+#: Space the SPE program itself occupies.  The paper stresses that "shorter
+#: code size also saves the Local Store space"; our default reserves a
+#: realistic footprint for code + stack + runtime.
+DEFAULT_CODE_BYTES = 48 * 1024
+
+
+class LocalStoreError(RuntimeError):
+    """Raised when an allocation cannot fit in the Local Store."""
+
+
+@dataclass
+class _Allocation:
+    name: str
+    offset: int
+    size: int
+
+
+@dataclass
+class LocalStore:
+    """Bump allocator over the 256 KB Local Store."""
+
+    capacity: int = LOCAL_STORE_BYTES
+    code_bytes: int = DEFAULT_CODE_BYTES
+    _allocations: list[_Allocation] = field(default_factory=list)
+    _top: int = 0
+
+    def __post_init__(self) -> None:
+        if not (0 < self.capacity <= LOCAL_STORE_BYTES):
+            raise ValueError(f"capacity must be in (0, 256 KiB], got {self.capacity}")
+        if self.code_bytes < 0 or self.code_bytes >= self.capacity:
+            raise ValueError(f"code_bytes out of range: {self.code_bytes}")
+        self._top = round_up(self.code_bytes, QUADWORD_BYTES)
+
+    @property
+    def used(self) -> int:
+        return self._top
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self._top
+
+    def alloc(self, name: str, size: int, align: int = QUADWORD_BYTES) -> int:
+        """Allocate ``size`` bytes; returns the Local Store offset."""
+        if size <= 0:
+            raise ValueError(f"allocation size must be positive, got {size}")
+        offset = round_up(self._top, align)
+        if offset + size > self.capacity:
+            raise LocalStoreError(
+                f"Local Store overflow: {name!r} needs {size} B at offset "
+                f"{offset}, capacity {self.capacity} B "
+                f"({self.free} B free before alignment)"
+            )
+        self._allocations.append(_Allocation(name, offset, size))
+        self._top = offset + size
+        return offset
+
+    def reset(self) -> None:
+        """Free all data allocations (keeps the code footprint)."""
+        self._allocations.clear()
+        self._top = round_up(self.code_bytes, QUADWORD_BYTES)
+
+    def fits(self, size: int, align: int = QUADWORD_BYTES) -> bool:
+        """Whether ``size`` bytes could currently be allocated."""
+        return round_up(self._top, align) + size <= self.capacity
+
+    def report(self) -> list[tuple[str, int, int]]:
+        """(name, offset, size) of every live allocation."""
+        return [(a.name, a.offset, a.size) for a in self._allocations]
+
+
+def max_buffer_depth(row_bytes: int, ls: LocalStore | None = None,
+                     reserve: int = 16 * 1024) -> int:
+    """How many row buffers of ``row_bytes`` fit in the Local Store.
+
+    This realizes the paper's point that the constant per-row footprint
+    lets buffering depth be raised until the Local Store is full
+    ("we can increase the level of buffering to a higher value that fits
+    within the Local Store").
+    """
+    if row_bytes <= 0:
+        raise ValueError(f"row_bytes must be positive, got {row_bytes}")
+    ls = ls or LocalStore()
+    usable = ls.free - reserve
+    per_buf = round_up(row_bytes, QUADWORD_BYTES)
+    return max(0, usable // per_buf)

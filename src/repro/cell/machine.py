@@ -1,0 +1,90 @@
+"""Machine configurations: single Cell/B.E. chip and the IBM QS20 blade."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.cell.eib import MemorySystem
+from repro.cell.ppe import PPECore
+from repro.cell.spe import SPECore
+
+
+@dataclass(frozen=True)
+class CellMachine:
+    """A Cell/B.E. system: one or two chips sharing a workload.
+
+    ``num_spes``/``num_ppe_threads`` are the processing elements actually
+    *used* (the paper sweeps 1-16 SPEs and 0-2 extra PPE threads); ``chips``
+    scales the off-chip bandwidth, since each chip owns its own XDR
+    interface.
+    """
+
+    name: str = "Cell/B.E."
+    clock_hz: float = 3.2e9
+    chips: int = 1
+    spes_per_chip: int = 8
+    num_spes: int = 8
+    num_ppe_threads: int = 1
+    memory: MemorySystem = MemorySystem()
+
+    def __post_init__(self) -> None:
+        if self.chips < 1:
+            raise ValueError(f"chips must be >= 1, got {self.chips}")
+        if not (0 <= self.num_spes <= self.chips * self.spes_per_chip):
+            raise ValueError(
+                f"num_spes {self.num_spes} outside 0..{self.chips * self.spes_per_chip}"
+            )
+        if not (0 <= self.num_ppe_threads <= 2 * self.chips):
+            raise ValueError(
+                f"num_ppe_threads {self.num_ppe_threads} outside 0..{2 * self.chips}"
+            )
+        if self.num_spes == 0 and self.num_ppe_threads == 0:
+            raise ValueError("machine needs at least one processing element")
+
+    @property
+    def spe(self) -> SPECore:
+        return SPECore(clock_hz=self.clock_hz)
+
+    @property
+    def ppe(self) -> PPECore:
+        return PPECore(clock_hz=self.clock_hz)
+
+    @property
+    def total_offchip_bw(self) -> float:
+        """Aggregate off-chip bandwidth across chips (bytes/s)."""
+        return self.memory.offchip_bw * self.chips
+
+    def spes_on_chip(self, chip: int) -> int:
+        """SPEs in use on ``chip`` when filling chips in order."""
+        if not (0 <= chip < self.chips):
+            raise IndexError(f"chip {chip} outside 0..{self.chips - 1}")
+        used_before = min(self.num_spes, chip * self.spes_per_chip)
+        return min(self.spes_per_chip, self.num_spes - used_before)
+
+    def per_spe_bandwidth(self) -> float:
+        """Sustained bytes/s per active SPE, accounting for chip placement."""
+        if self.num_spes == 0:
+            return 0.0
+        worst = float("inf")
+        for chip in range(self.chips):
+            on_chip = self.spes_on_chip(chip)
+            if on_chip > 0:
+                worst = min(worst, self.memory.per_stream_bandwidth(on_chip))
+        return worst
+
+    def with_pes(self, num_spes: int, num_ppe_threads: int) -> "CellMachine":
+        """Same hardware, different number of active processing elements."""
+        return replace(self, num_spes=num_spes, num_ppe_threads=num_ppe_threads)
+
+
+#: The paper's main platform: one chip of the QS20 at 3.2 GHz, 8 SPEs.
+SINGLE_CELL = CellMachine(name="Cell/B.E. 3.2 GHz", chips=1, num_spes=8,
+                          num_ppe_threads=1)
+
+#: IBM QS20 blade: two Cell/B.E. 3.2 GHz chips (Section 5 scaling study).
+QS20_BLADE = CellMachine(name="IBM QS20", chips=2, num_spes=16,
+                         num_ppe_threads=2)
+
+#: Muta et al. used 2.4 GHz parts (Section 5.2 caveat list).
+MUTA_BLADE = CellMachine(name="Cell blade 2.4 GHz", clock_hz=2.4e9, chips=2,
+                         num_spes=16, num_ppe_threads=2)

@@ -1,0 +1,80 @@
+"""PPE core model: in-order 2-way PowerPC with dynamic branch prediction.
+
+The paper runs scalar compiled C on the PPE (the Jasper code is not
+VMX-vectorized), so the PPE model issues scalar instructions.  Its strength
+is exactly what the paper observes for Tier-1: "the EBCOT algorithm is
+branchy and integer based, [so] the PPE runs the code faster than the SPE"
+— the dynamic predictor converts most of the SPE's 18-cycle bubbles into
+~1-cycle branches, and the L1/L2 hierarchy hides irregular access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cell.isa import PPE_ISA, InstructionMix, IsaTable, Pipe
+
+
+@dataclass(frozen=True)
+class PPECore:
+    """One PPE hardware thread.
+
+    ``smt_efficiency`` is the throughput of the *second* SMT thread
+    relative to the first when both run (the PPE is 2-way SMT over mostly
+    shared issue resources).
+    """
+
+    clock_hz: float = 3.2e9
+    isa: IsaTable = PPE_ISA
+    issue_width: float = 2.0
+    #: In-order stall factor: dependent scalar code does not dual-issue
+    #: cleanly on the PPE's simple pipeline.
+    schedule_overhead: float = 2.1
+    #: Sustained streaming bandwidth through the PPE cache hierarchy for
+    #: data-parallel sweeps whose working set spills the 512 KB L2.
+    stream_bw: float = 2.8e9
+    branch_predictor_hit_rate: float = 0.94
+    smt_efficiency: float = 0.45
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise ValueError(f"clock_hz must be positive, got {self.clock_hz}")
+        if not (0.0 <= self.branch_predictor_hit_rate <= 1.0):
+            raise ValueError("branch_predictor_hit_rate must be in [0, 1]")
+        if not (0.0 < self.smt_efficiency <= 1.0):
+            raise ValueError("smt_efficiency must be in (0, 1]")
+
+    def cycles_per_element(self, mix: InstructionMix) -> float:
+        """Cycles for one element; scalar issue, no vector lanes."""
+        total_ops = 0.0
+        latency = 0.0
+        for instr, count in mix.ops.items():
+            if count < 0:
+                raise ValueError(f"negative op count for {instr}")
+            total_ops += count
+            latency += count * self.isa.instrs[instr].latency
+        throughput = total_ops / self.issue_width * self.schedule_overhead
+        if mix.dependency_limited:
+            core = latency
+        else:
+            core = throughput + mix.dependency_factor * max(0.0, latency - throughput)
+        # The dynamic predictor eats most branch cost; the kernel's inherent
+        # unpredictability (mix.branch_miss_rate) is scaled by the predictor.
+        effective_miss = mix.branch_miss_rate * (1.0 - self.branch_predictor_hit_rate)
+        core += mix.branches * (1.0 + effective_miss * self.isa.branch_miss_penalty)
+        return core
+
+    def seconds_per_element(self, mix: InstructionMix) -> float:
+        return self.cycles_per_element(mix) / self.clock_hz
+
+    def kernel_time(self, mix: InstructionMix, num_elements: int,
+                    smt_threads: int = 1) -> float:
+        """Seconds of compute for ``num_elements`` using 1 or 2 SMT threads."""
+        if num_elements < 0:
+            raise ValueError(f"num_elements must be non-negative, got {num_elements}")
+        if smt_threads not in (1, 2):
+            raise ValueError(f"PPE supports 1 or 2 SMT threads, got {smt_threads}")
+        base = self.seconds_per_element(mix) * num_elements
+        if smt_threads == 2:
+            base /= 1.0 + self.smt_efficiency
+        return base

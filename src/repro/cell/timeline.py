@@ -1,0 +1,64 @@
+"""Stage timeline: barriers between pipeline stages, per-PE accounting.
+
+The paper's encoder (Figure 2) is a sequence of stages with an implicit
+barrier between consecutive stages (each stage consumes the previous
+stage's full output array).  The timeline records, per stage, how long each
+class of processing element worked and the resulting wall time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class StageTiming:
+    """Wall time and attribution of one pipeline stage."""
+
+    name: str
+    wall_s: float
+    spe_busy_s: float = 0.0
+    ppe_busy_s: float = 0.0
+    dma_bus_bytes: int = 0
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if self.wall_s < 0:
+            raise ValueError(f"stage {self.name!r} has negative wall time")
+
+
+@dataclass
+class Timeline:
+    """Ordered stage timings with summary helpers."""
+
+    machine_name: str
+    stages: list[StageTiming] = field(default_factory=list)
+
+    def add(self, stage: StageTiming) -> None:
+        self.stages.append(stage)
+
+    @property
+    def total_s(self) -> float:
+        return sum(s.wall_s for s in self.stages)
+
+    def stage(self, name: str) -> StageTiming:
+        for s in self.stages:
+            if s.name == name:
+                return s
+        raise KeyError(f"no stage named {name!r}")
+
+    def fraction(self, name: str) -> float:
+        """Share of total wall time spent in ``name``."""
+        total = self.total_s
+        return self.stage(name).wall_s / total if total > 0 else 0.0
+
+    def report(self) -> str:
+        """Human-readable per-stage table."""
+        lines = [f"Timeline on {self.machine_name} — total {self.total_s * 1e3:.2f} ms"]
+        for s in self.stages:
+            pct = 100.0 * s.wall_s / self.total_s if self.total_s else 0.0
+            lines.append(
+                f"  {s.name:<28} {s.wall_s * 1e3:9.3f} ms ({pct:5.1f}%)"
+                + (f"  [{s.notes}]" if s.notes else "")
+            )
+        return "\n".join(lines)

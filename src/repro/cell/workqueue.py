@@ -1,0 +1,83 @@
+"""Dynamic work-queue scheduling simulation (the paper's Tier-1 strategy).
+
+Paper Section 3.2: "the processing time for Tier-1 encoding is dependent on
+the input data characteristics, and we cannot achieve load balancing by
+merely distributing an identical number of code blocks to the processing
+elements" — hence a shared queue that PPE and SPE threads pull from.
+
+The simulator is an event-driven greedy list scheduler: whenever a
+processing element becomes free it dequeues the next item, paying a
+per-dequeue synchronization cost.  This reproduces both the load-balancing
+benefit and the contention penalty that smaller code blocks (Muta's 32x32)
+incur through 4x the queue traffic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """One processing element pulling from the queue."""
+
+    name: str
+    #: Seconds this worker needs per item, parallel to the items list.
+    item_costs: tuple[float, ...]
+    #: Synchronization cost per dequeue (atomic op + signalling).
+    dequeue_overhead_s: float = 2e-6
+
+
+@dataclass
+class WorkQueueResult:
+    makespan_s: float
+    per_worker_busy_s: dict[str, float]
+    per_worker_items: dict[str, int]
+    schedule: list[tuple[str, int, float, float]] = field(default_factory=list)
+
+    @property
+    def utilization(self) -> float:
+        if self.makespan_s <= 0 or not self.per_worker_busy_s:
+            return 1.0
+        busy = sum(self.per_worker_busy_s.values())
+        return busy / (self.makespan_s * len(self.per_worker_busy_s))
+
+
+def simulate_work_queue(
+    num_items: int, workers: list[WorkerSpec], record_schedule: bool = False
+) -> WorkQueueResult:
+    """Greedy pull scheduling of ``num_items`` FIFO items over ``workers``."""
+    if num_items < 0:
+        raise ValueError(f"num_items must be non-negative, got {num_items}")
+    if not workers:
+        raise ValueError("need at least one worker")
+    for w in workers:
+        if len(w.item_costs) != num_items:
+            raise ValueError(
+                f"worker {w.name!r} has {len(w.item_costs)} costs for "
+                f"{num_items} items"
+            )
+    busy = {w.name: 0.0 for w in workers}
+    count = {w.name: 0 for w in workers}
+    schedule: list[tuple[str, int, float, float]] = []
+    if num_items == 0:
+        return WorkQueueResult(0.0, busy, count, schedule)
+
+    # (time_free, tiebreak, worker) — earliest-free worker takes next item.
+    heap = [(0.0, i, w) for i, w in enumerate(workers)]
+    heapq.heapify(heap)
+    next_item = 0
+    makespan = 0.0
+    while next_item < num_items:
+        t_free, tie, worker = heapq.heappop(heap)
+        cost = worker.item_costs[next_item] + worker.dequeue_overhead_s
+        t_end = t_free + cost
+        busy[worker.name] += cost
+        count[worker.name] += 1
+        if record_schedule:
+            schedule.append((worker.name, next_item, t_free, t_end))
+        makespan = max(makespan, t_end)
+        next_item += 1
+        heapq.heappush(heap, (t_end, tie, worker))
+    return WorkQueueResult(makespan, busy, count, schedule)

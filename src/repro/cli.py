@@ -1,0 +1,139 @@
+"""Command-line interface: encode / decode / simulate.
+
+    python -m repro encode  input.bmp output.j2c [--lossy] [--rate 0.1]
+    python -m repro decode  input.j2c output.bmp
+    python -m repro simulate input.bmp [--spes 8] [--ppe-threads 1]
+                              [--chips 1] [--lossy] [--rate 0.1] [--estimate]
+
+``simulate`` prints the per-stage Cell/B.E. timeline for encoding the
+image; ``--estimate`` uses the fast Tier-1 workload estimator instead of
+the exact coder (recommended above ~512x512).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cell.machine import CellMachine
+from repro.core.pipeline import PipelineModel
+from repro.image.bmp import read_bmp, write_bmp
+from repro.image.pnm import read_pnm, write_pnm
+from repro.jpeg2000.decoder import decode
+from repro.jpeg2000.encoder import encode
+from repro.jpeg2000.params import EncoderParams
+from repro.jpeg2000.tier1_stats import estimate_workload
+
+
+def _read_image(path: str):
+    import os
+
+    if not os.path.exists(path):
+        raise SystemExit(f"input file not found: {path}")
+    if path.lower().endswith(".bmp"):
+        return read_bmp(path)
+    if path.lower().endswith((".pgm", ".ppm", ".pnm")):
+        return read_pnm(path)
+    raise SystemExit(f"unsupported input format: {path} (use .bmp/.pgm/.ppm)")
+
+
+def _write_image(path: str, image) -> None:
+    if path.lower().endswith(".bmp"):
+        write_bmp(path, image)
+    elif path.lower().endswith((".pgm", ".ppm", ".pnm")):
+        write_pnm(path, image)
+    else:
+        raise SystemExit(f"unsupported output format: {path} (use .bmp/.pgm/.ppm)")
+
+
+def _params(args) -> EncoderParams:
+    if args.lossy or args.rate is not None:
+        return EncoderParams(lossless=False, rate=args.rate, levels=args.levels,
+                             codeblock_size=args.codeblock)
+    return EncoderParams(lossless=True, levels=args.levels,
+                         codeblock_size=args.codeblock)
+
+
+def _add_coding_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--lossy", action="store_true",
+                   help="irreversible 9/7 + ICT path (-O mode=real)")
+    p.add_argument("--rate", type=float, default=None,
+                   help="target compressed fraction of raw size (implies --lossy)")
+    p.add_argument("--levels", type=int, default=5, help="DWT levels")
+    p.add_argument("--codeblock", type=int, default=64,
+                   help="code block size (64 = paper, 32 = Muta et al.)")
+
+
+def cmd_encode(args) -> int:
+    image = _read_image(args.input)
+    result = encode(image, _params(args))
+    with open(args.output, "wb") as fh:
+        fh.write(result.codestream)
+    print(f"{args.input} -> {args.output}: {len(result.codestream)} bytes "
+          f"({result.compression_ratio:.2f}:1)")
+    return 0
+
+
+def cmd_decode(args) -> int:
+    with open(args.input, "rb") as fh:
+        codestream = fh.read()
+    image = decode(codestream)
+    if image.dtype.itemsize != 1:
+        raise SystemExit("only 8-bit output images are supported by BMP/PNM")
+    _write_image(args.output, image)
+    print(f"{args.input} -> {args.output}: {image.shape}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    image = _read_image(args.input)
+    params = _params(args)
+    if args.estimate:
+        stats = estimate_workload(image, params)
+    else:
+        stats = encode(image, params).stats
+    machine = CellMachine(chips=args.chips, num_spes=args.spes,
+                          num_ppe_threads=args.ppe_threads)
+    timeline = PipelineModel(machine, stats).simulate()
+    print(timeline.report())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="JPEG2000 on the Cell Broadband Engine (ICPP 2008) "
+                    "reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("encode", help="encode BMP/PNM to a JPEG2000 codestream")
+    p.add_argument("input")
+    p.add_argument("output")
+    _add_coding_options(p)
+    p.set_defaults(func=cmd_encode)
+
+    p = sub.add_parser("decode", help="decode a codestream to BMP/PNM")
+    p.add_argument("input")
+    p.add_argument("output")
+    p.set_defaults(func=cmd_decode)
+
+    p = sub.add_parser("simulate", help="simulated Cell/B.E. encode timeline")
+    p.add_argument("input")
+    _add_coding_options(p)
+    p.add_argument("--spes", type=int, default=8)
+    p.add_argument("--ppe-threads", type=int, default=1)
+    p.add_argument("--chips", type=int, default=1)
+    p.add_argument("--estimate", action="store_true",
+                   help="use the fast Tier-1 workload estimator")
+    p.set_defaults(func=cmd_simulate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

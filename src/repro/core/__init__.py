@@ -1,0 +1,48 @@
+"""The paper's contributions: data decomposition, pipeline parallelization.
+
+* :mod:`repro.core.decomposition` — the cache-line-aligned constant-width
+  chunking scheme of Section 2 (Figure 1).
+* :mod:`repro.core.pipeline` — the Figure-2 stage graph mapped onto a
+  :class:`~repro.cell.machine.CellMachine`, producing a simulated
+  :class:`~repro.cell.timeline.Timeline`.
+* :mod:`repro.core.parallel_encoder` — functional encode + simulated
+  schedule in one call.
+* :mod:`repro.core.calibration` — every tunable constant of the
+  performance model, with its derivation.
+
+Submodules are loaded lazily (PEP 562) because the kernel characterizations
+in :mod:`repro.kernels` import :mod:`repro.core.calibration` while the
+pipeline imports the kernels.
+"""
+
+from typing import Any
+
+__all__ = [
+    "CellJPEG2000Encoder",
+    "Chunk",
+    "DecompositionPlan",
+    "ParallelEncodeResult",
+    "PipelineModel",
+    "PipelineOptions",
+    "plan_decomposition",
+]
+
+_EXPORTS = {
+    "Chunk": ("repro.core.decomposition", "Chunk"),
+    "DecompositionPlan": ("repro.core.decomposition", "DecompositionPlan"),
+    "plan_decomposition": ("repro.core.decomposition", "plan_decomposition"),
+    "PipelineModel": ("repro.core.pipeline", "PipelineModel"),
+    "PipelineOptions": ("repro.core.pipeline", "PipelineOptions"),
+    "CellJPEG2000Encoder": ("repro.core.parallel_encoder", "CellJPEG2000Encoder"),
+    "ParallelEncodeResult": ("repro.core.parallel_encoder", "ParallelEncodeResult"),
+}
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

@@ -1,0 +1,124 @@
+"""Every tunable constant of the performance model, with its derivation.
+
+The simulator's *mechanisms* (SIMD lanes, dual issue, DMA alignment,
+bandwidth contention, work-queue scheduling, Amdahl stages) are structural;
+this module holds the handful of scalar constants those mechanisms need.
+No constant is fitted to a single figure — all experiments share this one
+set.
+
+Derivation notes
+----------------
+``dwt_simd_efficiency``
+    A hand-tuned SPE lifting kernel sustains roughly 0.9-1.0 GB/s of
+    processed samples per SPE (Bader & Kang report comparable rates in
+    "Computing discrete transforms on the Cell Broadband Engine", Parallel
+    Computing 35, 2009).  At 4 B/sample that is ~4.4 ns per sample-visit ≈
+    14 SPE cycles, while the ideal dual-issue SIMD bound for the ~12-op
+    lifting visit is ~3.5 cycles: efficiency ≈ 0.25.  The gap is shuffles
+    for lane re-alignment, software pipelining overhead, and buffer
+    rotation.
+``tier1_*``
+    A Tier-1 symbol (context formation + MQ coder update) costs ~40-60
+    dependent scalar operations.  On the SPE the data-dependent branches
+    miss a static hint ~30% of the time at 18 cycles each; on the PPE the
+    dynamic predictor removes ~94% of those.  These give the paper's
+    observed ordering: 1 PPE thread outruns 1 SPE on Tier-1, but 8 SPEs
+    win by brute force.
+``p4_*``
+    Pentium IV (Prescott) 3.2 GHz: deep OoO pipeline with effective
+    sustained IPC ~1.4 on compiled integer code, a good branch predictor
+    (~1.1x the PPE's), 2 MB L2 and hardware prefetch.  Jasper on the P4 is
+    *not* vectorized (paper Section 5.3) and performs the real-number path
+    in fixed point, whose 32-bit multiplies are native (imul ~10 cycles,
+    pipelined).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Calibration:
+    # --- DWT kernels -------------------------------------------------------
+    #: Achieved fraction of ideal SIMD speedup for lifting kernels (see above).
+    dwt_simd_efficiency: float = 0.40
+    #: In-order latency exposure on the lifting recurrences.
+    dwt_dependency_factor: float = 0.15
+    #: Same for the trivially vectorizable pixel kernels (level shift, MCT,
+    #: quantize): streaming, no lane shuffles.
+    pixel_simd_efficiency: float = 0.60
+
+    # --- Tier-1 ------------------------------------------------------------
+    #: Dynamic scalar operations per coded binary decision (context gather,
+    #: LUT lookups, MQ interval update, state write-back).
+    tier1_ops_per_symbol: float = 46.0
+    #: Of which loads/stores (odd pipe on the SPE).
+    tier1_mem_fraction: float = 0.40
+    #: Conditional branches per symbol and their data-dependent miss rate
+    #: under static prediction.
+    tier1_branches_per_symbol: float = 3.0
+    tier1_branch_miss_rate: float = 0.30
+    #: Latency exposure of the MQ-coder dependence chain on in-order cores.
+    tier1_dependency_factor: float = 0.25
+    #: Per code block fixed overhead (setup, state init, result write), s.
+    tier1_block_overhead_s: float = 4.0e-6
+    #: Work-queue dequeue cost (atomic + mailbox signalling).
+    queue_dequeue_s: float = 1.5e-6
+    #: Muta et al.'s centralized distribution: PPE-side cost to dispatch one
+    #: code block to an SPE (mailbox round trip + buffer setup).  This
+    #: serial duty is why "their EBCOT implementation ... does not scale
+    #: above a single Cell/B.E. processor" (paper Section 1) — the PPE
+    #: dispatcher, not the SPEs, is the bottleneck.
+    muta_dispatch_s: float = 35e-6
+
+    # --- Stage-level constants ---------------------------------------------
+    #: Fraction of the read-component/type-conversion stage that stays
+    #: sequential on the PPE (stream parsing); the rest is "partially
+    #: parallelized" (paper Figure 2).
+    readconv_sequential_fraction: float = 0.35
+    #: Rate-control cost per coding pass examined (slope computation,
+    #: hull/bisection bookkeeping) on the PPE, seconds.
+    rate_control_per_pass_s: float = 300e-9
+    #: Bisection sweeps over all passes (lambda search iterations).
+    rate_control_sweeps: float = 9.0
+    #: Tier-2 cost per code block (tag-tree updates + header bits), s.
+    tier2_per_block_s: float = 2.2e-6
+    #: Stream output cost per byte on the PPE (buffered write), s.
+    stream_io_per_byte_s: float = 0.9e-9
+    #: Fraction of stream I/O that is parallelizable gather work.
+    stream_io_parallel_fraction: float = 0.5
+
+    # --- SPE/PPE core knobs (defaults live on the core classes) -------------
+    #: Barrier/synchronization cost between pipeline stages, seconds.
+    stage_barrier_s: float = 8.0e-6
+
+    # --- Pentium IV model ----------------------------------------------------
+    p4_clock_hz: float = 3.2e9
+    #: Sustained IPC on compiled scalar code (OoO, but Prescott's long pipe).
+    p4_ipc: float = 1.5
+    #: Branch mispredict penalty (Prescott ~31 stages).
+    p4_branch_miss_penalty: float = 28.0
+    #: Dynamic predictor quality: fraction of static misses removed.
+    p4_predictor_hit_rate: float = 0.95
+    #: Effective memory stall per L2 line miss (prefetch-adjusted), cycles.
+    p4_miss_penalty_cycles: float = 90.0
+    #: L2 size (bytes) for the streaming-miss model.
+    p4_l2_bytes: int = 2 * 1024 * 1024
+    #: Sustained streaming bandwidth (DDR-400 era, mixed-stride access).
+    p4_stream_bw: float = 2.2e9
+
+    def __post_init__(self) -> None:
+        for name in (
+            "dwt_simd_efficiency", "pixel_simd_efficiency",
+            "tier1_branch_miss_rate", "readconv_sequential_fraction",
+            "stream_io_parallel_fraction", "p4_predictor_hit_rate",
+        ):
+            v = getattr(self, name)
+            if not (0.0 <= v <= 1.0):
+                raise ValueError(f"{name} must be in [0, 1], got {v}")
+        if self.tier1_ops_per_symbol <= 0 or self.p4_ipc <= 0:
+            raise ValueError("ops/ipc constants must be positive")
+
+
+DEFAULT_CALIBRATION = Calibration()

@@ -1,0 +1,333 @@
+"""The Figure-2 encoder pipeline mapped onto a simulated Cell machine.
+
+Stages (paper Section 3.2):
+
+1. ``read+convert``  — partially parallelized stream read / type widening
+2. ``levelshift+mct`` — merged, fully parallel, data-decomposed
+3. ``dwt``            — vertical + horizontal lifting per level, per comp
+4. ``quantize``       — lossy only, fully parallel
+5. ``tier1``          — dynamic work queue over code blocks (SPEs + PPE)
+6. ``rate_control``   — lossy only, sequential on the PPE
+7. ``tier2``          — sequential on the PPE
+8. ``stream_io``      — partially parallel output assembly
+
+Element counts come from a real encode's :class:`WorkloadStats`; the model
+prices compute with the ISA core models and memory with the DMA/EIB models
+under the chosen data decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cell.buffering import buffered_loop_time
+from repro.cell.isa import InstructionMix
+from repro.cell.machine import CellMachine
+from repro.cell.timeline import StageTiming, Timeline
+from repro.cell.workqueue import WorkerSpec, simulate_work_queue
+from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.core.decomposition import (
+    PPE_OWNER,
+    plan_decomposition,
+    plan_naive_decomposition,
+)
+from repro.jpeg2000.encoder import WorkloadStats
+from repro.kernels.dwt_kernels import DwtVariant, dwt_mix, vertical_dma_passes
+from repro.kernels.levelshift import levelshift_mct_mix
+from repro.kernels.quantize_kernel import quantize_mix
+from repro.kernels.readconv import readconv_mix
+from repro.kernels.tier1_kernel import tier1_block_cost_s
+
+_ELEM_BYTES = 4  # all pipeline arrays are int32/float32
+
+
+@dataclass(frozen=True)
+class PipelineOptions:
+    """Implementation choices the paper evaluates."""
+
+    dwt_variant: DwtVariant = DwtVariant.MERGED
+    buffers: int = 4
+    fixed_point: bool = False       # Jasper's fixed-point real path
+    use_workqueue: bool = True      # False = static block distribution
+    aligned_decomposition: bool = True
+    calibration: Calibration = DEFAULT_CALIBRATION
+
+
+@dataclass
+class PipelineModel:
+    """Prices one encode workload on one machine configuration."""
+
+    machine: CellMachine
+    stats: WorkloadStats
+    options: PipelineOptions = field(default_factory=PipelineOptions)
+
+    # -- helpers -------------------------------------------------------------
+
+    def _plan(self, height: int, width: int):
+        if self.options.aligned_decomposition:
+            return plan_decomposition(height, width, _ELEM_BYTES, self.machine.num_spes)
+        return plan_naive_decomposition(height, width, _ELEM_BYTES, self.machine.num_spes)
+
+    def _ppe_thread_factors(self, count: int) -> list[float]:
+        """Per-PPE-thread slowdown factors (1.0 = full core).
+
+        Threads fill chips first (one full-speed thread per chip), then the
+        second SMT context of each PPE at reduced throughput.
+        """
+        m = self.machine
+        factors = []
+        smt_penalty = 2.0 / (1.0 + m.ppe.smt_efficiency)
+        for t in range(count):
+            factors.append(1.0 if t < m.chips else smt_penalty)
+        return factors
+
+    def _tier1_ppe_workers(self) -> int:
+        """PPE threads that pull Tier-1 work from the queue.
+
+        In the base N-SPE configurations the first PPE thread orchestrates
+        (queue feeding, stage control) and does not encode; the paper's
+        "+1 PPE" / "+2 PPE" variants add PPE threads that "participate in
+        Tier-1" (Figures 4/5).  A machine with no SPEs runs Tier-1 entirely
+        on its PPE threads.
+        """
+        m = self.machine
+        if m.num_spes == 0:
+            return m.num_ppe_threads
+        return max(0, m.num_ppe_threads - 1)
+
+    def _bus_factor(self) -> float:
+        """Bus bytes per payload byte under the chosen decomposition.
+
+        Aligned chunks move exactly their payload; the naive layout's
+        transfers straddle one extra 128-byte line each and duplicate
+        boundary lines between neighbouring PEs.
+        """
+        if self.options.aligned_decomposition:
+            return 1.0
+        plan = self._plan(self.stats.height, max(2, self.stats.width))
+        spe_chunks = [c for c in plan.chunks if c.owner != PPE_OWNER]
+        if not spe_chunks:
+            return 1.0
+        payload = 0
+        bus = 0
+        for c in spe_chunks:
+            tr = plan.row_transfer(c, 1)
+            payload += c.width * _ELEM_BYTES
+            bus += tr.bus_bytes
+        return bus / payload if payload else 1.0
+
+    def _ppe_stream_time(
+        self, mix: InstructionMix, elements: int,
+        payload_bytes_per_elem: float, smt_threads: int = 1,
+    ) -> float:
+        """PPE time for a streaming sweep: compute overlapped with the
+        cache-hierarchy bandwidth (hardware prefetch hides the smaller term)."""
+        m = self.machine
+        compute = m.ppe.kernel_time(mix, elements, smt_threads=smt_threads)
+        mem = elements * payload_bytes_per_elem / m.ppe.stream_bw
+        return max(compute, mem) + 0.15 * min(compute, mem)
+
+    def _parallel_stage(
+        self,
+        name: str,
+        height: int,
+        width: int,
+        per_component: int,
+        mix: InstructionMix,
+        payload_bytes_per_elem: float,
+        notes: str = "",
+    ) -> StageTiming:
+        """Price a fully data-parallel stage over ``per_component`` planes."""
+        m = self.machine
+        cal = self.options.calibration
+        elements = height * width * per_component
+        if m.num_spes == 0:
+            t = self._ppe_stream_time(mix, elements, payload_bytes_per_elem,
+                                      smt_threads=min(2, max(1, m.num_ppe_threads)))
+            return StageTiming(name, t + cal.stage_barrier_s, ppe_busy_s=t, notes=notes)
+        plan = self._plan(height, width)
+        bus_factor = self._bus_factor()
+        spe_sec = m.spe.seconds_per_element(mix)
+        per_spe_bw = m.per_spe_bandwidth()
+        spe_walls = []
+        spe_busy = 0.0
+        dma_bytes = 0
+        for owner in plan.spe_owners():
+            elems = sum(c.width for c in plan.chunks_for(owner)) * height
+            chunk_w = max(c.width for c in plan.chunks_for(owner))
+            rows = height * per_component
+            compute_row = chunk_w * spe_sec
+            payload_row = chunk_w * payload_bytes_per_elem
+            dma_row = payload_row * bus_factor / per_spe_bw
+            bt = buffered_loop_time(rows, compute_row, dma_row,
+                                    buffers=self.options.buffers)
+            spe_walls.append(bt.total_s)
+            spe_busy += elems * per_component * spe_sec
+            dma_bytes += int(payload_row * bus_factor * rows)
+        ppe_elems = sum(c.width for c in plan.chunks_for(PPE_OWNER)) * height
+        ppe_t = self._ppe_stream_time(mix, ppe_elems * per_component,
+                                      payload_bytes_per_elem)
+        wall = max(spe_walls + [ppe_t]) + cal.stage_barrier_s
+        return StageTiming(
+            name, wall, spe_busy_s=spe_busy, ppe_busy_s=ppe_t,
+            dma_bus_bytes=dma_bytes, notes=notes,
+        )
+
+    # -- stages ---------------------------------------------------------------
+
+    def stage_readconv(self) -> StageTiming:
+        cal = self.options.calibration
+        m = self.machine
+        mix = readconv_mix(cal)
+        elements = self.stats.num_pixels * self.stats.num_components
+        seq = cal.readconv_sequential_fraction
+        seq_t = m.ppe.kernel_time(mix, int(elements * seq))
+        par = self._parallel_stage(
+            "read+convert(par)", self.stats.height, self.stats.width,
+            self.stats.num_components, mix, 2.0 + _ELEM_BYTES,
+        )
+        frac = 1.0 - seq
+        return StageTiming(
+            "read+convert", seq_t + par.wall_s * frac,
+            spe_busy_s=par.spe_busy_s * frac,
+            ppe_busy_s=seq_t + par.ppe_busy_s * frac,
+            dma_bus_bytes=int(par.dma_bus_bytes * frac),
+            notes=f"{seq:.0%} sequential",
+        )
+
+    def stage_levelshift_mct(self) -> StageTiming:
+        mix = levelshift_mct_mix(self.stats.lossless, self.stats.num_components,
+                                 self.options.calibration)
+        return self._parallel_stage(
+            "levelshift+mct", self.stats.height, self.stats.width,
+            self.stats.num_components, mix, 2.0 * _ELEM_BYTES,
+            notes="merged stage",
+        )
+
+    def stage_dwt(self) -> StageTiming:
+        mix = dwt_mix(self.stats.lossless, self.options.fixed_point,
+                      self.options.calibration)
+        passes_v = vertical_dma_passes(self.options.dwt_variant, self.stats.lossless)
+        total = StageTiming("dwt", 0.0)
+        h, w = self.stats.height, self.stats.width
+        wall = 0.0
+        for _lvl in range(self.stats.levels):
+            if h <= 1 and w <= 1:
+                break
+            vert = self._parallel_stage(
+                "dwt-v", h, w, self.stats.num_components, mix,
+                passes_v * 2.0 * _ELEM_BYTES,
+            )
+            horiz = self._parallel_stage(
+                "dwt-h", h, w, self.stats.num_components, mix,
+                1.0 * 2.0 * _ELEM_BYTES,
+            )
+            wall += vert.wall_s + horiz.wall_s
+            total.spe_busy_s += vert.spe_busy_s + horiz.spe_busy_s
+            total.ppe_busy_s += vert.ppe_busy_s + horiz.ppe_busy_s
+            total.dma_bus_bytes += vert.dma_bus_bytes + horiz.dma_bus_bytes
+            h, w = (h + 1) // 2, (w + 1) // 2
+        total.wall_s = wall
+        total.notes = f"{self.options.dwt_variant.value} lifting"
+        return total
+
+    def stage_quantize(self) -> StageTiming:
+        if self.stats.lossless:
+            return StageTiming("quantize", 0.0, notes="skipped (lossless)")
+        mix = quantize_mix(self.options.calibration)
+        return self._parallel_stage(
+            "quantize", self.stats.height, self.stats.width,
+            self.stats.num_components, mix, 2.0 * _ELEM_BYTES,
+        )
+
+    def stage_tier1(self) -> StageTiming:
+        m = self.machine
+        cal = self.options.calibration
+        blocks = self.stats.blocks
+        n = len(blocks)
+        per_spe_bw = m.per_spe_bandwidth() if m.num_spes else 0.0
+        spe_costs = []
+        for b in blocks:
+            c = tier1_block_cost_s(b.total_symbols, b.height * b.width, m.spe, cal)
+            if per_spe_bw > 0:
+                c += (b.height * b.width * _ELEM_BYTES + b.coded_bytes) / per_spe_bw
+            spe_costs.append(c)
+        ppe_costs = [
+            tier1_block_cost_s(b.total_symbols, b.height * b.width, m.ppe, cal)
+            for b in blocks
+        ]
+        workers = []
+        for s in range(m.num_spes):
+            workers.append(WorkerSpec(f"SPE{s}", tuple(spe_costs),
+                                      dequeue_overhead_s=cal.queue_dequeue_s))
+        for t, factor in enumerate(self._ppe_thread_factors(self._tier1_ppe_workers())):
+            workers.append(
+                WorkerSpec(f"PPE{t}", tuple(c * factor for c in ppe_costs),
+                           dequeue_overhead_s=cal.queue_dequeue_s)
+            )
+        if not workers:
+            raise RuntimeError("no processing elements for Tier-1")
+        if self.options.use_workqueue:
+            result = simulate_work_queue(n, workers)
+            makespan = result.makespan_s
+            busy = result.per_worker_busy_s
+        else:
+            # Static distribution: "merely distributing an identical number
+            # of code blocks to the processing elements" (Section 3.2) —
+            # contiguous ranges, so spatially correlated costs pile up.
+            per_worker = {w.name: 0.0 for w in workers}
+            chunk = (n + len(workers) - 1) // max(1, len(workers))
+            for wi, w in enumerate(workers):
+                for i in range(wi * chunk, min(n, (wi + 1) * chunk)):
+                    per_worker[w.name] += w.item_costs[i]
+            makespan = max(per_worker.values()) if per_worker else 0.0
+            busy = per_worker
+        spe_busy = sum(v for k, v in busy.items() if k.startswith("SPE"))
+        ppe_busy = sum(v for k, v in busy.items() if k.startswith("PPE"))
+        sched = "work queue" if self.options.use_workqueue else "static"
+        return StageTiming("tier1", makespan, spe_busy_s=spe_busy,
+                           ppe_busy_s=ppe_busy, notes=sched)
+
+    def stage_rate_control(self) -> StageTiming:
+        if self.stats.lossless:
+            return StageTiming("rate_control", 0.0, notes="skipped (lossless)")
+        cal = self.options.calibration
+        total_passes = sum(b.num_passes for b in self.stats.blocks)
+        t = total_passes * cal.rate_control_per_pass_s * cal.rate_control_sweeps
+        return StageTiming("rate_control", t, ppe_busy_s=t, notes="sequential PPE")
+
+    def stage_tier2(self) -> StageTiming:
+        cal = self.options.calibration
+        t = (
+            len(self.stats.blocks) * cal.tier2_per_block_s
+            + self.stats.codestream_bytes * cal.stream_io_per_byte_s
+        )
+        return StageTiming("tier2", t, ppe_busy_s=t, notes="sequential PPE")
+
+    def stage_stream_io(self) -> StageTiming:
+        cal = self.options.calibration
+        m = self.machine
+        bytes_out = self.stats.codestream_bytes
+        seq = bytes_out * (1 - cal.stream_io_parallel_fraction) * cal.stream_io_per_byte_s
+        par = bytes_out * cal.stream_io_parallel_fraction * cal.stream_io_per_byte_s
+        pes = max(1, m.num_spes + m.num_ppe_threads)
+        t = seq + par / pes
+        return StageTiming("stream_io", t, ppe_busy_s=seq, notes="partially parallel")
+
+    # -- whole pipeline -------------------------------------------------------
+
+    def simulate(self) -> Timeline:
+        tl = Timeline(machine_name=self._machine_desc())
+        tl.add(self.stage_readconv())
+        tl.add(self.stage_levelshift_mct())
+        tl.add(self.stage_dwt())
+        tl.add(self.stage_quantize())
+        tl.add(self.stage_tier1())
+        tl.add(self.stage_rate_control())
+        tl.add(self.stage_tier2())
+        tl.add(self.stage_stream_io())
+        return tl
+
+    def _machine_desc(self) -> str:
+        m = self.machine
+        return f"{m.name} ({m.num_spes} SPE + {m.num_ppe_threads} PPE thread)"

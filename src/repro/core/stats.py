@@ -1,0 +1,47 @@
+"""Reporting helpers: speedups, scaling tables, figure-style rows."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cell.timeline import Timeline
+
+
+@dataclass(frozen=True)
+class ScalingRow:
+    """One row of a Figure-4/5-style scaling table."""
+
+    num_spes: int
+    num_ppe_threads: int
+    time_s: float
+    speedup_vs_one_spe: float
+
+
+def speedup(baseline: Timeline, improved: Timeline) -> float:
+    """How many times faster ``improved`` is than ``baseline``."""
+    if improved.total_s <= 0:
+        raise ValueError("improved timeline has non-positive total time")
+    return baseline.total_s / improved.total_s
+
+
+def scaling_table(timelines: dict[int, Timeline], ppe_threads: int = 1) -> list[ScalingRow]:
+    """Build scaling rows keyed by SPE count, normalized to the 1-SPE case."""
+    if not timelines:
+        return []
+    base_key = min(timelines)
+    base = timelines[base_key].total_s
+    rows = []
+    for n in sorted(timelines):
+        t = timelines[n].total_s
+        rows.append(ScalingRow(n, ppe_threads, t, base / t if t > 0 else float("inf")))
+    return rows
+
+
+def format_scaling_table(rows: list[ScalingRow], title: str) -> str:
+    lines = [title, f"{'SPEs':>5} {'PPE thr':>8} {'time (ms)':>11} {'speedup':>9}"]
+    for r in rows:
+        lines.append(
+            f"{r.num_spes:>5} {r.num_ppe_threads:>8} "
+            f"{r.time_s * 1e3:>11.2f} {r.speedup_vs_one_spe:>9.2f}"
+        )
+    return "\n".join(lines)

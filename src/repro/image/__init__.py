@@ -1,0 +1,25 @@
+"""Image I/O and synthetic test-image generation.
+
+The paper transcodes a 28.3 MB BMP photograph (``waltham_dial.bmp``) to
+JPEG2000.  This subpackage provides a BMP reader/writer compatible with that
+workflow, PNM support for convenience, and a deterministic synthetic
+"watch-face" generator used as a stand-in for the unavailable test photo.
+"""
+
+from repro.image.bmp import read_bmp, write_bmp
+from repro.image.pnm import read_pnm, write_pnm
+from repro.image.synthetic import (
+    gradient_image,
+    noise_image,
+    watch_face_image,
+)
+
+__all__ = [
+    "gradient_image",
+    "noise_image",
+    "read_bmp",
+    "read_pnm",
+    "watch_face_image",
+    "write_bmp",
+    "write_pnm",
+]

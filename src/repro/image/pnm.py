@@ -1,0 +1,58 @@
+"""PGM (P5) and PPM (P6) binary reader/writer for 8-bit images."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def write_pnm(path: str, image: np.ndarray) -> None:
+    """Write a uint8 gray (P5) or RGB (P6) image."""
+    img = np.asarray(image)
+    if img.dtype != np.uint8:
+        raise ValueError(f"PNM writer requires uint8 pixels, got {img.dtype}")
+    if img.ndim == 2:
+        magic = b"P5"
+        h, w = img.shape
+    elif img.ndim == 3 and img.shape[2] == 3:
+        magic = b"P6"
+        h, w = img.shape[:2]
+    else:
+        raise ValueError(f"unsupported image shape {img.shape}")
+    with open(path, "wb") as fh:
+        fh.write(magic + b"\n%d %d\n255\n" % (w, h))
+        fh.write(np.ascontiguousarray(img).tobytes())
+
+
+def read_pnm(path: str) -> np.ndarray:
+    """Read a binary PGM/PPM file into a uint8 array."""
+    with open(path, "rb") as fh:
+        data = fh.read()
+    if data[:2] not in (b"P5", b"P6"):
+        raise ValueError(f"not a binary PNM file (magic {data[:2]!r})")
+    channels = 1 if data[:2] == b"P5" else 3
+
+    # Parse header tokens, skipping '#' comments.
+    pos = 2
+    tokens: list[int] = []
+    while len(tokens) < 3:
+        while pos < len(data) and data[pos : pos + 1].isspace():
+            pos += 1
+        if pos < len(data) and data[pos : pos + 1] == b"#":
+            while pos < len(data) and data[pos] != 0x0A:
+                pos += 1
+            continue
+        start = pos
+        while pos < len(data) and not data[pos : pos + 1].isspace():
+            pos += 1
+        if start == pos:
+            raise ValueError("truncated PNM header")
+        tokens.append(int(data[start:pos]))
+    pos += 1  # single whitespace after maxval
+    width, height, maxval = tokens
+    if maxval != 255:
+        raise ValueError(f"only 8-bit PNM supported, maxval={maxval}")
+    count = width * height * channels
+    pixels = np.frombuffer(data, dtype=np.uint8, count=count, offset=pos)
+    if channels == 1:
+        return pixels.reshape(height, width).copy()
+    return pixels.reshape(height, width, 3).copy()

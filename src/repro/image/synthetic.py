@@ -1,0 +1,114 @@
+"""Deterministic synthetic test images.
+
+The paper's test input is a 28.3 MB photograph of a watch dial
+(``waltham_dial.bmp``) that is no longer distributable.  ``watch_face_image``
+synthesizes an image with the statistics that matter for JPEG2000 behaviour:
+
+* smooth large-scale luminance gradients (energy concentrated in the low
+  DWT subbands, good compressibility),
+* strong local structure — dial ring, tick marks, hands — producing the
+  spatially *non-uniform* Tier-1 coding cost that motivates the paper's
+  dynamic work queue (Section 3.2), and
+* fine-grained texture/noise so high-frequency subbands are not trivially
+  empty.
+
+All generators are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def gradient_image(height: int, width: int, channels: int = 1) -> np.ndarray:
+    """Smooth diagonal gradient; maximally compressible, useful for tests."""
+    _check_dims(height, width)
+    y = np.linspace(0.0, 1.0, height, dtype=np.float64)[:, None]
+    x = np.linspace(0.0, 1.0, width, dtype=np.float64)[None, :]
+    base = (0.5 * y + 0.5 * x) * 255.0
+    img = base.astype(np.uint8)
+    if channels == 1:
+        return img
+    out = np.empty((height, width, channels), dtype=np.uint8)
+    for c in range(channels):
+        out[:, :, c] = np.clip(base * (0.8 + 0.1 * c), 0, 255).astype(np.uint8)
+    return out
+
+
+def noise_image(height: int, width: int, channels: int = 1, seed: int = 0) -> np.ndarray:
+    """Uniform random noise; incompressible worst case."""
+    _check_dims(height, width)
+    rng = np.random.default_rng(seed)
+    shape = (height, width) if channels == 1 else (height, width, channels)
+    return rng.integers(0, 256, size=shape, dtype=np.uint8)
+
+
+def watch_face_image(
+    height: int = 512,
+    width: int = 512,
+    channels: int = 3,
+    seed: int = 2008,
+) -> np.ndarray:
+    """Synthetic watch-dial photograph (stand-in for ``waltham_dial.bmp``)."""
+    _check_dims(height, width)
+    if channels not in (1, 3):
+        raise ValueError(f"channels must be 1 or 3, got {channels}")
+    rng = np.random.default_rng(seed)
+
+    yy, xx = np.mgrid[0:height, 0:width].astype(np.float64)
+    cy, cx = (height - 1) / 2.0, (width - 1) / 2.0
+    r = np.hypot((yy - cy) / (height / 2.0), (xx - cx) / (width / 2.0))
+    theta = np.arctan2(yy - cy, xx - cx)
+
+    # Soft studio-lighting gradient.
+    lum = 170.0 - 60.0 * ((yy / height) ** 1.2) + 25.0 * np.cos(np.pi * xx / width)
+
+    # Dial plate: bright disc with a brushed-metal radial texture.
+    dial = r < 0.82
+    lum = np.where(dial, 205.0 + 12.0 * np.sin(24.0 * theta) * r, lum)
+
+    # Bezel ring.
+    ring = (r > 0.82) & (r < 0.92)
+    lum = np.where(ring, 60.0 + 40.0 * np.cos(6.0 * theta), lum)
+
+    # Minute ticks: 60 dark radial marks near the dial edge.
+    tick_phase = np.abs(((theta * 60.0 / (2 * np.pi)) % 1.0) - 0.5)
+    ticks = dial & (r > 0.68) & (r < 0.78) & (tick_phase > 0.44)
+    lum = np.where(ticks, 35.0, lum)
+
+    # Hour numerals: 12 dark blobs.
+    for k in range(12):
+        ang = 2 * np.pi * k / 12.0
+        ny, nx = cy + 0.58 * (height / 2.0) * np.sin(ang), cx + 0.58 * (width / 2.0) * np.cos(ang)
+        blob = ((yy - ny) ** 2 + (xx - nx) ** 2) < (0.02 * height) ** 2
+        lum = np.where(blob, 25.0, lum)
+
+    # Watch hands: two dark tapered bars.
+    for ang, length, half_w in ((0.7, 0.62, 0.012), (2.4, 0.45, 0.02)):
+        ux, uy = np.cos(ang), np.sin(ang)
+        proj = ((xx - cx) * ux + (yy - cy) * uy) / (width / 2.0)
+        perp = np.abs(((xx - cx) * -uy + (yy - cy) * ux)) / (width / 2.0)
+        hand = (proj > -0.06) & (proj < length) & (perp < half_w * (1.2 - proj))
+        lum = np.where(hand & dial, 20.0, lum)
+
+    # Fine film-grain noise everywhere, heavier on the dial texture.
+    lum = lum + rng.normal(0.0, 1.2, size=lum.shape) + np.where(
+        dial, rng.normal(0.0, 0.8, size=lum.shape), 0.0
+    )
+    lum = np.clip(lum, 0.0, 255.0)
+
+    if channels == 1:
+        return lum.astype(np.uint8)
+
+    # Warm metal tint: slightly different channel gains plus chroma noise.
+    out = np.empty((height, width, 3), dtype=np.uint8)
+    gains = (1.02, 0.99, 0.92)
+    for c, g in enumerate(gains):
+        chan = lum * g + rng.normal(0.0, 0.5, size=lum.shape)
+        out[:, :, c] = np.clip(chan, 0.0, 255.0).astype(np.uint8)
+    return out
+
+
+def _check_dims(height: int, width: int) -> None:
+    if height <= 0 or width <= 0:
+        raise ValueError(f"image dimensions must be positive, got {height}x{width}")

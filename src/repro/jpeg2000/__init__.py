@@ -1,0 +1,8 @@
+"""A functional JPEG2000 Part-1 encoder/decoder (the Jasper substitute).
+
+This subpackage implements the complete still-image coding path the paper
+optimizes: level shift, reversible/irreversible multi-component transform,
+lifting-based 5/3 and 9/7 DWT, deadzone scalar quantization, EBCOT Tier-1
+bit-plane coding with the MQ arithmetic coder, PCRD-opt rate control, tag
+trees and Tier-2 packet headers, and Part-1 codestream markers.
+"""

@@ -1,0 +1,216 @@
+"""JPEG2000 Part-1 codestream markers (T.800 Annex A).
+
+Writes and parses the marker segments a single-tile Part-1 codestream
+needs: SOC, SIZ, COD, QCD, SOT, SOD, EOC.  The parsed representation is a
+:class:`CodestreamInfo` from which the decoder reconstructs every coding
+parameter.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+MARKER_SOC = 0xFF4F
+MARKER_SIZ = 0xFF51
+MARKER_COD = 0xFF52
+MARKER_QCD = 0xFF5C
+MARKER_SOT = 0xFF90
+MARKER_SOD = 0xFF93
+MARKER_EOC = 0xFFD9
+
+_QUANT_NONE = 0      # Sqcd style: reversible, exponents only
+_QUANT_EXPOUNDED = 2  # Sqcd style: scalar expounded, exponent+mantissa
+
+
+@dataclass
+class SubbandQuantField:
+    """(exponent, mantissa) signalled for one subband, in QCD order."""
+
+    exponent: int
+    mantissa: int
+
+
+@dataclass
+class CodestreamInfo:
+    """Everything the main header conveys."""
+
+    width: int
+    height: int
+    num_components: int
+    bit_depth: int
+    signed: bool
+    levels: int
+    codeblock_size: int
+    reversible: bool
+    use_mct: bool
+    num_layers: int
+    guard_bits: int
+    quant_fields: list[SubbandQuantField] = field(default_factory=list)
+    tile_data: bytes = b""
+
+
+def _marker(code: int, payload: bytes = b"") -> bytes:
+    if payload:
+        return struct.pack(">HH", code, len(payload) + 2) + payload
+    return struct.pack(">H", code)
+
+
+def write_main_header(info: CodestreamInfo) -> bytes:
+    """Serialize SOC + SIZ + COD + QCD."""
+    out = bytearray(_marker(MARKER_SOC))
+
+    ssiz = (info.bit_depth - 1) | (0x80 if info.signed else 0)
+    siz = struct.pack(
+        ">HIIIIIIIIH",
+        0,  # Rsiz: baseline Part-1
+        info.width, info.height, 0, 0,
+        info.width, info.height, 0, 0,
+        info.num_components,
+    )
+    siz += b"".join(struct.pack(">BBB", ssiz, 1, 1) for _ in range(info.num_components))
+    out += _marker(MARKER_SIZ, siz)
+
+    cb_exp = info.codeblock_size.bit_length() - 1
+    cod = struct.pack(
+        ">BBHBBBBBB",
+        0,                      # Scod: default precincts, no SOP/EPH
+        0,                      # progression: LRCP
+        info.num_layers,
+        1 if info.use_mct else 0,
+        info.levels,
+        cb_exp - 2,             # code block width exponent - 2
+        cb_exp - 2,             # code block height exponent - 2
+        0,                      # code block style: all defaults
+        1 if info.reversible else 0,
+    )
+    out += _marker(MARKER_COD, cod)
+
+    style = _QUANT_NONE if info.reversible else _QUANT_EXPOUNDED
+    sqcd = style | (info.guard_bits << 5)
+    qcd = bytes([sqcd])
+    for f in info.quant_fields:
+        if info.reversible:
+            qcd += bytes([f.exponent << 3])
+        else:
+            qcd += struct.pack(">H", (f.exponent << 11) | f.mantissa)
+    out += _marker(MARKER_QCD, qcd)
+    return bytes(out)
+
+
+def write_codestream(info: CodestreamInfo) -> bytes:
+    """Full codestream: main header, one tile part, EOC."""
+    header = write_main_header(info)
+    psot = 12 + 2 + len(info.tile_data)  # SOT segment + SOD + data
+    sot = struct.pack(">HIBB", 0, psot, 0, 1)
+    return (
+        header
+        + _marker(MARKER_SOT, sot)
+        + _marker(MARKER_SOD)
+        + info.tile_data
+        + _marker(MARKER_EOC)
+    )
+
+
+class CodestreamError(ValueError):
+    """Raised on malformed codestreams."""
+
+
+def parse_codestream(data: bytes) -> CodestreamInfo:
+    """Parse a codestream produced by :func:`write_codestream`."""
+    pos = 0
+
+    def read_marker() -> int:
+        nonlocal pos
+        if pos + 2 > len(data):
+            raise CodestreamError("truncated codestream: no marker")
+        (code,) = struct.unpack_from(">H", data, pos)
+        pos += 2
+        return code
+
+    def read_segment() -> bytes:
+        nonlocal pos
+        if pos + 2 > len(data):
+            raise CodestreamError("truncated marker segment")
+        (length,) = struct.unpack_from(">H", data, pos)
+        if pos + length > len(data):
+            raise CodestreamError("marker segment overruns codestream")
+        payload = data[pos + 2 : pos + length]
+        pos += length
+        return payload
+
+    if read_marker() != MARKER_SOC:
+        raise CodestreamError("missing SOC marker")
+
+    info: CodestreamInfo | None = None
+    cod_seen = qcd_seen = False
+    reversible = True
+    quant_fields: list[SubbandQuantField] = []
+    guard_bits = 0
+
+    while True:
+        code = read_marker()
+        if code == MARKER_SIZ:
+            seg = read_segment()
+            (_rsiz, w, h, _xo, _yo, _tw, _th, _txo, _tyo, ncomp) = struct.unpack_from(
+                ">HIIIIIIIIH", seg, 0
+            )
+            ssiz, _xr, _yr = struct.unpack_from(">BBB", seg, 36)
+            info = CodestreamInfo(
+                width=w, height=h, num_components=ncomp,
+                bit_depth=(ssiz & 0x7F) + 1, signed=bool(ssiz & 0x80),
+                levels=0, codeblock_size=64, reversible=True,
+                use_mct=False, num_layers=1, guard_bits=0,
+            )
+        elif code == MARKER_COD:
+            seg = read_segment()
+            (_scod, _prog, layers, mct, levels, cbw, _cbh, _style, transform) = (
+                struct.unpack_from(">BBHBBBBBB", seg, 0)
+            )
+            if info is None:
+                raise CodestreamError("COD before SIZ")
+            info.num_layers = layers
+            info.use_mct = bool(mct)
+            info.levels = levels
+            info.codeblock_size = 1 << (cbw + 2)
+            reversible = transform == 1
+            info.reversible = reversible
+            cod_seen = True
+        elif code == MARKER_QCD:
+            seg = read_segment()
+            sqcd = seg[0]
+            guard_bits = sqcd >> 5
+            style = sqcd & 0x1F
+            body = seg[1:]
+            quant_fields = []
+            if style == _QUANT_NONE:
+                quant_fields = [SubbandQuantField(b >> 3, 0) for b in body]
+            elif style == _QUANT_EXPOUNDED:
+                for i in range(0, len(body), 2):
+                    (v,) = struct.unpack_from(">H", body, i)
+                    quant_fields.append(SubbandQuantField(v >> 11, v & 0x7FF))
+            else:
+                raise CodestreamError(f"unsupported quantization style {style}")
+            qcd_seen = True
+        elif code == MARKER_SOT:
+            seg = read_segment()
+            (_tile, psot, _tpsot, _tnsot) = struct.unpack_from(">HIBB", seg, 0)
+            if read_marker() != MARKER_SOD:
+                raise CodestreamError("expected SOD after SOT")
+            data_len = psot - 12 - 2
+            if pos + data_len > len(data):
+                raise CodestreamError("tile data overruns codestream")
+            if info is None or not (cod_seen and qcd_seen):
+                raise CodestreamError("tile before complete main header")
+            info.tile_data = data[pos : pos + data_len]
+            pos += data_len
+        elif code == MARKER_EOC:
+            break
+        else:
+            raise CodestreamError(f"unexpected marker 0x{code:04X}")
+
+    if info is None or not cod_seen or not qcd_seen:
+        raise CodestreamError("incomplete main header")
+    info.guard_bits = guard_bits
+    info.quant_fields = quant_fields
+    return info

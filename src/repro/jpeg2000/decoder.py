@@ -1,0 +1,146 @@
+"""High-level JPEG2000 decoder: Part-1 codestream in, image out.
+
+Mirrors :mod:`repro.jpeg2000.encoder` exactly: marker parsing, packet
+parsing, Tier-1 decoding, dequantization, inverse DWT, inverse MCT, level
+unshift.  Lossless codestreams reconstruct bit exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.jpeg2000 import mct
+from repro.jpeg2000.codeblocks import partition_subband
+from repro.jpeg2000.codestream import CodestreamInfo, parse_codestream
+from repro.jpeg2000.dwt import Decomposition, inverse_dwt2d
+from repro.jpeg2000.quantize import dequantize, exponent_mantissa_to_step, nominal_range_bits
+from repro.jpeg2000.tier1 import decode_codeblock
+from repro.jpeg2000.tier2 import parse_packet
+
+
+@dataclass
+class _SubbandLayout:
+    band: str
+    dlevel: int
+    height: int
+    width: int
+    exponent: int
+    mantissa: int
+
+
+def _subband_layouts(info: CodestreamInfo) -> list[_SubbandLayout]:
+    """Reconstruct subband geometry in codestream (QCD/packet) order."""
+    shapes = []
+    h, w = info.height, info.width
+    lvl = 0
+    while lvl < info.levels:
+        lo_h, hi_h = (h + 1) // 2, h // 2
+        lo_w, hi_w = (w + 1) // 2, w // 2
+        shapes.append(
+            {
+                "HL": (lo_h, hi_w),
+                "LH": (hi_h, lo_w),
+                "HH": (hi_h, hi_w),
+            }
+        )
+        h, w = lo_h, lo_w
+        lvl += 1
+    layouts = [_SubbandLayout("LL", info.levels, h, w, 0, 0)]
+    for i in range(info.levels - 1, -1, -1):
+        dl = i + 1
+        for band in ("HL", "LH", "HH"):
+            bh, bw = shapes[i][band]
+            layouts.append(_SubbandLayout(band, dl, bh, bw, 0, 0))
+    if len(info.quant_fields) != len(layouts):
+        raise ValueError(
+            f"QCD signals {len(info.quant_fields)} subbands, geometry implies "
+            f"{len(layouts)}"
+        )
+    for lay, qf in zip(layouts, info.quant_fields):
+        lay.exponent = qf.exponent
+        lay.mantissa = qf.mantissa
+    return layouts
+
+
+def decode(codestream: bytes) -> np.ndarray:
+    """Decode a codestream produced by :func:`repro.jpeg2000.encoder.encode`."""
+    info = parse_codestream(codestream)
+    layouts = _subband_layouts(info)
+    chroma_expanded = info.reversible and info.use_mct
+
+    # Per component, per subband: decoded coefficient planes.
+    coeff: list[dict[tuple[str, int], np.ndarray]] = [
+        {} for _ in range(info.num_components)
+    ]
+    dtype = np.int32 if info.reversible else np.float64
+    for ci in range(info.num_components):
+        for lay in layouts:
+            coeff[ci][(lay.band, lay.dlevel)] = np.zeros(
+                (lay.height, lay.width), dtype=dtype
+            )
+
+    # Packets: resolution-major, component-minor; bands in QCD order.
+    pos = 0
+    data = info.tile_data
+    for res in range(info.levels + 1):
+        if res == 0:
+            res_layouts = [layouts[0]]
+        else:
+            dl = info.levels - res + 1
+            res_layouts = [l for l in layouts if l.dlevel == dl and l.band != "LL"]
+        for ci in range(info.num_components):
+            grids = []
+            band_specs = []
+            for lay in res_layouts:
+                specs, grows, gcols = partition_subband(
+                    lay.height, lay.width, info.codeblock_size
+                )
+                grids.append((grows, gcols, len(specs)))
+                band_specs.append(specs)
+            parsed, pos = parse_packet(data, pos, grids)
+            for lay, specs, blocks in zip(res_layouts, band_specs, parsed):
+                rb = nominal_range_bits(info.bit_depth, lay.band, chroma_expanded)
+                num_bitplanes = lay.exponent + info.guard_bits - 1
+                step = (
+                    1.0
+                    if info.reversible
+                    else exponent_mantissa_to_step(lay.exponent, lay.mantissa, rb)
+                )
+                target = coeff[ci][(lay.band, lay.dlevel)]
+                for spec, blk in zip(specs, blocks):
+                    if not blk.included:
+                        continue
+                    msbs = num_bitplanes - blk.zero_bitplanes
+                    vals = decode_codeblock(
+                        blk.data, spec.height, spec.width, lay.band,
+                        msbs, blk.num_passes,
+                    )
+                    if info.reversible:
+                        out = vals
+                    else:
+                        out = dequantize(vals, step)
+                    target[spec.row0 : spec.row0 + spec.height,
+                           spec.col0 : spec.col0 + spec.width] = out
+
+    # Inverse DWT per component.
+    planes = []
+    for ci in range(info.num_components):
+        details = []
+        for dl in range(1, info.levels + 1):
+            details.append(
+                (coeff[ci][("HL", dl)], coeff[ci][("LH", dl)], coeff[ci][("HH", dl)])
+            )
+        decomp = Decomposition(
+            shape=(info.height, info.width), levels=info.levels,
+            reversible=info.reversible,
+            ll=coeff[ci][("LL", info.levels)], details=details,
+        )
+        planes.append(inverse_dwt2d(decomp))
+
+    comps = mct.inverse_mct(planes, info.bit_depth, info.reversible)
+    out_dtype = np.uint8 if info.bit_depth <= 8 else np.uint16
+    if len(comps) == 1:
+        return comps[0].astype(out_dtype)
+    return np.stack([c.astype(out_dtype) for c in comps], axis=-1)

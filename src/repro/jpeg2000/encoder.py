@@ -1,0 +1,347 @@
+"""High-level JPEG2000 encoder: image in, Part-1 codestream out.
+
+Mirrors Jasper's encode path stage for stage (the paper's Figure 2): read
+component data, level shift + inter-component transform (merged), DWT,
+quantization, Tier-1, rate control (lossy), Tier-2 + stream output.  The
+:class:`EncodeResult` additionally carries :class:`WorkloadStats`, the
+per-stage element counts and per-code-block coding statistics that drive
+the Cell/B.E. performance model in :mod:`repro.cell`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.jpeg2000 import mct
+from repro.jpeg2000.codeblocks import CodeBlockSpec, partition_subband
+from repro.jpeg2000.codestream import (
+    CodestreamInfo,
+    SubbandQuantField,
+    write_codestream,
+    write_main_header,
+)
+from repro.jpeg2000.dwt import Decomposition, forward_dwt2d, synthesis_gain_sq
+from repro.jpeg2000.params import EncoderParams
+from repro.jpeg2000.quantize import SubbandQuant, derive_quant, quantize
+from repro.jpeg2000.rate import BlockRateInfo, choose_truncations
+from repro.jpeg2000.tier1 import CodeBlockResult, encode_codeblock
+from repro.jpeg2000.tier2 import BlockContribution, PacketBand, encode_packet
+
+
+@dataclass
+class BlockStats:
+    """Tier-1 statistics of one code block (Cell work-queue payload)."""
+
+    comp: int
+    band: str
+    dlevel: int
+    height: int
+    width: int
+    msbs: int
+    num_passes: int
+    total_symbols: int
+    coded_bytes: int
+    pass_symbols: list[int] = field(default_factory=list)
+
+
+@dataclass
+class SubbandStats:
+    """Geometry of one subband (drives DWT/quantize stage modelling)."""
+
+    comp: int
+    band: str
+    dlevel: int
+    height: int
+    width: int
+
+
+@dataclass
+class WorkloadStats:
+    """Everything the performance layer needs to know about an encode."""
+
+    height: int
+    width: int
+    num_components: int
+    bit_depth: int
+    lossless: bool
+    levels: int
+    codeblock_size: int
+    subbands: list[SubbandStats] = field(default_factory=list)
+    blocks: list[BlockStats] = field(default_factory=list)
+    codestream_bytes: int = 0
+    raw_bytes: int = 0
+
+    @property
+    def num_pixels(self) -> int:
+        return self.height * self.width
+
+
+def scale_workload(stats: WorkloadStats, factor: int) -> WorkloadStats:
+    """Scale a measured workload to a ``factor``-times larger image.
+
+    Python cannot functionally encode the paper's 28.3 MB photograph in
+    reasonable time, so benchmarks measure a smaller crop and tile its
+    *statistics*: subband dimensions scale by ``factor`` per axis and the
+    per-code-block cost distribution is replicated ``factor**2`` times,
+    preserving the data-dependent load imbalance that drives the work
+    queue.  (A 256x256 watch crop scaled by 12 is exactly the paper's
+    3072x3072x3 = 28.3 MB.)
+    """
+    if factor < 1:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    if factor == 1:
+        return stats
+    sq = factor * factor
+    return WorkloadStats(
+        height=stats.height * factor,
+        width=stats.width * factor,
+        num_components=stats.num_components,
+        bit_depth=stats.bit_depth,
+        lossless=stats.lossless,
+        levels=stats.levels,
+        codeblock_size=stats.codeblock_size,
+        subbands=[
+            SubbandStats(s.comp, s.band, s.dlevel,
+                         s.height * factor, s.width * factor)
+            for s in stats.subbands
+        ],
+        blocks=[b for b in stats.blocks for _ in range(sq)],
+        codestream_bytes=stats.codestream_bytes * sq,
+        raw_bytes=stats.raw_bytes * sq,
+    )
+
+
+@dataclass
+class EncodeResult:
+    """Codestream plus everything observed while producing it."""
+
+    codestream: bytes
+    params: EncoderParams
+    stats: WorkloadStats
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.stats.raw_bytes / max(1, len(self.codestream))
+
+
+@dataclass
+class _PlannedBlock:
+    comp: int
+    band: str
+    dlevel: int
+    spec: CodeBlockSpec
+    quant: SubbandQuant
+    result: CodeBlockResult
+    included_passes: int = 0
+
+    def included_length(self) -> int:
+        if self.included_passes == 0:
+            return 0
+        return self.result.pass_lengths[self.included_passes - 1]
+
+
+@dataclass
+class _PlannedSubband:
+    comp: int
+    band: str
+    dlevel: int
+    height: int
+    width: int
+    quant: SubbandQuant
+    grid_rows: int
+    grid_cols: int
+    blocks: list[_PlannedBlock] = field(default_factory=list)
+
+
+def _normalize_image(image: np.ndarray) -> tuple[list[np.ndarray], int]:
+    """Split an input array into components and infer the bit depth."""
+    img = np.asarray(image)
+    if img.dtype == np.uint8:
+        depth = 8
+    elif img.dtype == np.uint16:
+        depth = 16
+    else:
+        raise ValueError(f"image dtype must be uint8 or uint16, got {img.dtype}")
+    if img.ndim == 2:
+        comps = [img]
+    elif img.ndim == 3 and img.shape[2] in (1, 3):
+        comps = [img[:, :, c] for c in range(img.shape[2])]
+    else:
+        raise ValueError(f"unsupported image shape {img.shape}")
+    if img.shape[0] < 1 or img.shape[1] < 1:
+        raise ValueError(f"image must be non-empty, got shape {img.shape}")
+    return comps, depth
+
+
+def encode(image: np.ndarray, params: EncoderParams | None = None) -> EncodeResult:
+    """Encode ``image`` (uint8/uint16, gray or RGB) to a JPEG2000 codestream."""
+    if params is None:
+        params = EncoderParams.lossless_default()
+    comps, depth = _normalize_image(image)
+    height, width = comps[0].shape
+    ncomp = len(comps)
+    use_mct = ncomp == 3
+    chroma_expanded = params.lossless and use_mct
+
+    stats = WorkloadStats(
+        height=height, width=width, num_components=ncomp, bit_depth=depth,
+        lossless=params.lossless, levels=params.levels,
+        codeblock_size=params.codeblock_size,
+        raw_bytes=int(np.asarray(image).nbytes),
+    )
+
+    planes = mct.forward_mct(comps, depth, params.lossless)
+    decomps = [forward_dwt2d(p, params.levels, params.lossless) for p in planes]
+    actual_levels = decomps[0].levels
+
+    # Quantize and Tier-1 encode every code block of every subband.
+    planned: list[_PlannedSubband] = []
+    for ci, decomp in enumerate(decomps):
+        for sb in decomp.subbands():
+            quant = derive_quant(
+                sb.band, max(sb.dlevel, 1), depth, params.lossless,
+                params.guard_bits, params.base_quant_step,
+                chroma_expanded=chroma_expanded,
+            )
+            if params.lossless:
+                q = sb.data.astype(np.int32)
+            else:
+                q = quantize(sb.data, quant.step)
+            specs, grows, gcols = partition_subband(
+                sb.shape[0], sb.shape[1], params.codeblock_size
+            )
+            psb = _PlannedSubband(
+                comp=ci, band=sb.band, dlevel=sb.dlevel,
+                height=sb.shape[0], width=sb.shape[1], quant=quant,
+                grid_rows=grows, grid_cols=gcols,
+            )
+            stats.subbands.append(
+                SubbandStats(ci, sb.band, sb.dlevel, sb.shape[0], sb.shape[1])
+            )
+            for spec in specs:
+                blockdata = q[spec.row0 : spec.row0 + spec.height,
+                              spec.col0 : spec.col0 + spec.width]
+                res = encode_codeblock(blockdata, sb.band)
+                if res.msbs > quant.num_bitplanes:
+                    raise RuntimeError(
+                        f"code block needs {res.msbs} bit planes but subband "
+                        f"{sb.band}{sb.dlevel} signals only {quant.num_bitplanes}; "
+                        f"increase guard_bits"
+                    )
+                pb = _PlannedBlock(
+                    comp=ci, band=sb.band, dlevel=sb.dlevel, spec=spec,
+                    quant=quant, result=res, included_passes=res.num_passes,
+                )
+                psb.blocks.append(pb)
+                stats.blocks.append(
+                    BlockStats(
+                        comp=ci, band=sb.band, dlevel=sb.dlevel,
+                        height=spec.height, width=spec.width,
+                        msbs=res.msbs, num_passes=res.num_passes,
+                        total_symbols=res.total_symbols,
+                        coded_bytes=len(res.data),
+                        pass_symbols=list(res.pass_symbols),
+                    )
+                )
+            planned.append(psb)
+
+    info = CodestreamInfo(
+        width=width, height=height, num_components=ncomp, bit_depth=depth,
+        signed=False, levels=actual_levels, codeblock_size=params.codeblock_size,
+        reversible=params.lossless, use_mct=use_mct, num_layers=1,
+        guard_bits=params.guard_bits,
+        quant_fields=_qcd_fields(planned, ncomp),
+    )
+
+    if params.rate is not None:
+        _apply_rate_control(planned, params, stats, info)
+
+    info.tile_data = _assemble_packets(planned, ncomp, actual_levels)
+    codestream = write_codestream(info)
+    stats.codestream_bytes = len(codestream)
+    return EncodeResult(codestream=codestream, params=params, stats=stats)
+
+
+def _qcd_fields(planned: list[_PlannedSubband], ncomp: int) -> list[SubbandQuantField]:
+    """QCD subband fields, taken from component 0 (shared across comps)."""
+    fields = []
+    for psb in planned:
+        if psb.comp != 0:
+            continue
+        fields.append(SubbandQuantField(psb.quant.exponent, psb.quant.mantissa))
+    return fields
+
+
+def _apply_rate_control(
+    planned: list[_PlannedSubband],
+    params: EncoderParams,
+    stats: WorkloadStats,
+    info: CodestreamInfo,
+) -> None:
+    """PCRD-opt truncation to hit ``rate * raw_bytes`` total codestream size."""
+    target_total = params.rate * stats.raw_bytes
+    header_len = len(write_main_header(info)) + 14 + 2  # + SOT + SOD + EOC
+    all_blocks = [b for psb in planned for b in psb.blocks]
+    rate_infos = []
+    for b in all_blocks:
+        weight = b.quant.step**2 * synthesis_gain_sq(
+            b.band, max(b.dlevel, 1), reversible=False
+        )
+        rate_infos.append(
+            BlockRateInfo(
+                lengths=[float(x) for x in b.result.pass_lengths],
+                dist_reductions=[d * weight for d in b.result.pass_dist],
+            )
+        )
+    budget = max(0.0, target_total - header_len)
+    for _ in range(6):
+        trunc = choose_truncations(rate_infos, budget)
+        for b, t in zip(all_blocks, trunc):
+            b.included_passes = t
+        body = _assemble_packets(planned, stats.num_components, info.levels)
+        total = header_len + len(body)
+        if total <= target_total or budget <= 0:
+            break
+        budget = max(0.0, budget - (total - target_total))
+
+
+def _assemble_packets(
+    planned: list[_PlannedSubband], ncomp: int, levels: int
+) -> bytes:
+    """Concatenate packets in resolution-major, component-minor order."""
+    by_key: dict[tuple[int, str, int], _PlannedSubband] = {
+        (p.comp, p.band, p.dlevel): p for p in planned
+    }
+    out = bytearray()
+    for res in range(levels + 1):
+        for ci in range(ncomp):
+            if res == 0:
+                keys = [(ci, "LL", levels)]
+            else:
+                dl = levels - res + 1
+                keys = [(ci, "HL", dl), (ci, "LH", dl), (ci, "HH", dl)]
+            bands = []
+            for key in keys:
+                psb = by_key.get(key)
+                if psb is None:
+                    continue
+                contribs = []
+                for b in psb.blocks:
+                    inc = b.included_passes > 0
+                    contribs.append(
+                        BlockContribution(
+                            grid_row=b.spec.grid_row,
+                            grid_col=b.spec.grid_col,
+                            included=inc,
+                            zero_bitplanes=(
+                                b.quant.num_bitplanes - b.result.msbs if inc else 0
+                            ),
+                            num_passes=b.included_passes,
+                            data=b.result.data[: b.included_length()],
+                        )
+                    )
+                bands.append(PacketBand(psb.grid_rows, psb.grid_cols, contribs))
+            out += encode_packet(bands)
+    return bytes(out)

@@ -1,0 +1,107 @@
+"""Jasper-style fixed-point real arithmetic and a fixed-point 9/7 DWT.
+
+Jasper represents the real numbers of the irreversible path in a Q-format
+fixed-point type (``jas_fix_t``) "to enhance the performance and the
+portability" (Adams & Kossentini; paper Section 4).  The paper's point is
+that this trade is *wrong on the SPE*: the SPE has no 32-bit integer
+multiply (it is emulated with two 16-bit multiplies ``mpyh``/``mpyu`` plus
+adds, Table 1) while single-precision ``fm`` costs 6 cycles — so the authors
+replace fixed point with float.
+
+This module provides the fixed-point representation so that (a) the
+functional consequences (rounding error) and (b) the performance
+consequences (instruction mix, fed to :mod:`repro.cell`) can both be
+reproduced.  Values are Q(31-FRACBITS).FRACBITS in int32, matching Jasper's
+default of 13 fractional bits for the DWT.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Fractional bits of the Q format (Jasper's jpc_fix_t uses 13 for the DWT).
+FRAC_BITS = 13
+ONE = 1 << FRAC_BITS
+
+_INT32_MIN = -(1 << 31)
+_INT32_MAX = (1 << 31) - 1
+
+
+def to_fixed(x: np.ndarray | float) -> np.ndarray:
+    """Convert float(s) to Q13 fixed point with round-to-nearest."""
+    scaled = np.rint(np.asarray(x, dtype=np.float64) * ONE)
+    if np.any(scaled < _INT32_MIN) or np.any(scaled > _INT32_MAX):
+        raise OverflowError("value out of Q13 int32 range")
+    return scaled.astype(np.int32)
+
+
+def to_float(x: np.ndarray) -> np.ndarray:
+    """Convert Q13 fixed point back to float64."""
+    return np.asarray(x, dtype=np.float64) / ONE
+
+
+def fix_mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Q13 multiply: ``(a * b) >> FRAC_BITS`` with 64-bit intermediate.
+
+    On the SPE this is the expensive operation: the 32x32 multiply must be
+    emulated from 16-bit ``mpyh``/``mpyu`` halves (Table 1), which is what
+    :mod:`repro.kernels` charges for it.
+    """
+    prod = a.astype(np.int64) * b.astype(np.int64)
+    return (prod >> FRAC_BITS).astype(np.int32)
+
+
+def fix_add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Q13 add (plain integer add)."""
+    return (a.astype(np.int64) + b.astype(np.int64)).astype(np.int32)
+
+
+# Fixed-point lifting constants (Q13), as Jasper tabulates them.
+FIX_ALPHA = int(np.rint(-1.586134342059924 * ONE))
+FIX_BETA = int(np.rint(-0.052980118572961 * ONE))
+FIX_GAMMA = int(np.rint(0.882911075530934 * ONE))
+FIX_DELTA = int(np.rint(0.443506852043971 * ONE))
+FIX_K = int(np.rint(1.230174104914001 * ONE))
+FIX_INV_K = int(np.rint((1.0 / 1.230174104914001) * ONE))
+
+
+def forward_97_fixed_1d(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """9/7 analysis computed entirely in Q13 fixed point.
+
+    ``x`` holds *integer sample values* (not pre-scaled); the output is in
+    Q13 (divide by :data:`ONE` for the real value).  Mirrors
+    :func:`repro.jpeg2000.dwt.forward_97_1d` step for step.
+    """
+    from repro.jpeg2000.dwt import _extended  # local import avoids a cycle
+
+    n = x.shape[0]
+    q = (np.asarray(x, dtype=np.int64) << FRAC_BITS).astype(np.int32)
+    if n == 1:
+        return q.copy(), q[:0].copy()
+    E, pad = _extended(q, n)
+    E = E.astype(np.int32)
+    for coeff, odd_step in ((FIX_ALPHA, True), (FIX_BETA, False),
+                            (FIX_GAMMA, True), (FIX_DELTA, False)):
+        c = np.int32(coeff)
+        if odd_step:
+            E[1::2] = fix_add(E[1::2], fix_mul(c, fix_add(E[0:-1:2], E[2::2])))
+        else:
+            E[2:-1:2] = fix_add(E[2:-1:2], fix_mul(c, fix_add(E[1:-2:2], E[3::2])))
+    low = fix_mul(np.int32(FIX_INV_K), E[pad : pad + n : 2]).copy()
+    high = fix_mul(np.int32(FIX_K), E[pad + 1 : pad + n : 2]).copy()
+    return low, high
+
+
+def max_fixed_error_vs_float(x: np.ndarray) -> float:
+    """Worst-case |fixed - float| 9/7 coefficient error for signal ``x``.
+
+    Used by tests and the ablation bench to quantify the numerical price of
+    Jasper's fixed-point representation.
+    """
+    from repro.jpeg2000.dwt import forward_97_1d
+
+    lo_f, hi_f = forward_97_1d(np.asarray(x, dtype=np.float64))
+    lo_q, hi_q = forward_97_fixed_1d(x)
+    err_lo = np.abs(to_float(lo_q) - lo_f).max() if lo_f.size else 0.0
+    err_hi = np.abs(to_float(hi_q) - hi_f).max() if hi_f.size else 0.0
+    return float(max(err_lo, err_hi))

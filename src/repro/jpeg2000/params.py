@@ -1,0 +1,69 @@
+"""Encoder parameter objects (the analogue of Jasper's ``-O`` options)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class EncoderParams:
+    """Options controlling a JPEG2000 encode.
+
+    Attributes
+    ----------
+    lossless:
+        True selects reversible coding (5/3 DWT + RCT), the paper's
+        "default option".  False selects irreversible coding (9/7 DWT + ICT
+        + deadzone quantization), the paper's ``-O mode=real``.
+    rate:
+        Target compressed size as a fraction of the raw image size
+        (``-O rate=0.1`` in the paper).  ``None`` disables rate control;
+        it must be ``None`` for lossless encoding.
+    levels:
+        Number of DWT decomposition levels (Jasper default: 5).
+    codeblock_size:
+        Code block height/width.  The paper uses the standard maximum of
+        64x64; Muta et al. use 32x32 (Section 3.2 discussion).
+    guard_bits:
+        Number of guard bits signalled in the QCD marker.
+    base_quant_step:
+        Base quantization step for the irreversible path, before per-subband
+        scaling by synthesis gain.
+    """
+
+    lossless: bool = True
+    rate: float | None = None
+    levels: int = 5
+    codeblock_size: int = 64
+    guard_bits: int = 2
+    base_quant_step: float = 1.0 / 128.0
+
+    def __post_init__(self) -> None:
+        if self.levels < 0 or self.levels > 32:
+            raise ValueError(f"levels must be in [0, 32], got {self.levels}")
+        cb = self.codeblock_size
+        if cb < 4 or cb > 64 or (cb & (cb - 1)) != 0:
+            raise ValueError(
+                f"codeblock_size must be a power of two in [4, 64], got {cb}"
+            )
+        if self.rate is not None:
+            if self.lossless:
+                raise ValueError("rate control is only supported in lossy mode")
+            if not (0.0 < self.rate <= 1.0):
+                raise ValueError(f"rate must be in (0, 1], got {self.rate}")
+        if not (0 <= self.guard_bits <= 7):
+            raise ValueError(f"guard_bits must be in [0, 7], got {self.guard_bits}")
+        if self.base_quant_step <= 0 or self.base_quant_step >= 2.0:
+            raise ValueError(
+                f"base_quant_step must be in (0, 2), got {self.base_quant_step}"
+            )
+
+    @staticmethod
+    def lossless_default() -> "EncoderParams":
+        """The paper's lossless configuration (Jasper defaults)."""
+        return EncoderParams(lossless=True)
+
+    @staticmethod
+    def lossy_rate(rate: float = 0.1) -> "EncoderParams":
+        """The paper's lossy configuration: ``-O mode=real -O rate=0.1``."""
+        return EncoderParams(lossless=False, rate=rate)

@@ -1,0 +1,125 @@
+"""Deadzone scalar quantization and step-size signalling (T.800 Annex E).
+
+The reversible (lossless) path performs no quantization — coefficients are
+coded exactly — but still needs per-subband dynamic-range exponents for the
+QCD marker and for sizing the Tier-1 bit-plane count.  The irreversible
+path quantizes each subband with a deadzone scalar quantizer whose step is
+inversely proportional to the subband's synthesis L2 gain (uniform noise
+weighting), signalled as an (exponent, mantissa) pair.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.jpeg2000.dwt import GAIN_LOG2, synthesis_gain_sq
+
+#: Mantissa precision of the step signalling format (T.800 eq. E-3).
+_MANTISSA_BITS = 11
+
+
+@dataclass(frozen=True)
+class SubbandQuant:
+    """Quantization parameters of one subband."""
+
+    band: str
+    dlevel: int
+    step: float          # quantizer step (1.0 for reversible)
+    exponent: int        # epsilon_b, 5 bits
+    mantissa: int        # mu_b, 11 bits (0 for reversible)
+    nominal_bits: int    # R_b: nominal dynamic range in bits
+    num_bitplanes: int   # M_b: magnitude bit planes coded by Tier-1
+
+
+def nominal_range_bits(bit_depth: int, band: str, chroma_expanded: bool) -> int:
+    """R_b: sample bit depth + MCT expansion + 5/3 subband gain bits.
+
+    ``chroma_expanded`` marks RCT chroma components, whose dynamic range is
+    one bit wider than the input samples.
+    """
+    if band not in GAIN_LOG2:
+        raise ValueError(f"unknown band {band!r}")
+    return bit_depth + (1 if chroma_expanded else 0) + GAIN_LOG2[band]
+
+
+def step_to_exponent_mantissa(step: float, nominal_bits: int) -> tuple[int, int]:
+    """Encode ``step`` as (epsilon_b, mu_b) per T.800 eq. E-3.
+
+    ``step = 2**(nominal_bits - epsilon) * (1 + mantissa / 2**11)``.
+    """
+    if step <= 0:
+        raise ValueError(f"step must be positive, got {step}")
+    exponent = nominal_bits - math.floor(math.log2(step))
+    mantissa = int(round((step / 2.0 ** (nominal_bits - exponent) - 1.0) * (1 << _MANTISSA_BITS)))
+    if mantissa == 1 << _MANTISSA_BITS:  # rounded up to the next power of two
+        mantissa = 0
+        exponent -= 1
+    if not (0 <= exponent <= 31):
+        raise ValueError(
+            f"step {step} needs exponent {exponent} outside the 5-bit field"
+        )
+    return exponent, mantissa
+
+
+def exponent_mantissa_to_step(exponent: int, mantissa: int, nominal_bits: int) -> float:
+    """Decode (epsilon_b, mu_b) back to the real step size."""
+    if not (0 <= exponent <= 31):
+        raise ValueError(f"exponent out of range: {exponent}")
+    if not (0 <= mantissa < (1 << _MANTISSA_BITS)):
+        raise ValueError(f"mantissa out of range: {mantissa}")
+    return 2.0 ** (nominal_bits - exponent) * (1.0 + mantissa / (1 << _MANTISSA_BITS))
+
+
+def derive_quant(
+    band: str,
+    dlevel: int,
+    bit_depth: int,
+    lossless: bool,
+    guard_bits: int,
+    base_step: float,
+    chroma_expanded: bool = False,
+) -> SubbandQuant:
+    """Quantization parameters for one subband.
+
+    Lossy steps follow the uniform-visual-weighting rule ``base_step /
+    sqrt(G_b)`` where ``G_b`` is the squared synthesis L2 gain, so each
+    subband contributes equal reconstruction MSE per unit of quantizer
+    noise.
+    """
+    rb = nominal_range_bits(bit_depth, band, chroma_expanded)
+    if lossless:
+        exponent = rb
+        step = 1.0
+        mantissa = 0
+    else:
+        gain = math.sqrt(synthesis_gain_sq(band, dlevel, reversible=False))
+        step = base_step * 2.0**bit_depth / gain
+        exponent, mantissa = step_to_exponent_mantissa(step, rb)
+        step = exponent_mantissa_to_step(exponent, mantissa, rb)  # signalled value
+    num_bitplanes = exponent + guard_bits - 1
+    return SubbandQuant(
+        band=band, dlevel=dlevel, step=step, exponent=exponent,
+        mantissa=mantissa, nominal_bits=rb, num_bitplanes=num_bitplanes,
+    )
+
+
+def quantize(coeffs: np.ndarray, step: float) -> np.ndarray:
+    """Deadzone scalar quantization: ``sign(c) * floor(|c| / step)``."""
+    if step <= 0:
+        raise ValueError(f"step must be positive, got {step}")
+    c = np.asarray(coeffs, dtype=np.float64)
+    return (np.sign(c) * np.floor(np.abs(c) / step)).astype(np.int32)
+
+
+def dequantize(indices: np.ndarray, step: float, reconstruction_bias: float = 0.5) -> np.ndarray:
+    """Midpoint reconstruction: ``sign(q) * (|q| + bias) * step`` for q != 0."""
+    if step <= 0:
+        raise ValueError(f"step must be positive, got {step}")
+    if not (0.0 <= reconstruction_bias < 1.0):
+        raise ValueError(f"bias must be in [0, 1), got {reconstruction_bias}")
+    q = np.asarray(indices, dtype=np.float64)
+    mag = np.abs(q)
+    return np.where(q != 0, np.sign(q) * (mag + reconstruction_bias) * step, 0.0)

@@ -1,0 +1,128 @@
+"""Tag trees (T.800 B.10.2) — the Tier-2 quad-tree integer coder.
+
+Packet headers use tag trees for two purposes: first-inclusion layers and
+missing-bit-plane counts of code blocks.  A tag tree codes a 2-D array of
+non-negative integers relative to increasing thresholds; bits are emitted
+into the packet-header :class:`~repro.utils.bitio.BitWriter` stream.
+"""
+
+from __future__ import annotations
+
+from repro.utils.bitio import BitReader, BitWriter
+
+
+def _level_dims(rows: int, cols: int) -> list[tuple[int, int]]:
+    dims = [(rows, cols)]
+    while dims[-1] != (1, 1):
+        r, c = dims[-1]
+        dims.append(((r + 1) // 2, (c + 1) // 2))
+    return dims
+
+
+class _TagTreeBase:
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows <= 0 or cols <= 0:
+            raise ValueError(f"tag tree dims must be positive, got {rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+        self._dims = _level_dims(rows, cols)
+        self._offsets = []
+        total = 0
+        for r, c in self._dims:
+            self._offsets.append(total)
+            total += r * c
+        self._num_nodes = total
+        self._low = [0] * total
+        self._known = [False] * total
+
+    def _path(self, r: int, c: int) -> list[int]:
+        """Node indices from the root down to leaf (r, c)."""
+        if not (0 <= r < self.rows and 0 <= c < self.cols):
+            raise IndexError(f"leaf ({r}, {c}) outside {self.rows}x{self.cols}")
+        path = []
+        for lvl, (lr, lc) in enumerate(self._dims):
+            path.append(self._offsets[lvl] + r * lc + c)
+            r >>= 1
+            c >>= 1
+        path.reverse()
+        return path
+
+
+class TagTreeEncoder(_TagTreeBase):
+    """Encodes leaf values against thresholds.  Set all values first."""
+
+    def __init__(self, rows: int, cols: int) -> None:
+        super().__init__(rows, cols)
+        self._value = [0] * self._num_nodes
+        self._finalized = False
+
+    def set_value(self, r: int, c: int, value: int) -> None:
+        if self._finalized:
+            raise RuntimeError("tag tree already finalized by an encode call")
+        if value < 0:
+            raise ValueError(f"tag tree values must be non-negative, got {value}")
+        self._value[self._offsets[0] + r * self.cols + c] = value
+
+    def _finalize(self) -> None:
+        """Fill internal node values with the min of their children."""
+        if self._finalized:
+            return
+        for lvl in range(1, len(self._dims)):
+            pr, pc = self._dims[lvl]
+            cr, cc = self._dims[lvl - 1]
+            for r in range(pr):
+                for c in range(pc):
+                    children = [
+                        self._value[self._offsets[lvl - 1] + rr * cc + ccol]
+                        for rr in (2 * r, 2 * r + 1) if rr < cr
+                        for ccol in (2 * c, 2 * c + 1) if ccol < cc
+                    ]
+                    self._value[self._offsets[lvl] + r * pc + c] = min(children)
+        self._finalized = True
+
+    def encode(self, r: int, c: int, threshold: int, bw: BitWriter) -> None:
+        """Emit the bits identifying whether value(r, c) < ``threshold``."""
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self._finalize()
+        low = 0
+        for node in self._path(r, c):
+            if low > self._low[node]:
+                self._low[node] = low
+            while not self._known[node] and self._low[node] < threshold:
+                if self._value[node] > self._low[node]:
+                    bw.write_bit(0)
+                    self._low[node] += 1
+                else:
+                    bw.write_bit(1)
+                    self._known[node] = True
+            low = self._low[node]
+
+
+class TagTreeDecoder(_TagTreeBase):
+    """Mirror of :class:`TagTreeEncoder`; reconstructs values from bits."""
+
+    def decode(self, r: int, c: int, threshold: int, br: BitReader) -> bool:
+        """Consume bits; True iff value(r, c) is determined and < threshold."""
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        low = 0
+        leaf = -1
+        for node in self._path(r, c):
+            if low > self._low[node]:
+                self._low[node] = low
+            while not self._known[node] and self._low[node] < threshold:
+                if br.read_bit():
+                    self._known[node] = True
+                else:
+                    self._low[node] += 1
+            low = self._low[node]
+            leaf = node
+        return self._known[leaf] and self._low[leaf] < threshold
+
+    def value(self, r: int, c: int) -> int:
+        """Exact value of leaf (r, c); valid only once determined."""
+        leaf = self._path(r, c)[-1]
+        if not self._known[leaf]:
+            raise RuntimeError(f"leaf ({r}, {c}) value not yet determined")
+        return self._low[leaf]

@@ -1,0 +1,167 @@
+"""Fast vectorized estimation of Tier-1 workload statistics.
+
+The exact Tier-1 coder (:mod:`repro.jpeg2000.tier1`) is inherently
+sequential and therefore slow in Python; encoding the paper's 28.3 MB image
+exactly would take hours.  This module estimates the quantity the Cell
+performance model actually needs — binary decisions per coding pass per
+code block — directly from the coefficient magnitudes with NumPy:
+
+* a sample is *significant before plane p* iff its magnitude has a bit
+  above p;
+* MRP at plane p codes exactly the already-significant samples;
+* SPP at plane p codes the insignificant samples with a significant
+  8-neighbour (approximated by one dilation of the start-of-plane
+  significance map — the intra-pass propagation the real coder performs is
+  folded into a small correction);
+* CUP codes the rest, with the run-length mode collapsing fully
+  insignificant, neighbour-free 4-sample stripe columns to ~1 decision;
+* each newly significant sample adds one sign decision.
+
+``estimate_workload`` runs the real (fast) MCT/DWT/quantization stages and
+this estimator per code block, producing a :class:`WorkloadStats` for any
+image size in seconds.  Accuracy against the exact coder is validated in
+``tests/test_tier1_stats.py`` (typically within ~15 %).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.jpeg2000 import mct
+from repro.jpeg2000.codeblocks import partition_subband
+from repro.jpeg2000.dwt import forward_dwt2d
+from repro.jpeg2000.encoder import BlockStats, SubbandStats, WorkloadStats, _normalize_image
+from repro.jpeg2000.params import EncoderParams
+from repro.jpeg2000.quantize import derive_quant, quantize
+
+#: Average coded bits per binary decision, used for the byte estimate.  The
+#: MQ coder averages well under 1 bit per decision on the skewed contexts;
+#: measured over natural-image blocks it sits near 0.55.
+BITS_PER_SYMBOL = 0.55
+
+
+def _dilate8(mask: np.ndarray) -> np.ndarray:
+    """8-neighbourhood binary dilation via shifts (no SciPy needed)."""
+    out = mask.copy()
+    out[1:, :] |= mask[:-1, :]
+    out[:-1, :] |= mask[1:, :]
+    out[:, 1:] |= mask[:, :-1]
+    out[:, :-1] |= mask[:, 1:]
+    out[1:, 1:] |= mask[:-1, :-1]
+    out[1:, :-1] |= mask[:-1, 1:]
+    out[:-1, 1:] |= mask[1:, :-1]
+    out[:-1, :-1] |= mask[1:, 1:]
+    return out
+
+
+def estimate_codeblock_stats(coeffs: np.ndarray) -> tuple[int, int, list[int]]:
+    """Estimate Tier-1 statistics for one code block.
+
+    Returns ``(msbs, total_symbols, pass_symbols)`` where ``pass_symbols``
+    follows the real pass order (CUP for the top plane, then SPP/MRP/CUP
+    per remaining plane).
+    """
+    arr = np.asarray(coeffs)
+    if arr.ndim != 2:
+        raise ValueError(f"code block must be 2-D, got shape {arr.shape}")
+    mag = np.abs(arr.astype(np.int64))
+    max_mag = int(mag.max()) if mag.size else 0
+    msbs = max_mag.bit_length()
+    if msbs == 0:
+        return 0, 0, []
+
+    h, w = mag.shape
+    pass_symbols: list[int] = []
+    for p in range(msbs - 1, -1, -1):
+        sig_before = mag >> (p + 1) != 0
+        sig_after = mag >> p != 0
+        newly = sig_after & ~sig_before
+        if p != msbs - 1:
+            # SPP: insignificant samples with a significant neighbour.  The
+            # real pass also propagates within the stripe scan; one dilation
+            # of the *end-of-pass* map approximates that spillover.
+            spp_zone = _dilate8(sig_before) | _dilate8(newly & _dilate8(sig_before))
+            spp = ~sig_before & spp_zone
+            spp_new = newly & spp
+            pass_symbols.append(int(spp.sum() + spp_new.sum()))
+            # MRP: all previously significant samples.
+            pass_symbols.append(int(sig_before.sum()))
+        else:
+            spp = np.zeros_like(sig_before)
+        # CUP: the remaining insignificant samples, with run-length savings
+        # on all-clear stripe columns.
+        cup = ~sig_before & ~spp
+        cup_new = newly & cup
+        decisions = int(cup.sum())
+        # Run-length collapse: count full 4-rows stripe columns that are
+        # entirely insignificant and have no significant neighbours.
+        hot = _dilate8(sig_after)
+        quiet = cup & ~hot
+        full = (h // 4) * 4
+        if full:
+            q = quiet[:full].reshape(h // 4, 4, w).all(axis=1)
+            decisions -= int(q.sum()) * 3  # 4 decisions become ~1
+        pass_symbols.append(decisions + int(cup_new.sum()))
+    return msbs, sum(pass_symbols), pass_symbols
+
+
+def estimate_workload(
+    image: np.ndarray, params: EncoderParams | None = None
+) -> WorkloadStats:
+    """Build a :class:`WorkloadStats` for ``image`` without Tier-1 coding.
+
+    Runs the real level shift, MCT, DWT and quantization, then estimates
+    Tier-1 decisions per code block.  ``codestream_bytes`` is an estimate
+    from :data:`BITS_PER_SYMBOL`.
+    """
+    if params is None:
+        params = EncoderParams.lossless_default()
+    comps, depth = _normalize_image(image)
+    height, width = comps[0].shape
+    ncomp = len(comps)
+    chroma_expanded = params.lossless and ncomp == 3
+
+    stats = WorkloadStats(
+        height=height, width=width, num_components=ncomp, bit_depth=depth,
+        lossless=params.lossless, levels=params.levels,
+        codeblock_size=params.codeblock_size,
+        raw_bytes=int(np.asarray(image).nbytes),
+    )
+    planes = mct.forward_mct(comps, depth, params.lossless)
+    total_bits = 0.0
+    for ci, plane in enumerate(planes):
+        decomp = forward_dwt2d(plane, params.levels, params.lossless)
+        stats.levels = decomp.levels
+        for sb in decomp.subbands():
+            if params.lossless:
+                q = sb.data.astype(np.int32)
+            else:
+                quant = derive_quant(
+                    sb.band, max(sb.dlevel, 1), depth, params.lossless,
+                    params.guard_bits, params.base_quant_step,
+                    chroma_expanded=chroma_expanded,
+                )
+                q = quantize(sb.data, quant.step)
+            stats.subbands.append(
+                SubbandStats(ci, sb.band, sb.dlevel, sb.shape[0], sb.shape[1])
+            )
+            specs, _, _ = partition_subband(
+                sb.shape[0], sb.shape[1], params.codeblock_size
+            )
+            for spec in specs:
+                block = q[spec.row0 : spec.row0 + spec.height,
+                          spec.col0 : spec.col0 + spec.width]
+                msbs, symbols, pass_syms = estimate_codeblock_stats(block)
+                coded_bytes = int(symbols * BITS_PER_SYMBOL / 8)
+                total_bits += symbols * BITS_PER_SYMBOL
+                stats.blocks.append(
+                    BlockStats(
+                        comp=ci, band=sb.band, dlevel=sb.dlevel,
+                        height=spec.height, width=spec.width,
+                        msbs=msbs, num_passes=len(pass_syms),
+                        total_symbols=symbols, coded_bytes=coded_bytes,
+                        pass_symbols=pass_syms,
+                    )
+                )
+    stats.codestream_bytes = int(total_bits / 8) + 128  # + headers
+    return stats

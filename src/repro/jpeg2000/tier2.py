@@ -1,0 +1,192 @@
+"""Tier-2: packet header coding and packet assembly (T.800 B.9-B.10).
+
+One packet carries the contributions of every code block of one (component,
+resolution) pair — this reproduction uses a single tile, a single quality
+layer, and one precinct spanning each resolution, matching the Jasper
+defaults the paper encodes with.  Headers code per-block inclusion, missing
+bit planes (both via tag trees), coding-pass counts, and segment lengths
+into a bit-stuffed stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.jpeg2000.tagtree import TagTreeDecoder, TagTreeEncoder
+from repro.utils.bitio import BitReader, BitWriter
+
+
+@dataclass
+class BlockContribution:
+    """What one code block contributes to its packet."""
+
+    grid_row: int
+    grid_col: int
+    included: bool
+    zero_bitplanes: int = 0   # Mb - msbs
+    num_passes: int = 0
+    data: bytes = b""
+
+    @property
+    def length(self) -> int:
+        return len(self.data)
+
+
+@dataclass
+class PacketBand:
+    """All code blocks of one subband inside a packet, in raster order."""
+
+    grid_rows: int
+    grid_cols: int
+    blocks: list[BlockContribution]
+
+
+_LBLOCK_INIT = 3
+
+
+def _write_num_passes(bw: BitWriter, n: int) -> None:
+    """Coding-pass count codeword (T.800 Table B.4)."""
+    if n < 1 or n > 164:
+        raise ValueError(f"pass count out of range: {n}")
+    if n == 1:
+        bw.write_bit(0)
+    elif n == 2:
+        bw.write_bits(0b10, 2)
+    elif n <= 5:
+        bw.write_bits(0b11, 2)
+        bw.write_bits(n - 3, 2)
+    elif n <= 36:
+        bw.write_bits(0b1111, 4)
+        bw.write_bits(n - 6, 5)
+    else:
+        bw.write_bits(0b111111111, 9)
+        bw.write_bits(n - 37, 7)
+
+
+def _read_num_passes(br: BitReader) -> int:
+    if not br.read_bit():
+        return 1
+    if not br.read_bit():
+        return 2
+    v = br.read_bits(2)
+    if v < 3:
+        return 3 + v
+    v = br.read_bits(5)
+    if v < 31:
+        return 6 + v
+    return 37 + br.read_bits(7)
+
+
+def _floor_log2(n: int) -> int:
+    if n < 1:
+        raise ValueError(f"floor_log2 needs n >= 1, got {n}")
+    return n.bit_length() - 1
+
+
+def encode_packet(bands: list[PacketBand]) -> bytes:
+    """Build one packet: stuffed header followed by the code block bodies."""
+    bw = BitWriter(stuffing=True)
+    any_data = any(b.included for band in bands for b in band.blocks)
+    if not any_data:
+        bw.write_bit(0)
+        bw.terminate_stuffed()
+        return bw.getvalue()
+    bw.write_bit(1)
+    body = bytearray()
+    for band in bands:
+        if not band.blocks:
+            continue
+        incl_tree = TagTreeEncoder(band.grid_rows, band.grid_cols)
+        zbp_tree = TagTreeEncoder(band.grid_rows, band.grid_cols)
+        for blk in band.blocks:
+            incl_tree.set_value(blk.grid_row, blk.grid_col, 0 if blk.included else 1)
+            zbp_tree.set_value(blk.grid_row, blk.grid_col,
+                               blk.zero_bitplanes if blk.included else 0)
+        for blk in band.blocks:
+            incl_tree.encode(blk.grid_row, blk.grid_col, 1, bw)
+            if not blk.included:
+                continue
+            # First inclusion: signal missing bit planes; threshold value+1
+            # forces the tag tree to pin the leaf exactly.
+            zbp_tree.encode(blk.grid_row, blk.grid_col, blk.zero_bitplanes + 1, bw)
+            _write_num_passes(bw, blk.num_passes)
+            lblock = _LBLOCK_INIT
+            bits_for_len = blk.length.bit_length()
+            base = _floor_log2(blk.num_passes)
+            k = max(0, bits_for_len - base - lblock)
+            for _ in range(k):
+                bw.write_bit(1)
+            bw.write_bit(0)
+            lblock += k
+            bw.write_bits(blk.length, lblock + base)
+            body.extend(blk.data)
+    bw.terminate_stuffed()
+    return bw.getvalue() + bytes(body)
+
+
+@dataclass
+class ParsedBlock:
+    """Decoded packet-header record for one code block."""
+
+    grid_row: int
+    grid_col: int
+    included: bool
+    zero_bitplanes: int = 0
+    num_passes: int = 0
+    length: int = 0
+    data: bytes = b""
+
+
+def parse_packet(
+    data: bytes, offset: int, band_grids: list[tuple[int, int, int]]
+) -> tuple[list[list[ParsedBlock]], int]:
+    """Parse one packet starting at ``data[offset]``.
+
+    ``band_grids`` holds ``(grid_rows, grid_cols, num_blocks)`` per subband
+    in packet order.  Returns the per-band parsed blocks and the offset just
+    past the packet.
+    """
+    br = BitReader(data[offset:], stuffing=True)
+    per_band: list[list[ParsedBlock]] = []
+    if not br.read_bit():
+        br.finish_stuffed()
+        for rows, cols, nblocks in band_grids:
+            per_band.append(
+                [ParsedBlock(i // max(cols, 1), i % max(cols, 1), False)
+                 for i in range(nblocks)]
+            )
+        return per_band, offset + br.byte_position
+    header_blocks: list[list[ParsedBlock]] = []
+    for rows, cols, nblocks in band_grids:
+        parsed: list[ParsedBlock] = []
+        if nblocks:
+            incl_tree = TagTreeDecoder(rows, cols)
+            zbp_tree = TagTreeDecoder(rows, cols)
+            for i in range(nblocks):
+                gr, gc = i // cols, i % cols
+                included = incl_tree.decode(gr, gc, 1, br)
+                blk = ParsedBlock(gr, gc, included)
+                if included:
+                    t = 1
+                    while not zbp_tree.decode(gr, gc, t, br):
+                        t += 1
+                    blk.zero_bitplanes = zbp_tree.value(gr, gc)
+                    blk.num_passes = _read_num_passes(br)
+                    lblock = _LBLOCK_INIT
+                    while br.read_bit():
+                        lblock += 1
+                    nbits = lblock + _floor_log2(blk.num_passes)
+                    blk.length = br.read_bits(nbits)
+                parsed.append(blk)
+        header_blocks.append(parsed)
+    br.finish_stuffed()
+    pos = offset + br.byte_position
+    for parsed in header_blocks:
+        for blk in parsed:
+            if blk.included:
+                ln = blk.length
+                blk.data = data[pos : pos + ln]
+                if len(blk.data) != ln:
+                    raise ValueError("packet body truncated")
+                pos += ln
+    return header_blocks, pos

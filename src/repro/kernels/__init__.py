@@ -1,0 +1,31 @@
+"""Kernel characterizations: instruction mixes + DMA traffic per stage.
+
+Each kernel module declares what one element of work costs in dynamic
+instructions (fed to the core models of :mod:`repro.cell`) and how many
+bytes must cross the memory interface, for each implementation variant the
+paper discusses (naive vs interleaved lifting, fixed vs floating point,
+aligned vs naive decomposition).
+"""
+
+from repro.kernels.specs import KernelSpec
+from repro.kernels.dwt_kernels import (
+    DwtVariant,
+    dwt_mix,
+    vertical_dma_passes,
+)
+from repro.kernels.levelshift import levelshift_mct_mix
+from repro.kernels.quantize_kernel import quantize_mix
+from repro.kernels.readconv import readconv_mix
+from repro.kernels.tier1_kernel import tier1_symbol_mix, tier1_block_cost_s
+
+__all__ = [
+    "DwtVariant",
+    "KernelSpec",
+    "dwt_mix",
+    "levelshift_mct_mix",
+    "quantize_mix",
+    "readconv_mix",
+    "tier1_block_cost_s",
+    "tier1_symbol_mix",
+    "vertical_dma_passes",
+]

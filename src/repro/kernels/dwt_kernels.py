@@ -1,0 +1,124 @@
+"""DWT kernel variants: lifting arithmetic and DMA traffic per variant.
+
+Section 4 of the paper is entirely about this kernel:
+
+* the *naive* vertical filter runs each lifting step (and the splitting
+  step) as a separate sweep over the column group — 3 full-array DMA passes
+  in lossless mode, 6 in lossy mode;
+* *interleaving* fuses the lifting steps into one sweep (Algorithm 2);
+* *merging* folds the splitting step into the interleaved sweep using a
+  half-size auxiliary buffer, landing at ~1.5 passes for both modes (the
+  lossy case additionally uses Kutil's single-loop fusion).
+
+The fixed-point variant replaces each real multiply with the SPE's emulated
+32-bit integer multiply (2 ``mpyh`` + 1 ``mpyu`` + 2 ``a``; Table 1), which
+is the paper's argument for switching Jasper to floats.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.cell.isa import InstrClass, InstructionMix
+from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
+
+
+class DwtVariant(str, Enum):
+    NAIVE = "naive"                # separate split + lifting sweeps
+    INTERLEAVED = "interleaved"    # lifting steps fused (Algorithm 2)
+    MERGED = "merged"              # split folded in via auxiliary buffer
+
+
+def vertical_dma_passes(variant: DwtVariant, lossless: bool) -> float:
+    """Full column-group round trips (read+write = 1 pass) per level.
+
+    Paper Section 4: "3 or 6 steps in the vertical filtering involve 3 or 6
+    DMA data transfer of the entire column group data"; interleaving merges
+    the two (lossless) or four (lossy) lifting steps; the auxiliary-buffer
+    trick "halves the amount of data transfer for the splitting step",
+    landing at 1.5 passes.
+    """
+    if variant is DwtVariant.NAIVE:
+        return 3.0 if lossless else 6.0
+    if variant is DwtVariant.INTERLEAVED:
+        return 2.0 if lossless else 3.0  # split + one fused lifting sweep
+    if variant is DwtVariant.MERGED:
+        return 1.5
+    raise ValueError(f"unknown variant {variant!r}")
+
+
+def _lifting_ops_53() -> dict[InstrClass, float]:
+    """5/3 lifting work per sample-visit (one filtering direction).
+
+    Per low/high output pair: predict = add + shift + subtract, update =
+    two adds + shift; plus one load, one store, and one lane-shuffle
+    equivalent per sample for (de)interleaving.
+    """
+    return {
+        InstrClass.ADD: 2.5,
+        InstrClass.SHIFT: 1.0,
+        InstrClass.LOAD: 1.0,
+        InstrClass.STORE: 1.0,
+        InstrClass.SHUFFLE: 1.0,
+    }
+
+
+def _lifting_ops_97_float() -> dict[InstrClass, float]:
+    """9/7 float lifting per sample-visit: 4 steps over each pair gives
+    2 multiplies + 4 adds per sample, plus the K scaling multiply."""
+    return {
+        InstrClass.FM: 2.5,
+        InstrClass.FA: 4.0,
+        InstrClass.LOAD: 1.0,
+        InstrClass.STORE: 1.0,
+        InstrClass.SHUFFLE: 1.0,
+    }
+
+
+def _lifting_ops_97_fixed() -> dict[InstrClass, float]:
+    """9/7 fixed-point lifting: each real multiply becomes the emulated
+    32-bit integer multiply (2 mpyh + 1 mpyu + 2 a) plus the Q-format
+    shift (paper Section 4 / Table 1)."""
+    muls = 2.5
+    return {
+        InstrClass.MPYH: 2.0 * muls,
+        InstrClass.MPYU: 1.0 * muls,
+        InstrClass.ADD: 2.0 * muls + 4.0,  # emulation adds + lifting adds
+        InstrClass.SHIFT: muls,            # Q13 renormalization
+        InstrClass.LOAD: 1.0,
+        InstrClass.STORE: 1.0,
+        InstrClass.SHUFFLE: 1.0,
+    }
+
+
+def dwt_mix(
+    lossless: bool,
+    fixed_point: bool = False,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+) -> InstructionMix:
+    """Instruction mix of one DWT sample-visit (one filtering direction)."""
+    if lossless:
+        ops = _lifting_ops_53()
+    elif fixed_point:
+        ops = _lifting_ops_97_fixed()
+    else:
+        ops = _lifting_ops_97_float()
+    return InstructionMix(
+        ops=ops,
+        vectorizable=True,
+        simd_efficiency=calibration.dwt_simd_efficiency,
+        dependency_factor=calibration.dwt_dependency_factor,
+        branches=0.06,           # loop-end checks, amortized by unrolling
+        branch_miss_rate=0.5,
+    )
+
+
+def sample_visits_per_pixel(levels: int) -> float:
+    """DWT sample-visits per original pixel for a full decomposition.
+
+    Each level filters its LL input twice (vertical + horizontal); the LL
+    shrinks by 4x per level: ``2 * sum(4**-l for l in range(levels))``.
+    """
+    if levels < 0:
+        raise ValueError(f"levels must be non-negative, got {levels}")
+    return 2.0 * sum(0.25**lvl for lvl in range(levels))

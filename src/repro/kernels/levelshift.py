@@ -1,0 +1,58 @@
+"""Merged level-shift + inter-component-transform kernel.
+
+Paper Section 3.2: "The level shift and inter-component transform stages
+are merged to minimize the data transfer" — one read and one write of each
+pixel instead of two.
+"""
+
+from __future__ import annotations
+
+from repro.cell.isa import InstrClass, InstructionMix
+from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
+
+
+def levelshift_mct_mix(
+    lossless: bool,
+    num_components: int,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+) -> InstructionMix:
+    """Per component-sample mix of the merged stage.
+
+    RCT (lossless): ``y=(r+2g+b)>>2, u=b-g, v=r-g`` is 4 adds + 1 shift per
+    pixel = ~1.7 ops per component-sample, plus the level-shift subtract.
+    ICT (lossy): a 3x3 float matrix = 3 multiplies + 2 adds per output
+    component, plus int->float conversion and the shift.
+    """
+    if num_components not in (1, 3):
+        raise ValueError(f"num_components must be 1 or 3, got {num_components}")
+    if num_components == 1:
+        ops = {
+            InstrClass.ADD: 1.0,   # level shift
+            InstrClass.LOAD: 1.0,
+            InstrClass.STORE: 1.0,
+        }
+        if not lossless:
+            ops[InstrClass.CVT] = 1.0
+    elif lossless:
+        ops = {
+            InstrClass.ADD: 1.0 + 5.0 / 3.0,  # shift + RCT share
+            InstrClass.SHIFT: 1.0 / 3.0,
+            InstrClass.LOAD: 1.0,
+            InstrClass.STORE: 1.0,
+        }
+    else:
+        ops = {
+            InstrClass.ADD: 1.0,
+            InstrClass.CVT: 1.0,
+            InstrClass.FM: 3.0,
+            InstrClass.FA: 2.0,
+            InstrClass.LOAD: 1.0,
+            InstrClass.STORE: 1.0,
+        }
+    return InstructionMix(
+        ops=ops,
+        vectorizable=True,
+        simd_efficiency=calibration.pixel_simd_efficiency,
+        branches=0.03,
+        branch_miss_rate=0.5,
+    )

@@ -1,0 +1,24 @@
+"""Deadzone quantization kernel (lossy path only)."""
+
+from __future__ import annotations
+
+from repro.cell.isa import InstrClass, InstructionMix
+from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
+
+
+def quantize_mix(calibration: Calibration = DEFAULT_CALIBRATION) -> InstructionMix:
+    """Per coefficient: multiply by 1/step, truncate toward zero, restore
+    sign — all branch-free select operations on the SPE."""
+    return InstructionMix(
+        ops={
+            InstrClass.FM: 1.0,
+            InstrClass.CVT: 1.0,
+            InstrClass.ADD: 2.0,   # abs + sign select
+            InstrClass.LOAD: 1.0,
+            InstrClass.STORE: 1.0,
+        },
+        vectorizable=True,
+        simd_efficiency=calibration.pixel_simd_efficiency,
+        branches=0.03,
+        branch_miss_rate=0.5,
+    )

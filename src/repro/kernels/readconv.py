@@ -1,0 +1,27 @@
+"""Read-component-data / type-conversion stage.
+
+Paper Section 3.2: "The read component data stage, which includes type
+conversion from the Jasper specific intermediate data type to four byte
+integer data type, is partially parallelized."
+"""
+
+from __future__ import annotations
+
+from repro.cell.isa import InstrClass, InstructionMix
+from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
+
+
+def readconv_mix(calibration: Calibration = DEFAULT_CALIBRATION) -> InstructionMix:
+    """Per sample: widen the packed stream sample to int32 and store."""
+    return InstructionMix(
+        ops={
+            InstrClass.LOAD: 1.0,
+            InstrClass.SHUFFLE: 1.0,  # byte unpack
+            InstrClass.ADD: 0.5,
+            InstrClass.STORE: 1.0,
+        },
+        vectorizable=True,
+        simd_efficiency=calibration.pixel_simd_efficiency,
+        branches=0.05,
+        branch_miss_rate=0.5,
+    )

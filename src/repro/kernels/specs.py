@@ -1,0 +1,30 @@
+"""Kernel specification: instruction mix + memory traffic per element."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cell.isa import InstructionMix
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One kernel variant's per-element cost description.
+
+    ``bytes_in``/``bytes_out`` are main-memory payload bytes per element
+    (what must cross the DMA interface on an SPE, or the cache interface on
+    a conventional core).
+    """
+
+    name: str
+    mix: InstructionMix
+    bytes_in: float
+    bytes_out: float
+
+    def __post_init__(self) -> None:
+        if self.bytes_in < 0 or self.bytes_out < 0:
+            raise ValueError(f"negative traffic on kernel {self.name!r}")
+
+    @property
+    def bytes_total(self) -> float:
+        return self.bytes_in + self.bytes_out

@@ -1,0 +1,63 @@
+"""Tier-1 (EBCOT bit-plane coding) kernel cost model.
+
+"The EBCOT algorithm is branchy and integer based, [so] the PPE runs the
+code faster than the SPE for Tier-1 encoding" (paper Section 5.1).  The
+cost of a code block is proportional to the binary decisions it codes — a
+data-dependent quantity taken from the *actual* Tier-1 encode of the image
+(:class:`repro.jpeg2000.encoder.BlockStats`), which is what produces the
+realistic load imbalance the paper's work queue exists to absorb.
+"""
+
+from __future__ import annotations
+
+from repro.cell.isa import InstrClass, InstructionMix
+from repro.cell.ppe import PPECore
+from repro.cell.spe import SPECore
+from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
+
+
+def tier1_symbol_mix(calibration: Calibration = DEFAULT_CALIBRATION) -> InstructionMix:
+    """Instruction mix per coded binary decision.
+
+    Context formation gathers eight neighbour states, indexes a LUT, and
+    the MQ coder updates its interval registers — all scalar, serially
+    dependent, and full of data-dependent branches; none of it vectorizes.
+    """
+    total = calibration.tier1_ops_per_symbol
+    mem = total * calibration.tier1_mem_fraction
+    alu = total - mem
+    return InstructionMix(
+        ops={
+            InstrClass.ADD: alu * 0.8,
+            InstrClass.SHIFT: alu * 0.2,
+            InstrClass.LOAD: mem * 0.7,
+            InstrClass.STORE: mem * 0.3,
+        },
+        vectorizable=False,
+        dependency_limited=False,
+        dependency_factor=calibration.tier1_dependency_factor,
+        branches=calibration.tier1_branches_per_symbol,
+        branch_miss_rate=calibration.tier1_branch_miss_rate,
+    )
+
+
+def tier1_block_cost_s(
+    symbols: int,
+    num_samples: int,
+    core: SPECore | PPECore,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+) -> float:
+    """Seconds for one processing element to Tier-1 encode one code block.
+
+    ``symbols`` is the block's total coded decisions; ``num_samples`` adds
+    the per-sample state sweep cost (visit checks in each pass).
+    """
+    if symbols < 0 or num_samples < 0:
+        raise ValueError("symbols and num_samples must be non-negative")
+    mix = tier1_symbol_mix(calibration)
+    per_symbol = core.seconds_per_element(mix)
+    # Pass-membership scans touch each sample cheaply even when not coded:
+    # roughly 15% of a symbol's work per sample per plane-pass, folded into
+    # an effective 0.45 extra symbols per sample.
+    effective = symbols + 0.45 * num_samples
+    return effective * per_symbol + calibration.tier1_block_overhead_s

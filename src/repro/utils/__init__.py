@@ -1,0 +1,22 @@
+"""Shared low-level utilities: alignment arithmetic, bit I/O, validation."""
+
+from repro.utils.alignment import (
+    CACHE_LINE_BYTES,
+    QUADWORD_BYTES,
+    is_aligned,
+    padded_width,
+    round_down,
+    round_up,
+)
+from repro.utils.bitio import BitReader, BitWriter
+
+__all__ = [
+    "CACHE_LINE_BYTES",
+    "QUADWORD_BYTES",
+    "BitReader",
+    "BitWriter",
+    "is_aligned",
+    "padded_width",
+    "round_down",
+    "round_up",
+]

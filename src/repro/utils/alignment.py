@@ -1,0 +1,75 @@
+"""Alignment arithmetic shared by the data decomposition scheme and the DMA model.
+
+The Cell/B.E. constants used throughout the package:
+
+* The EIB / memory subsystem moves data in 128-byte cache lines; DMA is most
+  efficient when both source and destination addresses are cache-line aligned
+  and the size is a multiple of the cache line (Kistler et al., IEEE Micro
+  2006; paper Section 2).
+* SIMD loads and stores on the SPE require 16-byte (quad-word) alignment.
+* A single DMA command moves at most 16 KB.
+"""
+
+from __future__ import annotations
+
+CACHE_LINE_BYTES = 128
+QUADWORD_BYTES = 16
+DMA_MAX_TRANSFER_BYTES = 16 * 1024
+
+#: Alignments for which the Cell DMA controller accepts a "small" transfer of
+#: exactly that many bytes (paper Section 2: "1, 2, 4, 8 byte alignment to
+#: transfer 1, 2, 4, 8 bytes of data").
+SMALL_DMA_SIZES = (1, 2, 4, 8)
+
+
+def round_up(value: int, multiple: int) -> int:
+    """Round ``value`` up to the nearest multiple of ``multiple``.
+
+    >>> round_up(100, 128)
+    128
+    >>> round_up(128, 128)
+    128
+    """
+    if multiple <= 0:
+        raise ValueError(f"multiple must be positive, got {multiple}")
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    return ((value + multiple - 1) // multiple) * multiple
+
+
+def round_down(value: int, multiple: int) -> int:
+    """Round ``value`` down to the nearest multiple of ``multiple``."""
+    if multiple <= 0:
+        raise ValueError(f"multiple must be positive, got {multiple}")
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    return (value // multiple) * multiple
+
+
+def is_aligned(value: int, multiple: int) -> bool:
+    """True if ``value`` is a multiple of ``multiple``."""
+    if multiple <= 0:
+        raise ValueError(f"multiple must be positive, got {multiple}")
+    return value % multiple == 0
+
+
+def padded_width(width: int, elem_bytes: int, line_bytes: int = CACHE_LINE_BYTES) -> int:
+    """Padded row width in *elements* so each row spans whole cache lines.
+
+    This is the row padding of the paper's data decomposition scheme
+    (Section 2, Figure 1): every row is padded so the start address of every
+    row is cache-line aligned, assuming the array base itself is aligned.
+
+    >>> padded_width(1000, 4)   # 1000 int32 pixels -> 4000 B -> 4096 B
+    1024
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    if elem_bytes <= 0:
+        raise ValueError(f"elem_bytes must be positive, got {elem_bytes}")
+    if line_bytes % elem_bytes != 0:
+        raise ValueError(
+            f"cache line ({line_bytes} B) must be a multiple of the element "
+            f"size ({elem_bytes} B) for row padding to be expressible in elements"
+        )
+    return round_up(width * elem_bytes, line_bytes) // elem_bytes

@@ -1,0 +1,150 @@
+"""MSB-first bit-level I/O used by Tier-2 packet headers.
+
+JPEG2000 packet headers are bit streams with a *bit-stuffing* rule: after a
+byte of 0xFF is emitted, the next byte may only carry 7 bits (its MSB must be
+0) so that no 0xFF 0x90-0xFF marker sequence can appear inside packet data.
+``BitWriter``/``BitReader`` implement both the raw and the stuffed modes.
+"""
+
+from __future__ import annotations
+
+
+class BitWriter:
+    """Accumulates bits MSB-first into bytes.
+
+    Parameters
+    ----------
+    stuffing:
+        When True, applies the JPEG2000 packet-header stuffing rule: a byte
+        following an emitted 0xFF holds only 7 payload bits.
+    """
+
+    def __init__(self, stuffing: bool = False) -> None:
+        self._bytes = bytearray()
+        self._acc = 0
+        self._nbits = 0
+        self._stuffing = stuffing
+        self._prev_ff = False
+
+    def _byte_capacity(self) -> int:
+        return 7 if (self._stuffing and self._prev_ff) else 8
+
+    def write_bit(self, bit: int) -> None:
+        """Append one bit (0 or 1)."""
+        if bit not in (0, 1):
+            raise ValueError(f"bit must be 0 or 1, got {bit}")
+        self._acc = (self._acc << 1) | bit
+        self._nbits += 1
+        if self._nbits == self._byte_capacity():
+            self._flush_byte()
+
+    def write_bits(self, value: int, count: int) -> None:
+        """Append ``count`` bits of ``value``, MSB first."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if value < 0 or (count < value.bit_length()):
+            raise ValueError(f"value {value} does not fit in {count} bits")
+        for i in range(count - 1, -1, -1):
+            self.write_bit((value >> i) & 1)
+
+    def _flush_byte(self) -> None:
+        cap = self._byte_capacity()
+        byte = self._acc & ((1 << cap) - 1)
+        self._bytes.append(byte)
+        self._prev_ff = byte == 0xFF
+        self._acc = 0
+        self._nbits = 0
+
+    def align(self, pad_bit: int = 0) -> None:
+        """Pad with ``pad_bit`` to the next byte boundary (a no-op if aligned)."""
+        while self._nbits != 0:
+            self.write_bit(pad_bit)
+
+    def terminate_stuffed(self) -> None:
+        """End a packet header: pad with 0 bits to the byte boundary, and if
+        the final byte is 0xFF append the mandatory 0x00 stuffing byte so the
+        following packet-body byte cannot complete a marker code."""
+        self.align(pad_bit=0)
+        if self._bytes and self._bytes[-1] == 0xFF:
+            self._bytes.append(0x00)
+            self._prev_ff = False
+
+    @property
+    def bit_length(self) -> int:
+        """Total number of payload bits written so far."""
+        # Payload bits inside completed bytes are not recoverable exactly under
+        # stuffing (7 vs 8 per byte); track via byte scan.
+        total = 0
+        prev_ff = False
+        for b in self._bytes:
+            total += 7 if (self._stuffing and prev_ff) else 8
+            prev_ff = b == 0xFF
+        return total + self._nbits
+
+    def getvalue(self) -> bytes:
+        """Return the completed bytes; partial final bytes are *not* included."""
+        return bytes(self._bytes)
+
+
+class BitReader:
+    """Reads bits MSB-first from bytes, mirroring :class:`BitWriter`."""
+
+    def __init__(self, data: bytes, stuffing: bool = False) -> None:
+        self._data = data
+        self._pos = 0
+        self._bitpos = 0  # bits consumed within current byte
+        self._stuffing = stuffing
+        self._prev_ff = False
+
+    def _byte_capacity(self) -> int:
+        return 7 if (self._stuffing and self._prev_ff) else 8
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos >= len(self._data)
+
+    @property
+    def byte_position(self) -> int:
+        """Index of the next byte that has not been fully consumed."""
+        return self._pos
+
+    def read_bit(self) -> int:
+        if self.exhausted:
+            raise EOFError("bit stream exhausted")
+        cap = self._byte_capacity()
+        byte = self._data[self._pos]
+        # With 7-bit capacity the MSB of the stored byte is the stuffed 0.
+        shift = cap - 1 - self._bitpos
+        bit = (byte >> shift) & 1
+        self._bitpos += 1
+        if self._bitpos == cap:
+            self._prev_ff = byte == 0xFF
+            self._pos += 1
+            self._bitpos = 0
+        return bit
+
+    def read_bits(self, count: int) -> int:
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        value = 0
+        for _ in range(count):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    def align(self) -> None:
+        """Skip to the next byte boundary."""
+        if self._bitpos != 0:
+            byte = self._data[self._pos]
+            self._prev_ff = byte == 0xFF
+            self._pos += 1
+            self._bitpos = 0
+
+    def finish_stuffed(self) -> None:
+        """End a stuffed packet header: align and skip a 0x00 stuffed after
+        a terminal 0xFF byte (mirror of :meth:`BitWriter.terminate_stuffed`)."""
+        self.align()
+        if self._prev_ff:
+            if self.exhausted:
+                raise EOFError("missing stuffed byte after 0xFF header end")
+            self._pos += 1
+            self._prev_ff = False

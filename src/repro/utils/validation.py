@@ -1,0 +1,25 @@
+"""Small argument-validation helpers shared across the package."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+
+def require_2d(array: np.ndarray, name: str = "array") -> np.ndarray:
+    """Validate that ``array`` is a 2-D ndarray and return it."""
+    arr = np.asarray(array)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got shape {arr.shape}")
+    return arr
+
+
+def require_positive(value: int | float, name: str) -> None:
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+
+
+def require_in(value: Any, options: tuple, name: str) -> None:
+    if value not in options:
+        raise ValueError(f"{name} must be one of {options}, got {value!r}")

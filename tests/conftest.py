@@ -1,0 +1,60 @@
+"""Shared fixtures: session-cached encodes (Tier-1 is the slow part)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.image.synthetic import watch_face_image
+from repro.jpeg2000.encoder import EncodeResult, encode
+from repro.jpeg2000.params import EncoderParams
+
+
+@pytest.fixture(scope="session")
+def watch_gray_64() -> np.ndarray:
+    return watch_face_image(64, 64, channels=1)
+
+
+@pytest.fixture(scope="session")
+def watch_rgb_64() -> np.ndarray:
+    return watch_face_image(64, 64, channels=3)
+
+
+@pytest.fixture(scope="session")
+def watch_rgb_96() -> np.ndarray:
+    return watch_face_image(96, 96, channels=3)
+
+
+@pytest.fixture(scope="session")
+def encoded_lossless_gray(watch_gray_64) -> EncodeResult:
+    return encode(watch_gray_64, EncoderParams(lossless=True, levels=3))
+
+
+@pytest.fixture(scope="session")
+def encoded_lossless_rgb(watch_rgb_96) -> EncodeResult:
+    return encode(watch_rgb_96, EncoderParams(lossless=True, levels=3))
+
+
+@pytest.fixture(scope="session")
+def encoded_lossy_gray(watch_gray_64) -> EncodeResult:
+    return encode(watch_gray_64, EncoderParams(lossless=False, levels=3))
+
+
+@pytest.fixture(scope="session")
+def encoded_lossy_rate(watch_rgb_96) -> EncodeResult:
+    return encode(watch_rgb_96, EncoderParams.lossy_rate(0.15))
+
+
+# Headline-reproduction fixtures: a 192x192 crop with the paper's actual
+# coding parameters (5 levels, rate 0.1), whose statistics scale to the
+# 3072x3072x3 = 28.3 MB test image.
+@pytest.fixture(scope="session")
+def headline_lossless() -> EncodeResult:
+    img = watch_face_image(192, 192, channels=3)
+    return encode(img, EncoderParams.lossless_default())
+
+
+@pytest.fixture(scope="session")
+def headline_lossy() -> EncodeResult:
+    img = watch_face_image(192, 192, channels=3)
+    return encode(img, EncoderParams.lossy_rate(0.1))

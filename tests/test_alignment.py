@@ -1,0 +1,95 @@
+"""Unit tests for alignment arithmetic."""
+
+import pytest
+
+from repro.utils.alignment import (
+    CACHE_LINE_BYTES,
+    QUADWORD_BYTES,
+    is_aligned,
+    padded_width,
+    round_down,
+    round_up,
+)
+
+
+class TestRoundUp:
+    def test_exact_multiple_unchanged(self):
+        assert round_up(256, 128) == 256
+
+    def test_rounds_to_next_multiple(self):
+        assert round_up(129, 128) == 256
+
+    def test_zero(self):
+        assert round_up(0, 128) == 0
+
+    def test_one(self):
+        assert round_up(1, 128) == 128
+
+    def test_rejects_negative_value(self):
+        with pytest.raises(ValueError):
+            round_up(-1, 128)
+
+    def test_rejects_nonpositive_multiple(self):
+        with pytest.raises(ValueError):
+            round_up(100, 0)
+
+
+class TestRoundDown:
+    def test_exact_multiple_unchanged(self):
+        assert round_down(256, 128) == 256
+
+    def test_truncates(self):
+        assert round_down(255, 128) == 128
+
+    def test_below_multiple_is_zero(self):
+        assert round_down(100, 128) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            round_down(-5, 16)
+
+
+class TestIsAligned:
+    def test_aligned(self):
+        assert is_aligned(1024, 128)
+
+    def test_unaligned(self):
+        assert not is_aligned(1025, 128)
+
+    def test_zero_is_aligned(self):
+        assert is_aligned(0, 16)
+
+    def test_rejects_bad_multiple(self):
+        with pytest.raises(ValueError):
+            is_aligned(4, -1)
+
+
+class TestPaddedWidth:
+    def test_int32_row_padding(self):
+        # 1000 int32 = 4000 B -> 4096 B -> 1024 elements
+        assert padded_width(1000, 4) == 1024
+
+    def test_already_padded(self):
+        assert padded_width(1024, 4) == 1024
+
+    def test_single_element(self):
+        assert padded_width(1, 4) == CACHE_LINE_BYTES // 4
+
+    def test_byte_elements(self):
+        assert padded_width(130, 1) == 256
+
+    def test_rejects_incompatible_elem_size(self):
+        with pytest.raises(ValueError):
+            padded_width(10, 3)
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError):
+            padded_width(0, 4)
+
+    def test_padded_rows_are_line_multiples(self):
+        for w in range(1, 200):
+            assert (padded_width(w, 4) * 4) % CACHE_LINE_BYTES == 0
+
+
+def test_constants_consistent():
+    assert CACHE_LINE_BYTES % QUADWORD_BYTES == 0

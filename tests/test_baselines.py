@@ -1,0 +1,157 @@
+"""Baseline model tests: Pentium IV, Muta et al., Meerwald, convolution DWT."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.convolution_dwt import (
+    conv_forward_53_1d,
+    conv_forward_97_1d,
+    convolution_dwt_mix,
+)
+from repro.baselines.meerwald import meerwald_speedup, meerwald_time
+from repro.baselines.muta import MutaConfig, MutaPipelineModel, split_blocks_to_32
+from repro.baselines.pentium4 import P4Core, P4PipelineModel
+from repro.cell.machine import CellMachine
+from repro.cell.spe import SPECore
+from repro.core.pipeline import PipelineModel
+from repro.jpeg2000.dwt import forward_53_1d, forward_97_1d
+from repro.jpeg2000.encoder import scale_workload
+from repro.kernels.dwt_kernels import dwt_mix
+
+
+@pytest.fixture(scope="module")
+def stats_ll(encoded_lossless_rgb):
+    return scale_workload(encoded_lossless_rgb.stats, 8)
+
+
+class TestConvolutionDwt:
+    def test_97_matches_lifting_exactly(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((41, 3)) * 100
+        lo_l, hi_l = forward_97_1d(x)
+        lo_c, hi_c = conv_forward_97_1d(x)
+        assert np.allclose(lo_l, lo_c, atol=1e-9)
+        assert np.allclose(hi_l, hi_c, atol=1e-9)
+
+    def test_53_matches_lifting_within_rounding(self):
+        rng = np.random.default_rng(1)
+        x = rng.integers(-1000, 1000, (50, 2)).astype(np.int32)
+        lo_l, hi_l = forward_53_1d(x)
+        lo_c, hi_c = conv_forward_53_1d(x)
+        # lifting floors; linear convolution doesn't: diff < 1
+        assert np.abs(lo_l - lo_c).max() < 1.0
+        assert np.abs(hi_l - hi_c).max() < 1.0
+
+    def test_single_sample(self):
+        lo, hi = conv_forward_97_1d(np.array([[7.0]]))
+        assert lo[0, 0] == 7.0 and hi.size == 0
+
+    def test_convolution_costs_more_than_lifting(self):
+        """Sweldens' point, which the paper exploits: lifting halves the
+        arithmetic of the filter bank."""
+        spe = SPECore()
+        for lossless in (True, False):
+            conv = spe.seconds_per_element(convolution_dwt_mix(lossless))
+            lift = spe.seconds_per_element(dwt_mix(lossless))
+            assert conv > 1.3 * lift
+
+
+class TestPentium4:
+    def test_core_cycles_positive(self):
+        core = P4Core()
+        assert core.cycles_per_element(dwt_mix(True)) > 0
+
+    def test_l2_resident_stage_has_no_memory_term(self):
+        core = P4Core()
+        mix = dwt_mix(True)
+        small = core.stage_time(mix, 10000, 8.0, working_set_bytes=1 << 20)
+        big = core.stage_time(mix, 10000, 8.0, working_set_bytes=1 << 25)
+        assert big > small
+
+    def test_pipeline_stages(self, stats_ll):
+        tl = P4PipelineModel(stats_ll).simulate()
+        names = [s.name for s in tl.stages]
+        assert "tier1" in names and "dwt" in names
+        assert tl.total_s > 0
+
+    def test_tier1_dominates(self, stats_ll):
+        tl = P4PipelineModel(stats_ll).simulate()
+        assert tl.fraction("tier1") > 0.5
+
+    def test_lossy_includes_rate_control(self, encoded_lossy_rate):
+        stats = scale_workload(encoded_lossy_rate.stats, 8)
+        tl = P4PipelineModel(stats).simulate()
+        assert tl.stage("rate_control").wall_s > 0
+
+
+class TestMuta:
+    def test_rejects_lossy(self, encoded_lossy_rate):
+        with pytest.raises(ValueError):
+            MutaPipelineModel(encoded_lossy_rate.stats)
+
+    def test_split_blocks_quarters_symbols(self, stats_ll):
+        small = split_blocks_to_32(stats_ll.blocks)
+        assert len(small) > len(stats_ll.blocks)
+        assert sum(b.total_symbols for b in small) <= \
+            sum(b.total_symbols for b in stats_ll.blocks)
+        assert all(b.height <= 32 and b.width <= 32 for b in small)
+
+    def test_muta0_reports_half_latency(self, stats_ll):
+        m = MutaPipelineModel(stats_ll, MutaConfig.MUTA0)
+        assert m.reported_frame_time() == pytest.approx(m.simulate().total_s / 2)
+
+    def test_muta1_no_ebcot_scaling_beyond_one_chip(self, stats_ll):
+        """'does not scale above a single Cell/B.E. processor': the PPE
+        dispatcher caps EBCOT, so 16 SPEs don't beat 8."""
+        m0 = MutaPipelineModel(stats_ll, MutaConfig.MUTA0)
+        m1 = MutaPipelineModel(stats_ll, MutaConfig.MUTA1)
+        assert m1.simulate().total_s >= 0.9 * m0.simulate().total_s
+
+    def test_ours_beats_muta_with_one_chip(self, stats_ll):
+        """Figure 6's headline: one of our chips beats their two."""
+        ours = PipelineModel(
+            CellMachine(chips=1, num_spes=8, num_ppe_threads=1), stats_ll
+        ).simulate()
+        muta0 = MutaPipelineModel(stats_ll, MutaConfig.MUTA0)
+        assert ours.total_s < muta0.reported_frame_time()
+
+    def test_our_dwt_beats_muta_by_a_lot(self, stats_ll):
+        """Figure 8: lifting + aligned decomposition vs convolution tiles."""
+        ours = PipelineModel(
+            CellMachine(chips=1, num_spes=8, num_ppe_threads=1), stats_ll
+        ).simulate().stage("dwt").wall_s
+        muta0 = MutaPipelineModel(stats_ll, MutaConfig.MUTA0).dwt_reported_time()
+        assert muta0 / ours > 2.0
+
+    def test_muta_clock_is_24(self, stats_ll):
+        assert MutaPipelineModel(stats_ll).clock_hz == 2.4e9
+
+
+class TestMeerwald:
+    def test_only_dwt_and_tier1_scale(self, stats_ll):
+        seq = P4PipelineModel(stats_ll).simulate()
+        par = meerwald_time(seq, 4)
+        assert par.stage("dwt").wall_s == pytest.approx(seq.stage("dwt").wall_s / 4)
+        assert par.stage("tier1").wall_s == pytest.approx(seq.stage("tier1").wall_s / 4)
+        assert par.stage("tier2").wall_s == seq.stage("tier2").wall_s
+
+    def test_amdahl_ceiling(self, stats_ll):
+        """Loop-level speedup saturates: the paper's motivation for whole-
+        pipeline parallelization."""
+        seq = P4PipelineModel(stats_ll).simulate()
+        s8 = meerwald_speedup(seq, 8)
+        s64 = meerwald_speedup(seq, 64)
+        s1e6 = meerwald_speedup(seq, 10**6)
+        ceiling = 1.0 / (1.0 - seq.fraction("dwt") - seq.fraction("tier1"))
+        assert s8 < 8
+        assert s8 < s64 < s1e6 < ceiling + 0.01
+        assert s1e6 > 0.95 * ceiling  # saturated at the Amdahl ceiling
+
+    def test_one_thread_identity(self, stats_ll):
+        seq = P4PipelineModel(stats_ll).simulate()
+        assert meerwald_speedup(seq, 1) == pytest.approx(1.0)
+
+    def test_rejects_zero_threads(self, stats_ll):
+        seq = P4PipelineModel(stats_ll).simulate()
+        with pytest.raises(ValueError):
+            meerwald_time(seq, 0)

@@ -1,0 +1,127 @@
+"""Unit + property tests for the MSB-first bit I/O with JPEG2000 stuffing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.bitio import BitReader, BitWriter
+
+
+class TestBitWriter:
+    def test_single_byte(self):
+        bw = BitWriter()
+        for b in (1, 0, 1, 0, 1, 0, 1, 0):
+            bw.write_bit(b)
+        assert bw.getvalue() == b"\xaa"
+
+    def test_partial_byte_not_emitted(self):
+        bw = BitWriter()
+        bw.write_bit(1)
+        assert bw.getvalue() == b""
+
+    def test_align_pads_with_zeros(self):
+        bw = BitWriter()
+        bw.write_bit(1)
+        bw.align()
+        assert bw.getvalue() == b"\x80"
+
+    def test_write_bits_msb_first(self):
+        bw = BitWriter()
+        bw.write_bits(0xAB, 8)
+        assert bw.getvalue() == b"\xab"
+
+    def test_write_bits_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bits(4, 2)
+
+    def test_rejects_bad_bit(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bit(2)
+
+    def test_stuffing_after_ff(self):
+        bw = BitWriter(stuffing=True)
+        bw.write_bits(0xFF, 8)
+        # next byte only takes 7 bits; MSB is the stuffed 0
+        bw.write_bits(0x7F, 7)
+        assert bw.getvalue() == b"\xff\x7f"
+
+    def test_terminate_stuffed_appends_zero_after_ff(self):
+        bw = BitWriter(stuffing=True)
+        bw.write_bits(0xFF, 8)
+        bw.terminate_stuffed()
+        assert bw.getvalue() == b"\xff\x00"
+
+    def test_terminate_stuffed_no_extra_byte(self):
+        bw = BitWriter(stuffing=True)
+        bw.write_bits(0x12, 8)
+        bw.terminate_stuffed()
+        assert bw.getvalue() == b"\x12"
+
+
+class TestBitReader:
+    def test_reads_msb_first(self):
+        br = BitReader(b"\xaa")
+        assert [br.read_bit() for _ in range(8)] == [1, 0, 1, 0, 1, 0, 1, 0]
+
+    def test_read_bits(self):
+        assert BitReader(b"\xab").read_bits(8) == 0xAB
+
+    def test_eof_raises(self):
+        br = BitReader(b"")
+        with pytest.raises(EOFError):
+            br.read_bit()
+
+    def test_align_skips_to_boundary(self):
+        br = BitReader(b"\x80\xff")
+        br.read_bit()
+        br.align()
+        assert br.read_bits(8) == 0xFF
+
+    def test_stuffed_byte_after_ff(self):
+        br = BitReader(b"\xff\x7f", stuffing=True)
+        assert br.read_bits(8) == 0xFF
+        assert br.read_bits(7) == 0x7F
+        assert br.exhausted
+
+    def test_finish_stuffed_skips_pad(self):
+        br = BitReader(b"\xff\x00\x55", stuffing=True)
+        assert br.read_bits(8) == 0xFF
+        br.finish_stuffed()
+        # The 0x00 stuffing byte was consumed; body starts at offset 2.
+        assert br.byte_position == 2
+
+    def test_finish_stuffed_noop_without_ff(self):
+        br = BitReader(b"\x12\x34", stuffing=True)
+        assert br.read_bits(8) == 0x12
+        br.finish_stuffed()
+        assert br.byte_position == 1
+
+    def test_finish_stuffed_missing_pad_raises(self):
+        br = BitReader(b"\xff", stuffing=True)
+        assert br.read_bits(8) == 0xFF
+        with pytest.raises(EOFError):
+            br.finish_stuffed()
+
+
+@given(st.lists(st.integers(0, 1), max_size=200), st.booleans())
+@settings(max_examples=200, deadline=None)
+def test_roundtrip_property(bits, stuffing):
+    bw = BitWriter(stuffing=stuffing)
+    for b in bits:
+        bw.write_bit(b)
+    bw.align()
+    br = BitReader(bw.getvalue(), stuffing=stuffing)
+    got = [br.read_bit() for _ in range(len(bits))]
+    assert got == bits
+
+
+@given(st.lists(st.tuples(st.integers(0, 2**20 - 1), st.integers(1, 20)), max_size=40))
+@settings(max_examples=100, deadline=None)
+def test_multibit_roundtrip(pairs):
+    bw = BitWriter()
+    for value, width in pairs:
+        bw.write_bits(value & ((1 << width) - 1), width)
+    bw.align()
+    br = BitReader(bw.getvalue())
+    for value, width in pairs:
+        assert br.read_bits(width) == value & ((1 << width) - 1)

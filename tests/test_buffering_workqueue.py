@@ -1,0 +1,117 @@
+"""Buffering pipeline and work-queue scheduler tests."""
+
+import pytest
+
+from repro.cell.buffering import buffered_loop_time
+from repro.cell.workqueue import WorkerSpec, simulate_work_queue
+
+
+class TestBuffering:
+    def test_single_buffer_serializes(self):
+        bt = buffered_loop_time(100, 1e-6, 1e-6, buffers=1)
+        assert bt.total_s >= 200e-6
+        assert not bt.overlapped
+
+    def test_double_buffering_overlaps(self):
+        """Section 2: double buffering hides the smaller of compute/DMA."""
+        serial = buffered_loop_time(1000, 1e-6, 1e-6, buffers=1)
+        double = buffered_loop_time(1000, 1e-6, 1e-6, buffers=2)
+        assert double.total_s < 0.62 * serial.total_s
+
+    def test_compute_bound_loop_unaffected_by_dma(self):
+        bt = buffered_loop_time(1000, 10e-6, 1e-6, buffers=2)
+        assert bt.total_s == pytest.approx(1000 * 10e-6, rel=0.01)
+
+    def test_dma_bound_loop(self):
+        bt = buffered_loop_time(1000, 1e-6, 10e-6, buffers=2)
+        assert bt.total_s == pytest.approx(1000 * 10e-6, rel=0.01)
+
+    def test_deeper_buffering_rides_out_long_latency(self):
+        # latency longer than a unit: two buffers expose it, eight hide it
+        two = buffered_loop_time(100, 1e-6, 1e-6, buffers=2, dma_latency_s=5e-6)
+        eight = buffered_loop_time(100, 1e-6, 1e-6, buffers=8, dma_latency_s=5e-6)
+        assert eight.total_s < 0.5 * two.total_s
+
+    def test_two_buffers_hide_short_latency(self):
+        # latency below the unit time is already covered at depth 2
+        two = buffered_loop_time(100, 1e-6, 1e-6, buffers=2, dma_latency_s=0.5e-6)
+        eight = buffered_loop_time(100, 1e-6, 1e-6, buffers=8, dma_latency_s=0.5e-6)
+        assert two.total_s == eight.total_s
+
+    def test_dma_hidden_fraction(self):
+        bt = buffered_loop_time(1000, 10e-6, 1e-6, buffers=4)
+        assert bt.dma_hidden_fraction > 0.8
+
+    def test_zero_units(self):
+        assert buffered_loop_time(0, 1e-6, 1e-6).total_s == 0.0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            buffered_loop_time(-1, 1e-6, 1e-6)
+        with pytest.raises(ValueError):
+            buffered_loop_time(1, -1e-6, 1e-6)
+        with pytest.raises(ValueError):
+            buffered_loop_time(1, 1e-6, 1e-6, buffers=0)
+
+
+def uniform_worker(name, n, cost, overhead=0.0):
+    return WorkerSpec(name, tuple([cost] * n), dequeue_overhead_s=overhead)
+
+
+class TestWorkQueue:
+    def test_single_worker_sums_costs(self):
+        res = simulate_work_queue(10, [uniform_worker("w", 10, 1.0)])
+        assert res.makespan_s == pytest.approx(10.0)
+
+    def test_equal_workers_split_evenly(self):
+        workers = [uniform_worker(f"w{i}", 100, 1.0) for i in range(4)]
+        res = simulate_work_queue(100, workers)
+        assert res.makespan_s == pytest.approx(25.0)
+        assert res.utilization == pytest.approx(1.0)
+
+    def test_load_balancing_beats_static_on_skew(self):
+        """Section 3.2: identical block counts do not balance a skewed load."""
+        costs = tuple([10.0] + [1.0] * 99)
+        workers = [WorkerSpec(f"w{i}", costs) for i in range(4)]
+        res = simulate_work_queue(100, workers)
+        # static round-robin would put item0's 10.0 plus 24 more on worker 0
+        static_makespan = 10.0 + 24 * 1.0
+        assert res.makespan_s < static_makespan
+
+    def test_heterogeneous_workers(self):
+        fast = uniform_worker("fast", 60, 1.0)
+        slow = WorkerSpec("slow", tuple([3.0] * 60))
+        res = simulate_work_queue(60, [fast, slow])
+        # fast worker should take roughly 3x the items
+        assert res.per_worker_items["fast"] > 2 * res.per_worker_items["slow"]
+
+    def test_dequeue_overhead_counted(self):
+        res = simulate_work_queue(
+            100, [uniform_worker("w", 100, 1.0, overhead=0.5)]
+        )
+        assert res.makespan_s == pytest.approx(150.0)
+
+    def test_all_items_processed_exactly_once(self):
+        workers = [uniform_worker(f"w{i}", 37, 1.0) for i in range(3)]
+        res = simulate_work_queue(37, workers, record_schedule=True)
+        items = sorted(i for _, i, _, _ in res.schedule)
+        assert items == list(range(37))
+
+    def test_schedule_times_consistent(self):
+        workers = [uniform_worker(f"w{i}", 20, 1.0) for i in range(2)]
+        res = simulate_work_queue(20, workers, record_schedule=True)
+        for name, _, start, end in res.schedule:
+            assert end > start
+        assert max(e for _, _, _, e in res.schedule) == pytest.approx(res.makespan_s)
+
+    def test_zero_items(self):
+        res = simulate_work_queue(0, [uniform_worker("w", 0, 1.0)])
+        assert res.makespan_s == 0.0
+
+    def test_rejects_cost_length_mismatch(self):
+        with pytest.raises(ValueError):
+            simulate_work_queue(5, [uniform_worker("w", 4, 1.0)])
+
+    def test_rejects_no_workers(self):
+        with pytest.raises(ValueError):
+            simulate_work_queue(5, [])

@@ -1,0 +1,55 @@
+"""Calibration object validation and cross-model consistency."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.calibration import DEFAULT_CALIBRATION, Calibration
+
+
+class TestValidation:
+    def test_default_valid(self):
+        Calibration()
+
+    def test_fractions_bounded(self):
+        with pytest.raises(ValueError):
+            Calibration(dwt_simd_efficiency=1.5)
+        with pytest.raises(ValueError):
+            Calibration(tier1_branch_miss_rate=-0.1)
+        with pytest.raises(ValueError):
+            Calibration(readconv_sequential_fraction=2.0)
+
+    def test_positive_constants(self):
+        with pytest.raises(ValueError):
+            Calibration(tier1_ops_per_symbol=0)
+        with pytest.raises(ValueError):
+            Calibration(p4_ipc=-1)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            DEFAULT_CALIBRATION.p4_ipc = 2.0  # type: ignore[misc]
+
+
+class TestConsistency:
+    """One calibration set drives every model — sanity relations."""
+
+    def test_queue_cheaper_than_muta_dispatch(self):
+        """Our decentralized dequeue must be far cheaper than Muta's
+        centralized PPE dispatch, or Figure 7's story collapses."""
+        c = DEFAULT_CALIBRATION
+        assert c.queue_dequeue_s * 5 < c.muta_dispatch_s
+
+    def test_block_overhead_smaller_than_typical_block(self):
+        # a typical 64x64 natural-image block codes >> 10k symbols at tens
+        # of ns each; the fixed overhead must not dominate
+        c = DEFAULT_CALIBRATION
+        assert c.tier1_block_overhead_s < 50e-6
+
+    def test_custom_calibration_threads_through(self):
+        from repro.cell.spe import SPECore
+        from repro.kernels.tier1_kernel import tier1_symbol_mix
+
+        cheap = Calibration(tier1_ops_per_symbol=10.0)
+        spe = SPECore()
+        assert spe.seconds_per_element(tier1_symbol_mix(cheap)) < \
+            spe.seconds_per_element(tier1_symbol_mix(DEFAULT_CALIBRATION))

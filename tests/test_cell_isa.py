@@ -1,0 +1,81 @@
+"""ISA table and instruction-mix tests (Table 1)."""
+
+import pytest
+
+from repro.cell.isa import (
+    PPE_ISA,
+    SPE_ISA,
+    InstrClass,
+    InstructionMix,
+    int32_multiply_mix,
+)
+
+
+class TestTable1:
+    """The paper's Table 1 latencies, verbatim."""
+
+    def test_mpyh_is_7_cycles(self):
+        assert SPE_ISA.latency(InstrClass.MPYH) == 7
+
+    def test_mpyu_is_7_cycles(self):
+        assert SPE_ISA.latency(InstrClass.MPYU) == 7
+
+    def test_add_is_2_cycles(self):
+        assert SPE_ISA.latency(InstrClass.ADD) == 2
+
+    def test_fm_is_6_cycles(self):
+        assert SPE_ISA.latency(InstrClass.FM) == 6
+
+    def test_emulated_int32_multiply_slower_than_fm(self):
+        """The paper's core argument: emulated 32-bit integer multiply
+        (2 mpyh + 1 mpyu + 2 a) has more latency than one fm."""
+        emul_latency = sum(
+            SPE_ISA.latency(i) * c for i, c in int32_multiply_mix().items()
+        )
+        assert emul_latency > SPE_ISA.latency(InstrClass.FM)
+        assert emul_latency == 2 * 7 + 1 * 7 + 2 * 2
+
+
+class TestIsaTables:
+    def test_spe_has_no_cheap_branches(self):
+        assert SPE_ISA.branch_miss_penalty >= 15
+
+    def test_all_classes_defined_both_cores(self):
+        for instr in InstrClass:
+            assert instr in SPE_ISA.instrs
+            assert instr in PPE_ISA.instrs
+
+    def test_pipes_assigned(self):
+        assert SPE_ISA.pipe(InstrClass.ADD).value == "even"
+        assert SPE_ISA.pipe(InstrClass.LOAD).value == "odd"
+
+
+class TestInstructionMix:
+    def test_scaled(self):
+        mix = InstructionMix(ops={InstrClass.ADD: 2.0}, branches=1.0)
+        s = mix.scaled(3.0)
+        assert s.ops[InstrClass.ADD] == 6.0 and s.branches == 3.0
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(ValueError):
+            InstructionMix(ops={}).scaled(-1.0)
+
+    def test_merged_sums_ops(self):
+        a = InstructionMix(ops={InstrClass.ADD: 1.0}, branches=2.0,
+                           branch_miss_rate=0.5)
+        b = InstructionMix(ops={InstrClass.ADD: 2.0, InstrClass.FM: 1.0},
+                           branches=2.0, branch_miss_rate=0.1)
+        m = a.merged(b)
+        assert m.ops[InstrClass.ADD] == 3.0 and m.ops[InstrClass.FM] == 1.0
+        assert m.branches == 4.0
+        assert m.branch_miss_rate == pytest.approx(0.3)
+
+    def test_merged_takes_worst_simd_efficiency(self):
+        a = InstructionMix(ops={}, simd_efficiency=0.9)
+        b = InstructionMix(ops={}, simd_efficiency=0.3)
+        assert a.merged(b).simd_efficiency == 0.3
+
+    def test_merged_propagates_dependency(self):
+        a = InstructionMix(ops={}, dependency_factor=0.1)
+        b = InstructionMix(ops={}, dependency_factor=0.4)
+        assert a.merged(b).dependency_factor == 0.4

@@ -1,0 +1,60 @@
+"""CLI tests: encode / decode / simulate subcommands."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.image.bmp import read_bmp, write_bmp
+from repro.image.synthetic import watch_face_image
+
+
+@pytest.fixture()
+def bmp_path(tmp_path):
+    path = str(tmp_path / "in.bmp")
+    write_bmp(path, watch_face_image(32, 32, channels=1))
+    return path
+
+
+class TestEncodeDecode:
+    def test_roundtrip_via_cli(self, bmp_path, tmp_path, capsys):
+        j2c = str(tmp_path / "out.j2c")
+        out = str(tmp_path / "out.bmp")
+        assert main(["encode", bmp_path, j2c, "--levels", "3"]) == 0
+        assert main(["decode", j2c, out]) == 0
+        assert np.array_equal(read_bmp(out), read_bmp(bmp_path))
+        text = capsys.readouterr().out
+        assert "bytes" in text
+
+    def test_lossy_rate(self, bmp_path, tmp_path):
+        j2c = str(tmp_path / "out.j2c")
+        assert main(["encode", bmp_path, j2c, "--rate", "0.3",
+                     "--levels", "3"]) == 0
+        raw = 32 * 32
+        import os
+        assert os.path.getsize(j2c) <= raw * 0.3 * 1.05 + 8
+
+    def test_pnm_output(self, bmp_path, tmp_path):
+        j2c = str(tmp_path / "o.j2c")
+        pgm = str(tmp_path / "o.pgm")
+        main(["encode", bmp_path, j2c, "--levels", "2"])
+        assert main(["decode", j2c, pgm]) == 0
+
+    def test_unsupported_format_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["encode", str(tmp_path / "x.png"), str(tmp_path / "y.j2c")])
+
+
+class TestSimulate:
+    def test_exact_path(self, bmp_path, capsys):
+        assert main(["simulate", bmp_path, "--levels", "2", "--spes", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "tier1" in out and "4 SPE" in out
+
+    def test_estimate_path(self, bmp_path, capsys):
+        assert main(["simulate", bmp_path, "--levels", "2", "--estimate",
+                     "--spes", "8", "--chips", "1"]) == 0
+        assert "Timeline" in capsys.readouterr().out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,57 @@
+"""Subband-to-code-block partition tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jpeg2000.codeblocks import partition_subband
+
+
+class TestPartition:
+    def test_exact_tiling(self):
+        blocks, gr, gc = partition_subband(128, 128, 64)
+        assert (gr, gc) == (2, 2) and len(blocks) == 4
+        assert all(b.height == 64 and b.width == 64 for b in blocks)
+
+    def test_ragged_edges(self):
+        blocks, gr, gc = partition_subband(100, 70, 64)
+        assert (gr, gc) == (2, 2)
+        assert blocks[-1].height == 36 and blocks[-1].width == 6
+
+    def test_smaller_than_block(self):
+        blocks, gr, gc = partition_subband(10, 10, 64)
+        assert len(blocks) == 1
+        assert blocks[0].height == 10 and blocks[0].width == 10
+
+    def test_degenerate_subband(self):
+        blocks, gr, gc = partition_subband(0, 10, 64)
+        assert blocks == [] and gr == 0 and gc == 0
+
+    def test_raster_order_matches_grid(self):
+        blocks, _, gc = partition_subband(130, 130, 64)
+        for i, b in enumerate(blocks):
+            assert (b.grid_row, b.grid_col) == (i // gc, i % gc)
+
+    def test_32_gives_4x_blocks_of_64(self):
+        b64, _, _ = partition_subband(256, 256, 64)
+        b32, _, _ = partition_subband(256, 256, 32)
+        assert len(b32) == 4 * len(b64)
+
+    def test_rejects_bad_cb_size(self):
+        with pytest.raises(ValueError):
+            partition_subband(10, 10, 0)
+
+    @given(st.integers(1, 300), st.integers(1, 300), st.sampled_from([4, 16, 32, 64]))
+    @settings(max_examples=150, deadline=None)
+    def test_coverage_property(self, h, w, cb):
+        blocks, gr, gc = partition_subband(h, w, cb)
+        assert len(blocks) == gr * gc
+        # total samples covered exactly once
+        assert sum(b.num_samples for b in blocks) == h * w
+        seen = set()
+        for b in blocks:
+            assert 0 < b.height <= cb and 0 < b.width <= cb
+            assert b.row0 + b.height <= h and b.col0 + b.width <= w
+            key = (b.row0, b.col0)
+            assert key not in seen
+            seen.add(key)

@@ -1,0 +1,97 @@
+"""Codestream marker serialization tests."""
+
+import struct
+
+import pytest
+
+from repro.jpeg2000.codestream import (
+    MARKER_EOC,
+    MARKER_SIZ,
+    MARKER_SOC,
+    CodestreamError,
+    CodestreamInfo,
+    SubbandQuantField,
+    parse_codestream,
+    write_codestream,
+    write_main_header,
+)
+
+
+def make_info(**overrides) -> CodestreamInfo:
+    base = dict(
+        width=640, height=480, num_components=3, bit_depth=8, signed=False,
+        levels=5, codeblock_size=64, reversible=True, use_mct=True,
+        num_layers=1, guard_bits=2,
+        quant_fields=[SubbandQuantField(e, 0) for e in range(16)],
+        tile_data=b"\x01\x02\x03",
+    )
+    base.update(overrides)
+    return CodestreamInfo(**base)
+
+
+class TestWriteParse:
+    def test_roundtrip_reversible(self):
+        info = make_info()
+        out = parse_codestream(write_codestream(info))
+        assert (out.width, out.height) == (640, 480)
+        assert out.num_components == 3 and out.bit_depth == 8
+        assert out.levels == 5 and out.codeblock_size == 64
+        assert out.reversible and out.use_mct
+        assert out.guard_bits == 2
+        assert [q.exponent for q in out.quant_fields] == list(range(16))
+        assert out.tile_data == b"\x01\x02\x03"
+
+    def test_roundtrip_irreversible(self):
+        info = make_info(
+            reversible=False,
+            quant_fields=[SubbandQuantField(10, 1234), SubbandQuantField(7, 2047)],
+        )
+        out = parse_codestream(write_codestream(info))
+        assert not out.reversible
+        assert out.quant_fields[0].mantissa == 1234
+        assert out.quant_fields[1].exponent == 7
+
+    def test_roundtrip_16bit_gray(self):
+        info = make_info(num_components=1, bit_depth=16, use_mct=False,
+                         codeblock_size=32)
+        out = parse_codestream(write_codestream(info))
+        assert out.bit_depth == 16 and out.codeblock_size == 32
+        assert not out.use_mct
+
+    def test_starts_with_soc(self):
+        data = write_codestream(make_info())
+        assert struct.unpack_from(">H", data, 0)[0] == MARKER_SOC
+
+    def test_ends_with_eoc(self):
+        data = write_codestream(make_info())
+        assert struct.unpack_from(">H", data, len(data) - 2)[0] == MARKER_EOC
+
+    def test_header_is_prefix(self):
+        info = make_info()
+        assert write_codestream(info).startswith(write_main_header(info))
+
+
+class TestErrors:
+    def test_missing_soc(self):
+        with pytest.raises(CodestreamError):
+            parse_codestream(b"\x00\x00" + write_codestream(make_info())[2:])
+
+    def test_truncated_stream(self):
+        data = write_codestream(make_info())
+        with pytest.raises(CodestreamError):
+            parse_codestream(data[: len(data) // 2])
+
+    def test_empty(self):
+        with pytest.raises(CodestreamError):
+            parse_codestream(b"")
+
+    def test_unexpected_marker(self):
+        # valid SOC then a bogus marker
+        with pytest.raises(CodestreamError):
+            parse_codestream(struct.pack(">HH", MARKER_SOC, 0xFFAA))
+
+    def test_tile_before_header(self):
+        data = struct.pack(">H", MARKER_SOC)
+        data += struct.pack(">HH", MARKER_SIZ, 2)  # empty SIZ payload -> error later
+        with pytest.raises(Exception):
+            parse_codestream(data)

@@ -1,0 +1,64 @@
+"""Decoder behaviour on malformed and adversarial codestreams."""
+
+import numpy as np
+import pytest
+
+from repro.jpeg2000.codestream import CodestreamError
+from repro.jpeg2000.decoder import decode
+from repro.jpeg2000.encoder import encode
+from repro.jpeg2000.params import EncoderParams
+from repro.image.synthetic import watch_face_image
+
+
+@pytest.fixture(scope="module")
+def valid_stream():
+    img = watch_face_image(32, 32, channels=1)
+    return img, encode(img, EncoderParams(lossless=True, levels=2)).codestream
+
+
+class TestMalformedStreams:
+    def test_empty(self):
+        with pytest.raises(CodestreamError):
+            decode(b"")
+
+    def test_garbage(self):
+        with pytest.raises(CodestreamError):
+            decode(b"\x00" * 64)
+
+    def test_truncated_header(self, valid_stream):
+        _, cs = valid_stream
+        with pytest.raises(CodestreamError):
+            decode(cs[:20])
+
+    def test_truncated_tile_data(self, valid_stream):
+        _, cs = valid_stream
+        with pytest.raises((CodestreamError, ValueError)):
+            decode(cs[: len(cs) * 2 // 3])
+
+    def test_wrong_magic(self, valid_stream):
+        _, cs = valid_stream
+        with pytest.raises(CodestreamError):
+            decode(b"\xff\xd8" + cs[2:])  # JPEG SOI instead of SOC
+
+
+class TestRoundTripStability:
+    def test_double_encode_deterministic(self):
+        img = watch_face_image(24, 24, channels=1, seed=3)
+        a = encode(img, EncoderParams(lossless=True, levels=2)).codestream
+        b = encode(img, EncoderParams(lossless=True, levels=2)).codestream
+        assert a == b
+
+    def test_reencode_decoded_lossless_is_identical(self, valid_stream):
+        img, cs = valid_stream
+        out = decode(cs)
+        cs2 = encode(out, EncoderParams(lossless=True, levels=2)).codestream
+        assert cs2 == cs
+
+    def test_lossy_recompression_stabilizes(self):
+        """Decode->re-encode of a lossy image loses little further quality."""
+        img = watch_face_image(48, 48, channels=1)
+        first = decode(encode(img, EncoderParams(lossless=False, levels=3)).codestream)
+        second = decode(encode(first, EncoderParams(lossless=False, levels=3)).codestream)
+        err1 = float(np.mean((first.astype(float) - img) ** 2))
+        err2 = float(np.mean((second.astype(float) - img) ** 2))
+        assert err2 < 4 * max(err1, 0.25)

@@ -1,0 +1,129 @@
+"""Data decomposition scheme tests (the paper's Section 2 contribution)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decomposition import (
+    PPE_OWNER,
+    apply_rowwise,
+    dma_row_alignment_report,
+    plan_decomposition,
+    plan_naive_decomposition,
+)
+from repro.utils.alignment import CACHE_LINE_BYTES
+
+
+class TestAlignedPlan:
+    def test_spe_chunks_are_line_multiples(self):
+        plan = plan_decomposition(100, 1000, 4, 8)
+        for c in plan.chunks:
+            if c.owner != PPE_OWNER:
+                assert (c.width * 4) % CACHE_LINE_BYTES == 0
+
+    def test_remainder_goes_to_ppe(self):
+        """'The remainder chunk with an arbitrary width is processed by the
+        PPE to enhance the overall chip utilization.'"""
+        plan = plan_decomposition(10, 1000, 4, 8)
+        ppe = plan.chunks_for(PPE_OWNER)
+        assert len(ppe) == 1
+        assert ppe[0].width == 1000 % (CACHE_LINE_BYTES // 4)
+
+    def test_no_ppe_chunk_when_width_divides(self):
+        plan = plan_decomposition(10, 1024, 4, 8)
+        assert plan.chunks_for(PPE_OWNER) == []
+
+    def test_rows_padded_to_lines(self):
+        plan = plan_decomposition(10, 1000, 4, 8)
+        assert (plan.padded_cols * 4) % CACHE_LINE_BYTES == 0
+        assert plan.padded_cols >= 1000
+
+    def test_zero_spes_all_to_ppe(self):
+        plan = plan_decomposition(5, 100, 4, 0)
+        assert [c.owner for c in plan.chunks] == [PPE_OWNER]
+
+    def test_chunks_balanced(self):
+        plan = plan_decomposition(10, 4096, 4, 8)
+        widths = [c.width for c in plan.chunks if c.owner != PPE_OWNER]
+        assert max(widths) - min(widths) <= CACHE_LINE_BYTES // 4
+
+    def test_narrow_image_fewer_owners(self):
+        # 40 int32 elements: one 32-element line chunk + 8-element remainder
+        plan = plan_decomposition(4, 40, 4, 8)
+        assert len(plan.spe_owners()) == 1
+        assert plan.chunks_for(PPE_OWNER)[0].width == 8
+
+    def test_all_row_transfers_mfc_legal_and_aligned(self):
+        """Every DMA the scheme generates is legal and fully aligned."""
+        plan = plan_decomposition(20, 777, 4, 6)
+        for chunk in plan.chunks:
+            if chunk.owner == PPE_OWNER:
+                continue
+            for row in (0, 7, 19):
+                tr = plan.row_transfer(chunk, row)
+                tr.validate()
+                assert tr.fully_aligned
+
+    def test_report_perfect_efficiency(self):
+        plan = plan_decomposition(16, 640, 4, 4)
+        rep = dma_row_alignment_report(plan)
+        assert rep["aligned_fraction"] == 1.0
+        assert rep["bus_efficiency"] == 1.0
+
+    @given(st.integers(1, 64), st.integers(1, 3000), st.integers(0, 16))
+    @settings(max_examples=200, deadline=None)
+    def test_coverage_property(self, h, w, spes):
+        plan = plan_decomposition(h, w, 4, spes)
+        plan.validate()  # exact disjoint tiling
+        assert sum(c.width for c in plan.chunks) == w
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            plan_decomposition(0, 10, 4, 2)
+        with pytest.raises(ValueError):
+            plan_decomposition(10, 10, 4, -1)
+
+
+class TestNaivePlan:
+    def test_covers_exactly(self):
+        plan = plan_naive_decomposition(10, 1001, 4, 8)
+        plan.validate()
+
+    def test_transfers_legal_but_misaligned(self):
+        plan = plan_naive_decomposition(10, 1001, 4, 8)
+        rep = dma_row_alignment_report(plan)
+        assert rep["aligned_fraction"] < 1.0
+        assert rep["bus_efficiency"] < 1.0
+
+    def test_aligned_beats_naive_on_bus_efficiency(self):
+        """The ablation A1 claim, at plan level."""
+        a = dma_row_alignment_report(plan_decomposition(32, 999, 4, 8))
+        n = dma_row_alignment_report(plan_naive_decomposition(32, 999, 4, 8))
+        assert a["bus_efficiency"] > n["bus_efficiency"]
+
+
+class TestFunctionalTransparency:
+    def test_apply_rowwise_matches_direct(self):
+        rng = np.random.default_rng(0)
+        arr = rng.integers(-100, 100, (13, 531)).astype(np.int32)
+        plan = plan_decomposition(13, 531, 4, 5)
+        out = apply_rowwise(plan, arr, lambda seg: seg * 2 + 1)
+        assert np.array_equal(out, arr * 2 + 1)
+
+    def test_naive_plan_also_transparent(self):
+        rng = np.random.default_rng(1)
+        arr = rng.integers(0, 50, (7, 101)).astype(np.int32)
+        plan = plan_naive_decomposition(7, 101, 4, 3)
+        out = apply_rowwise(plan, arr, lambda seg: seg + 5)
+        assert np.array_equal(out, arr + 5)
+
+    def test_shape_mismatch_rejected(self):
+        plan = plan_decomposition(4, 4, 4, 1)
+        with pytest.raises(ValueError):
+            apply_rowwise(plan, np.zeros((5, 4), np.int32), lambda s: s)
+
+    def test_fn_must_preserve_length(self):
+        plan = plan_decomposition(2, 64, 4, 1)
+        with pytest.raises(ValueError):
+            apply_rowwise(plan, np.zeros((2, 64), np.int32), lambda s: s[:-1])

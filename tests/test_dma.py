@@ -1,0 +1,116 @@
+"""DMA engine rule and cost tests (paper Section 2 alignment rules)."""
+
+import pytest
+
+from repro.cell.dma import DmaEngine, DmaError, DmaTransfer, row_transfer_plan
+
+
+class TestAlignmentRules:
+    @pytest.mark.parametrize("size", [1, 2, 4, 8])
+    def test_small_sizes_need_natural_alignment(self, size):
+        DmaTransfer(size=size, local_addr=size, main_addr=size).validate()
+        with pytest.raises(DmaError):
+            DmaTransfer(size=size, local_addr=size, main_addr=size + 1).validate()
+
+    def test_small_dma_low_bits_must_match(self):
+        with pytest.raises(DmaError):
+            DmaTransfer(size=4, local_addr=4, main_addr=8).validate()
+
+    def test_multiple_of_16_needs_quadword_alignment(self):
+        DmaTransfer(size=48, local_addr=16, main_addr=32).validate()
+        with pytest.raises(DmaError):
+            DmaTransfer(size=48, local_addr=8, main_addr=32).validate()
+        with pytest.raises(DmaError):
+            DmaTransfer(size=48, local_addr=16, main_addr=40).validate()
+
+    def test_odd_sizes_rejected(self):
+        with pytest.raises(DmaError):
+            DmaTransfer(size=12, local_addr=0, main_addr=0).validate()
+        with pytest.raises(DmaError):
+            DmaTransfer(size=3, local_addr=0, main_addr=0).validate()
+
+    def test_max_16k(self):
+        DmaTransfer(size=16 * 1024, local_addr=0, main_addr=0).validate()
+        with pytest.raises(DmaError):
+            DmaTransfer(size=16 * 1024 + 16, local_addr=0, main_addr=0).validate()
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(DmaError):
+            DmaTransfer(size=0, local_addr=0, main_addr=0).validate()
+
+
+class TestBusCost:
+    def test_aligned_line_multiple_is_exact(self):
+        tr = DmaTransfer(size=512, local_addr=0, main_addr=1024)
+        assert tr.fully_aligned
+        assert tr.bus_bytes == 512
+
+    def test_misaligned_touches_extra_line(self):
+        tr = DmaTransfer(size=512, local_addr=0, main_addr=1024 + 16)
+        assert not tr.fully_aligned
+        assert tr.bus_bytes == 512 + 128
+
+    def test_non_line_multiple_rounds_up(self):
+        tr = DmaTransfer(size=64, local_addr=0, main_addr=0)
+        assert tr.bus_bytes == 128
+
+    def test_local_misalignment_breaks_full_alignment(self):
+        tr = DmaTransfer(size=256, local_addr=16, main_addr=0)
+        assert not tr.fully_aligned
+
+
+class TestEngine:
+    def test_stats_accumulate(self):
+        eng = DmaEngine()
+        eng.submit(DmaTransfer(size=256, local_addr=0, main_addr=0))
+        eng.submit(DmaTransfer(size=256, local_addr=0, main_addr=16))
+        assert eng.stats.transfers == 2
+        assert eng.stats.payload_bytes == 512
+        assert eng.stats.unaligned_transfers == 1
+        assert eng.stats.bus_bytes > 512
+
+    def test_efficiency_perfect_when_aligned(self):
+        eng = DmaEngine()
+        for row in range(10):
+            eng.submit(DmaTransfer(size=1024, local_addr=0, main_addr=row * 1024))
+        assert eng.efficiency == 1.0
+
+    def test_efficiency_degrades_misaligned(self):
+        eng = DmaEngine()
+        for row in range(10):
+            eng.submit(DmaTransfer(size=1024, local_addr=0, main_addr=row * 1024 + 4 * 16))
+        assert eng.efficiency < 1.0
+
+    def test_invalid_transfer_not_counted(self):
+        eng = DmaEngine()
+        with pytest.raises(DmaError):
+            eng.submit(DmaTransfer(size=5, local_addr=0, main_addr=0))
+        assert eng.stats.transfers == 0
+
+
+class TestRowPlan:
+    def test_single_command_row(self):
+        plan = row_transfer_plan(4096, main_addr=0, local_addr=0)
+        assert len(plan) == 1 and plan[0].size == 4096
+
+    def test_long_row_split_at_16k(self):
+        plan = row_transfer_plan(40 * 1024, main_addr=0, local_addr=0)
+        assert sum(t.size for t in plan) == 40 * 1024
+        assert all(t.size <= 16 * 1024 for t in plan)
+        for t in plan:
+            t.validate()
+
+    def test_offsets_are_contiguous(self):
+        plan = row_transfer_plan(33 * 1024, main_addr=128, local_addr=0)
+        pos = 128
+        for t in plan:
+            assert t.main_addr == pos
+            pos += t.size
+
+    def test_rejects_inexpressible_tail(self):
+        with pytest.raises(DmaError):
+            row_transfer_plan(3, main_addr=0, local_addr=0)  # 3 B tail only
+
+    def test_rejects_empty(self):
+        with pytest.raises(DmaError):
+            row_transfer_plan(0, main_addr=0, local_addr=0)

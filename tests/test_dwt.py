@@ -1,0 +1,193 @@
+"""DWT tests: perfect reconstruction, boundary handling, gain analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.jpeg2000.dwt import (
+    BAND_HH,
+    BAND_HL,
+    BAND_LH,
+    BAND_LL,
+    Decomposition,
+    forward_53_1d,
+    forward_97_1d,
+    forward_dwt2d,
+    inverse_53_1d,
+    inverse_97_1d,
+    inverse_dwt2d,
+    sym_indices,
+    synthesis_gain_sq,
+)
+
+
+class TestSymIndices:
+    def test_small_example(self):
+        assert sym_indices(4, 2, 2).tolist() == [2, 1, 0, 1, 2, 3, 2, 1]
+
+    def test_length_one_signal(self):
+        assert sym_indices(1, 3, 3).tolist() == [0] * 7
+
+    def test_period_two(self):
+        idx = sym_indices(2, 4, 4)
+        assert idx.tolist() == [0, 1, 0, 1, 0, 1, 0, 1, 0, 1]
+
+    def test_all_indices_valid(self):
+        for n in range(1, 20):
+            idx = sym_indices(n, 8, 9)
+            assert idx.min() >= 0 and idx.max() < n
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            sym_indices(0, 1, 1)
+
+
+class Test53:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 6, 7, 8, 9, 16, 17, 63, 64, 100])
+    def test_perfect_reconstruction(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.integers(-(2**15), 2**15, size=(n, 2)).astype(np.int32)
+        lo, hi = forward_53_1d(x)
+        assert lo.shape[0] == (n + 1) // 2 and hi.shape[0] == n // 2
+        assert np.array_equal(inverse_53_1d(lo, hi, n), x)
+
+    def test_constant_signal_high_band_zero(self):
+        x = np.full((16, 1), 100, dtype=np.int32)
+        lo, hi = forward_53_1d(x)
+        assert not hi.any()
+        assert np.all(lo == 100)
+
+    def test_ramp_high_band_zero_in_interior(self):
+        # linear ramps are in the 5/3 lowpass space (2 vanishing moments);
+        # the boundary coefficient is nonzero because symmetric extension
+        # folds the ramp back on itself.
+        x = (np.arange(32, dtype=np.int32) * 4).reshape(-1, 1)
+        _, hi = forward_53_1d(x)
+        assert np.abs(hi[:-1]).max() <= 1  # floors allow off-by-one
+        assert hi[-1, 0] != 0
+
+    def test_inverse_rejects_wrong_sizes(self):
+        with pytest.raises(ValueError):
+            inverse_53_1d(np.zeros(3, np.int32), np.zeros(3, np.int32), 5)
+
+    @given(st.integers(2, 40).flatmap(
+        lambda n: hnp.arrays(np.int32, (n,), elements=st.integers(-10000, 10000))
+    ))
+    @settings(max_examples=150, deadline=None)
+    def test_roundtrip_property(self, x):
+        x = x.reshape(-1, 1)
+        lo, hi = forward_53_1d(x)
+        assert np.array_equal(inverse_53_1d(lo, hi, x.shape[0]), x)
+
+
+class Test97:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 7, 8, 16, 33, 100])
+    def test_reconstruction_close(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.standard_normal((n, 2)) * 1000
+        lo, hi = forward_97_1d(x)
+        assert np.allclose(inverse_97_1d(lo, hi, n), x, atol=1e-8)
+
+    def test_unit_dc_gain(self):
+        x = np.full((32, 1), 3.0)
+        lo, hi = forward_97_1d(x)
+        assert np.allclose(lo, 3.0)
+        assert np.allclose(hi, 0.0, atol=1e-12)
+
+    def test_energy_roughly_preserved(self):
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal((256, 1))
+        lo, hi = forward_97_1d(x)
+        e_in = np.sum(x**2)
+        e_out = np.sum(lo**2) + np.sum(hi**2)
+        assert 0.5 * e_in < e_out < 2.0 * e_in  # near-orthogonal filter bank
+
+
+class Test2D:
+    @pytest.mark.parametrize(
+        "shape", [(1, 1), (1, 7), (7, 1), (5, 5), (8, 8), (33, 47), (64, 64)]
+    )
+    @pytest.mark.parametrize("levels", [0, 1, 3, 5])
+    def test_lossless_roundtrip(self, shape, levels):
+        rng = np.random.default_rng(hash(shape) % 2**32)
+        img = rng.integers(-255, 256, size=shape).astype(np.int32)
+        d = forward_dwt2d(img, levels, reversible=True)
+        assert np.array_equal(inverse_dwt2d(d), img)
+
+    def test_lossy_roundtrip(self):
+        rng = np.random.default_rng(9)
+        img = rng.standard_normal((37, 29)) * 128
+        d = forward_dwt2d(img, 4, reversible=False)
+        assert np.allclose(inverse_dwt2d(d), img, atol=1e-7)
+
+    def test_subband_count_and_order(self):
+        d = forward_dwt2d(np.zeros((32, 32), np.int32), 3, reversible=True)
+        bands = d.subbands()
+        assert [b.band for b in bands[:4]] == [BAND_LL, BAND_HL, BAND_LH, BAND_HH]
+        assert len(bands) == 1 + 3 * 3
+        assert bands[0].dlevel == 3
+        assert bands[-1].dlevel == 1  # finest detail last
+
+    def test_subband_shapes_odd_image(self):
+        d = forward_dwt2d(np.zeros((33, 47), np.int32), 1, reversible=True)
+        hl, lh, hh = d.details[0]
+        assert d.ll.shape == (17, 24)
+        assert hl.shape == (17, 23)   # horizontally high
+        assert lh.shape == (16, 24)
+        assert hh.shape == (16, 23)
+
+    def test_levels_clamped_for_tiny_images(self):
+        d = forward_dwt2d(np.zeros((1, 1), np.int32), 5, reversible=True)
+        assert d.levels == 0
+
+    def test_smooth_image_energy_concentrates_in_ll(self):
+        y, x = np.mgrid[0:64, 0:64]
+        img = (y + x).astype(np.int32)
+        d = forward_dwt2d(img, 3, reversible=True)
+        ll_energy = float(np.sum(d.ll.astype(np.float64) ** 2))
+        detail_energy = sum(
+            float(np.sum(b.astype(np.float64) ** 2))
+            for lvl in d.details for b in lvl
+        )
+        assert ll_energy > 50 * max(detail_energy, 1.0)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            forward_dwt2d(np.zeros((2, 2, 2)), 1, reversible=True)
+
+    def test_rejects_negative_levels(self):
+        with pytest.raises(ValueError):
+            forward_dwt2d(np.zeros((4, 4)), -1, reversible=True)
+
+
+class TestSynthesisGain:
+    def test_matches_known_97_l2_norms(self):
+        # Published level-1 9/7 synthesis L2 norms: LL 1.9659, HL/LH 1.0113,
+        # HH 0.5202 (squared: 3.865, 1.023, 0.271).
+        assert synthesis_gain_sq(BAND_LL, 1, False) == pytest.approx(3.865, rel=0.01)
+        assert synthesis_gain_sq(BAND_HL, 1, False) == pytest.approx(1.023, rel=0.01)
+        assert synthesis_gain_sq(BAND_HH, 1, False) == pytest.approx(0.271, rel=0.02)
+
+    def test_hl_equals_lh(self):
+        assert synthesis_gain_sq(BAND_HL, 2, False) == pytest.approx(
+            synthesis_gain_sq(BAND_LH, 2, False), rel=1e-6
+        )
+
+    def test_ll_gain_grows_with_level(self):
+        g = [synthesis_gain_sq(BAND_LL, lvl, False) for lvl in (1, 2, 3)]
+        assert g[0] < g[1] < g[2]
+
+    def test_reversible_gains_differ_from_irreversible(self):
+        assert synthesis_gain_sq(BAND_HH, 1, True) != pytest.approx(
+            synthesis_gain_sq(BAND_HH, 1, False), rel=1e-3
+        )
+
+    def test_rejects_unknown_band(self):
+        with pytest.raises(ValueError):
+            synthesis_gain_sq("XX", 1, False)
+
+    def test_rejects_level_zero(self):
+        with pytest.raises(ValueError):
+            synthesis_gain_sq(BAND_LL, 0, False)

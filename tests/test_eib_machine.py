@@ -1,0 +1,93 @@
+"""Memory-system contention and machine configuration tests."""
+
+import pytest
+
+from repro.cell.eib import MemorySystem
+from repro.cell.machine import MUTA_BLADE, QS20_BLADE, SINGLE_CELL, CellMachine
+
+
+class TestMemorySystem:
+    def test_single_stream_capped_by_mfc(self):
+        ms = MemorySystem()
+        assert ms.per_stream_bandwidth(1) == ms.single_stream_bw
+
+    def test_many_streams_share_offchip(self):
+        ms = MemorySystem()
+        assert ms.per_stream_bandwidth(8) == pytest.approx(ms.offchip_bw / 8)
+
+    def test_bandwidth_monotone_nonincreasing(self):
+        ms = MemorySystem()
+        prev = float("inf")
+        for n in range(1, 17):
+            bw = ms.per_stream_bandwidth(n)
+            assert bw <= prev
+            prev = bw
+
+    def test_aggregate_conserved(self):
+        """Section 4's premise: total off-chip bandwidth is the ceiling."""
+        ms = MemorySystem()
+        for n in (2, 4, 8, 16):
+            assert ms.per_stream_bandwidth(n) * n <= ms.offchip_bw + 1e-6
+
+    def test_transfer_time_scales(self):
+        ms = MemorySystem()
+        t1 = ms.transfer_time(1 << 20, 1)
+        t8 = ms.transfer_time(1 << 20, 8)
+        assert t8 > t1
+
+    def test_zero_bytes_is_free(self):
+        assert MemorySystem().transfer_time(0, 4) == 0.0
+
+    def test_rejects_bad_args(self):
+        ms = MemorySystem()
+        with pytest.raises(ValueError):
+            ms.per_stream_bandwidth(0)
+        with pytest.raises(ValueError):
+            ms.transfer_time(-1, 1)
+        with pytest.raises(ValueError):
+            MemorySystem(offchip_bw=0)
+
+
+class TestCellMachine:
+    def test_paper_platforms(self):
+        assert SINGLE_CELL.num_spes == 8 and SINGLE_CELL.chips == 1
+        assert QS20_BLADE.num_spes == 16 and QS20_BLADE.chips == 2
+        assert MUTA_BLADE.clock_hz == 2.4e9
+
+    def test_spes_on_chip_fill_order(self):
+        m = QS20_BLADE.with_pes(10, 2)
+        assert m.spes_on_chip(0) == 8
+        assert m.spes_on_chip(1) == 2
+
+    def test_per_spe_bandwidth_worst_chip(self):
+        m = QS20_BLADE.with_pes(8, 1)  # all on chip 0
+        assert m.per_spe_bandwidth() == pytest.approx(
+            m.memory.per_stream_bandwidth(8)
+        )
+        m16 = QS20_BLADE  # 8 per chip
+        assert m16.per_spe_bandwidth() == pytest.approx(
+            m16.memory.per_stream_bandwidth(8)
+        )
+
+    def test_two_chips_double_total_bandwidth(self):
+        assert QS20_BLADE.total_offchip_bw == 2 * SINGLE_CELL.total_offchip_bw
+
+    def test_with_pes(self):
+        m = SINGLE_CELL.with_pes(4, 1)
+        assert m.num_spes == 4 and m.clock_hz == SINGLE_CELL.clock_hz
+
+    def test_rejects_too_many_spes(self):
+        with pytest.raises(ValueError):
+            CellMachine(chips=1, num_spes=9)
+
+    def test_rejects_no_pes(self):
+        with pytest.raises(ValueError):
+            CellMachine(num_spes=0, num_ppe_threads=0)
+
+    def test_rejects_too_many_ppe_threads(self):
+        with pytest.raises(ValueError):
+            CellMachine(chips=1, num_spes=4, num_ppe_threads=3)
+
+    def test_chip_index_checked(self):
+        with pytest.raises(IndexError):
+            SINGLE_CELL.spes_on_chip(1)

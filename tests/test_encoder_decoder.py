@@ -1,0 +1,154 @@
+"""Integration tests: full encode -> decode round trips."""
+
+import numpy as np
+import pytest
+
+from repro.image.synthetic import gradient_image, noise_image, watch_face_image
+from repro.jpeg2000.decoder import decode
+from repro.jpeg2000.encoder import encode, scale_workload
+from repro.jpeg2000.params import EncoderParams
+
+
+def psnr(a: np.ndarray, b: np.ndarray, peak: float = 255.0) -> float:
+    mse = np.mean((a.astype(np.float64) - b.astype(np.float64)) ** 2)
+    return float("inf") if mse == 0 else 10 * np.log10(peak * peak / mse)
+
+
+class TestLossless:
+    def test_gray_bit_exact(self, watch_gray_64, encoded_lossless_gray):
+        assert np.array_equal(decode(encoded_lossless_gray.codestream), watch_gray_64)
+
+    def test_rgb_bit_exact(self, watch_rgb_96, encoded_lossless_rgb):
+        assert np.array_equal(decode(encoded_lossless_rgb.codestream), watch_rgb_96)
+
+    @pytest.mark.parametrize("shape", [(1, 1), (1, 40), (40, 1), (5, 9), (31, 33)])
+    def test_odd_shapes(self, shape):
+        img = noise_image(*shape, seed=shape[0] * shape[1])
+        res = encode(img, EncoderParams(lossless=True))
+        assert np.array_equal(decode(res.codestream), img)
+
+    def test_gradient_compresses_well(self):
+        img = gradient_image(128, 128)
+        res = encode(img, EncoderParams(lossless=True))
+        assert res.compression_ratio > 10
+        assert np.array_equal(decode(res.codestream), img)
+
+    def test_noise_still_roundtrips(self):
+        img = noise_image(48, 48, seed=1)
+        res = encode(img, EncoderParams(lossless=True))
+        assert res.compression_ratio < 1.2  # noise is incompressible
+        assert np.array_equal(decode(res.codestream), img)
+
+    def test_16bit_gray(self):
+        img = (watch_face_image(24, 24, 1).astype(np.uint16) * 257)
+        res = encode(img, EncoderParams(lossless=True, levels=2))
+        out = decode(res.codestream)
+        assert out.dtype == np.uint16
+        assert np.array_equal(out, img)
+
+    def test_zero_levels(self):
+        img = watch_face_image(32, 32, 1)
+        res = encode(img, EncoderParams(lossless=True, levels=0))
+        assert np.array_equal(decode(res.codestream), img)
+
+    def test_codeblock_32(self):
+        img = watch_face_image(48, 48, 1)
+        res = encode(img, EncoderParams(lossless=True, levels=2, codeblock_size=32))
+        assert np.array_equal(decode(res.codestream), img)
+
+    def test_extreme_values_image(self):
+        img = np.zeros((16, 16), dtype=np.uint8)
+        img[::2, ::2] = 255
+        res = encode(img, EncoderParams(lossless=True, levels=2))
+        assert np.array_equal(decode(res.codestream), img)
+
+
+class TestLossy:
+    def test_high_quality_no_rate(self, watch_gray_64, encoded_lossy_gray):
+        out = decode(encoded_lossy_gray.codestream)
+        assert psnr(out, watch_gray_64) > 40
+
+    def test_rate_target_met(self, watch_rgb_96, encoded_lossy_rate):
+        target = 0.15 * watch_rgb_96.nbytes
+        assert len(encoded_lossy_rate.codestream) <= target * 1.02
+
+    def test_rate_controlled_quality_reasonable(self, watch_rgb_96, encoded_lossy_rate):
+        out = decode(encoded_lossy_rate.codestream)
+        assert psnr(out, watch_rgb_96) > 22
+
+    def test_lower_rate_gives_lower_quality_and_size(self):
+        img = watch_face_image(96, 96, 1)
+        hi = encode(img, EncoderParams.lossy_rate(0.5))
+        lo = encode(img, EncoderParams.lossy_rate(0.08))
+        assert len(lo.codestream) < len(hi.codestream)
+        assert psnr(decode(lo.codestream), img) < psnr(decode(hi.codestream), img)
+
+    def test_finer_base_step_improves_quality(self):
+        img = watch_face_image(48, 48, 1)
+        coarse = encode(img, EncoderParams(lossless=False, base_quant_step=1 / 8))
+        fine = encode(img, EncoderParams(lossless=False, base_quant_step=1 / 64))
+        assert psnr(decode(fine.codestream), img) > psnr(decode(coarse.codestream), img)
+
+    def test_rgb_lossy(self):
+        img = watch_face_image(48, 48, 3)
+        res = encode(img, EncoderParams(lossless=False, levels=3))
+        out = decode(res.codestream)
+        assert out.shape == img.shape
+        assert psnr(out, img) > 38
+
+
+class TestWorkloadStats:
+    def test_stats_describe_image(self, encoded_lossless_rgb):
+        st = encoded_lossless_rgb.stats
+        assert (st.height, st.width, st.num_components) == (96, 96, 3)
+        assert st.lossless and st.levels == 3
+
+    def test_subband_count(self, encoded_lossless_rgb):
+        st = encoded_lossless_rgb.stats
+        assert len(st.subbands) == 3 * (1 + 3 * 3)
+
+    def test_block_symbols_positive_for_natural_image(self, encoded_lossless_rgb):
+        st = encoded_lossless_rgb.stats
+        assert sum(b.total_symbols for b in st.blocks) > st.num_pixels
+
+    def test_raw_and_coded_sizes(self, encoded_lossless_rgb):
+        st = encoded_lossless_rgb.stats
+        assert st.raw_bytes == 96 * 96 * 3
+        assert st.codestream_bytes == len(encoded_lossless_rgb.codestream)
+
+    def test_scale_workload(self, encoded_lossless_rgb):
+        st = encoded_lossless_rgb.stats
+        big = scale_workload(st, 4)
+        assert big.height == st.height * 4 and big.width == st.width * 4
+        assert len(big.blocks) == 16 * len(st.blocks)
+        assert big.raw_bytes == 16 * st.raw_bytes
+        assert big.subbands[0].height == st.subbands[0].height * 4
+
+    def test_scale_identity(self, encoded_lossless_rgb):
+        assert scale_workload(encoded_lossless_rgb.stats, 1) is encoded_lossless_rgb.stats
+
+    def test_scale_rejects_bad_factor(self, encoded_lossless_rgb):
+        with pytest.raises(ValueError):
+            scale_workload(encoded_lossless_rgb.stats, 0)
+
+
+class TestInputValidation:
+    def test_rejects_float_image(self):
+        with pytest.raises(ValueError):
+            encode(np.zeros((8, 8), dtype=np.float32))
+
+    def test_rejects_two_channels(self):
+        with pytest.raises(ValueError):
+            encode(np.zeros((8, 8, 2), dtype=np.uint8))
+
+    def test_rejects_rate_with_lossless(self):
+        with pytest.raises(ValueError):
+            EncoderParams(lossless=True, rate=0.5)
+
+    def test_rejects_bad_codeblock(self):
+        with pytest.raises(ValueError):
+            EncoderParams(codeblock_size=48)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            EncoderParams(lossless=False, rate=1.5)

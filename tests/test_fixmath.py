@@ -1,0 +1,80 @@
+"""Fixed-point (Q13) arithmetic and fixed-point 9/7 DWT tests."""
+
+import numpy as np
+import pytest
+
+from repro.jpeg2000.fixmath import (
+    FRAC_BITS,
+    ONE,
+    fix_add,
+    fix_mul,
+    forward_97_fixed_1d,
+    max_fixed_error_vs_float,
+    to_fixed,
+    to_float,
+)
+
+
+class TestConversion:
+    def test_one(self):
+        assert to_fixed(1.0) == ONE
+
+    def test_roundtrip_grid(self):
+        vals = np.linspace(-100, 100, 201)
+        back = to_float(to_fixed(vals))
+        assert np.abs(back - vals).max() <= 0.5 / ONE + 1e-12
+
+    def test_overflow_raises(self):
+        with pytest.raises(OverflowError):
+            to_fixed(1e9)
+
+    def test_frac_bits_is_jasper_default(self):
+        assert FRAC_BITS == 13
+
+
+class TestFixOps:
+    def test_mul_identity(self):
+        x = to_fixed(np.array([2.5, -3.25]))
+        assert np.array_equal(fix_mul(x, to_fixed(1.0)), x)
+
+    def test_mul_matches_float(self):
+        a, b = 3.14159, -2.5
+        got = to_float(fix_mul(to_fixed(a), to_fixed(b)))
+        assert got == pytest.approx(a * b, abs=2e-3)
+
+    def test_mul_truncates_toward_minus_inf(self):
+        # (1/ONE) * (1/ONE) underflows to 0
+        tiny = np.int32(1)
+        assert fix_mul(tiny, tiny) == 0
+
+    def test_add(self):
+        assert to_float(fix_add(to_fixed(1.5), to_fixed(2.25))) == 3.75
+
+
+class TestFixedDwt:
+    def test_close_to_float_dwt(self):
+        rng = np.random.default_rng(0)
+        x = rng.integers(-128, 128, size=(64, 1)).astype(np.int32)
+        err = max_fixed_error_vs_float(x)
+        assert err < 0.1  # Q13 rounding noise only
+
+    def test_error_is_nonzero(self):
+        # fixed point is an approximation: some rounding must appear
+        rng = np.random.default_rng(3)
+        x = rng.integers(-128, 128, size=(256, 1)).astype(np.int32)
+        assert max_fixed_error_vs_float(x) > 0.0
+
+    def test_constant_signal(self):
+        x = np.full((16, 1), 7, dtype=np.int32)
+        lo, hi = forward_97_fixed_1d(x)
+        assert np.allclose(to_float(lo), 7.0, atol=0.01)
+        assert np.abs(to_float(hi)).max() < 0.01
+
+    def test_single_sample(self):
+        lo, hi = forward_97_fixed_1d(np.array([[5]], dtype=np.int32))
+        assert to_float(lo)[0, 0] == 5.0
+        assert hi.size == 0
+
+    def test_band_sizes(self):
+        lo, hi = forward_97_fixed_1d(np.zeros((9, 2), dtype=np.int32))
+        assert lo.shape[0] == 5 and hi.shape[0] == 4

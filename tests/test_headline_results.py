@@ -1,0 +1,102 @@
+"""The paper's headline numbers, asserted as reproduction bands.
+
+Each test pins one quantitative claim from the abstract / Section 5 and
+checks our simulated reproduction lands in a band around it.  Absolute
+match is not expected (our substrate is a model, not the authors' QS20);
+these bands encode "who wins, by roughly what factor".
+"""
+
+import pytest
+
+from repro.baselines.pentium4 import P4PipelineModel
+from repro.cell.machine import CellMachine
+from repro.core.pipeline import PipelineModel
+from repro.jpeg2000.encoder import scale_workload
+
+
+@pytest.fixture(scope="module")
+def big_ll(headline_lossless):
+    # 192x192 crop scaled x16 -> 3072x3072x3 = the paper's 28.3 MB image
+    return scale_workload(headline_lossless.stats, 16)
+
+
+@pytest.fixture(scope="module")
+def big_lossy(headline_lossy):
+    return scale_workload(headline_lossy.stats, 16)
+
+
+def cell_time(stats, spes, ppes=1):
+    chips = 2 if (spes > 8 or ppes > 1) else 1
+    m = CellMachine(chips=chips, num_spes=spes, num_ppe_threads=ppes)
+    return PipelineModel(m, stats).simulate()
+
+
+class TestLosslessHeadlines:
+    def test_speedup_8spe_vs_1spe_near_6_6(self, big_ll):
+        """Abstract: 'an overall speedup of 6.6 ... for lossless encoding
+        with 8 SPEs compared to the single SPE performance'."""
+        s = cell_time(big_ll, 1).total_s / cell_time(big_ll, 8).total_s
+        assert 5.5 <= s <= 7.8
+
+    def test_vs_ppe_only_near_6_9(self, big_ll):
+        ppe_only = PipelineModel(
+            CellMachine(num_spes=0, num_ppe_threads=1), big_ll
+        ).simulate().total_s
+        r = ppe_only / cell_time(big_ll, 8).total_s
+        assert 5.0 <= r <= 8.5
+
+    def test_vs_pentium4_near_3_2(self, big_ll):
+        """Abstract: '3.2 times higher performance for lossless encoding'."""
+        p4 = P4PipelineModel(big_ll).simulate().total_s
+        r = p4 / cell_time(big_ll, 8).total_s
+        assert 2.4 <= r <= 4.2
+
+    def test_dwt_vs_pentium4_near_9_1(self, big_ll):
+        """Abstract: 'the Cell/B.E. outperforms the Pentium IV processor by
+        9.1 times' for the lossless DWT."""
+        p4 = P4PipelineModel(big_ll).simulate().stage("dwt").wall_s
+        cell = cell_time(big_ll, 8).stage("dwt").wall_s
+        assert 6.5 <= p4 / cell <= 12.0
+
+    def test_scales_to_16_spes(self, big_ll):
+        """Section 5.1: 'The performance scales up to 16 SPEs'."""
+        t8 = cell_time(big_ll, 8, 1).total_s
+        t16 = cell_time(big_ll, 16, 2).total_s
+        assert t16 < 0.7 * t8
+
+
+class TestLossyHeadlines:
+    def test_speedup_8spe_vs_1spe_flattened(self, big_lossy):
+        """Abstract: lossy speedup 3.1 with 8 SPEs — well below lossless."""
+        s = cell_time(big_lossy, 1).total_s / cell_time(big_lossy, 8).total_s
+        assert 2.5 <= s <= 4.5
+
+    def test_vs_pentium4_near_2_7(self, big_lossy):
+        p4 = P4PipelineModel(big_lossy).simulate().total_s
+        r = p4 / cell_time(big_lossy, 8).total_s
+        assert 2.0 <= r <= 3.6
+
+    def test_dwt_vs_pentium4_near_15(self, big_lossy):
+        """Abstract: '15 times for the lossy case' — bigger than lossless
+        because the P4 runs Jasper's fixed-point 9/7."""
+        p4 = P4PipelineModel(big_lossy).simulate().stage("dwt").wall_s
+        cell = cell_time(big_lossy, 8).stage("dwt").wall_s
+        assert 11.0 <= p4 / cell <= 19.0
+
+    def test_lossy_dwt_ratio_exceeds_lossless(self, big_ll, big_lossy):
+        def ratio(stats):
+            p4 = P4PipelineModel(stats).simulate().stage("dwt").wall_s
+            return p4 / cell_time(stats, 8).stage("dwt").wall_s
+        assert ratio(big_lossy) > ratio(big_ll)
+
+    def test_rate_control_near_60pct_at_16spe_2ppe(self, big_lossy):
+        """Section 5.1: 'the sequential rate allocation stage ... takes
+        around 60% of the total execution time in 16 SPE + 2 PPE case'."""
+        frac = cell_time(big_lossy, 16, 2).fraction("rate_control")
+        assert 0.45 <= frac <= 0.75
+
+    def test_lossy_flattens_while_lossless_scales(self, big_ll, big_lossy):
+        """Figure 4 vs Figure 5 shape."""
+        def speedup_16(stats):
+            return cell_time(stats, 1).total_s / cell_time(stats, 16, 2).total_s
+        assert speedup_16(big_ll) > 1.8 * speedup_16(big_lossy)

@@ -1,0 +1,117 @@
+"""Kernel characterization tests."""
+
+import pytest
+
+from repro.cell.ppe import PPECore
+from repro.cell.spe import SPECore
+from repro.kernels.dwt_kernels import (
+    DwtVariant,
+    dwt_mix,
+    sample_visits_per_pixel,
+    vertical_dma_passes,
+)
+from repro.kernels.levelshift import levelshift_mct_mix
+from repro.kernels.quantize_kernel import quantize_mix
+from repro.kernels.readconv import readconv_mix
+from repro.kernels.specs import KernelSpec
+from repro.kernels.tier1_kernel import tier1_block_cost_s, tier1_symbol_mix
+
+
+class TestDmaPasses:
+    def test_paper_pass_counts(self):
+        """Section 4: '3 or 6 steps in the vertical filtering involve 3 or 6
+        DMA data transfer of the entire column group data' and the merged
+        variant halves the splitting step to land at 1.5."""
+        assert vertical_dma_passes(DwtVariant.NAIVE, True) == 3.0
+        assert vertical_dma_passes(DwtVariant.NAIVE, False) == 6.0
+        assert vertical_dma_passes(DwtVariant.MERGED, True) == 1.5
+        assert vertical_dma_passes(DwtVariant.MERGED, False) == 1.5
+
+    def test_interleaving_strictly_improves(self):
+        for lossless in (True, False):
+            n = vertical_dma_passes(DwtVariant.NAIVE, lossless)
+            i = vertical_dma_passes(DwtVariant.INTERLEAVED, lossless)
+            m = vertical_dma_passes(DwtVariant.MERGED, lossless)
+            assert m < i < n
+
+    def test_lossy_gains_more_from_merging(self):
+        """6 -> 1.5 (4x) for lossy vs 3 -> 1.5 (2x) for lossless."""
+        gain_ll = vertical_dma_passes(DwtVariant.NAIVE, True) / 1.5
+        gain_lossy = vertical_dma_passes(DwtVariant.NAIVE, False) / 1.5
+        assert gain_lossy == 2 * gain_ll
+
+
+class TestSampleVisits:
+    def test_zero_levels(self):
+        assert sample_visits_per_pixel(0) == 0.0
+
+    def test_one_level_two_directions(self):
+        assert sample_visits_per_pixel(1) == 2.0
+
+    def test_converges_to_8_thirds(self):
+        assert sample_visits_per_pixel(10) == pytest.approx(8 / 3, rel=1e-3)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            sample_visits_per_pixel(-1)
+
+
+class TestMixes:
+    def test_fixed_point_dwt_costs_more_on_spe(self):
+        spe = SPECore()
+        assert spe.seconds_per_element(dwt_mix(False, fixed_point=True)) > \
+            spe.seconds_per_element(dwt_mix(False, fixed_point=False))
+
+    def test_lossless_dwt_cheapest(self):
+        spe = SPECore()
+        assert spe.seconds_per_element(dwt_mix(True)) < \
+            spe.seconds_per_element(dwt_mix(False))
+
+    def test_pixel_kernels_vectorizable(self):
+        for mix in (levelshift_mct_mix(True, 3), levelshift_mct_mix(False, 3),
+                    quantize_mix(), readconv_mix()):
+            assert mix.vectorizable
+
+    def test_tier1_not_vectorizable(self):
+        assert not tier1_symbol_mix().vectorizable
+
+    def test_ict_costs_more_than_rct(self):
+        spe = SPECore()
+        assert spe.seconds_per_element(levelshift_mct_mix(False, 3)) > \
+            spe.seconds_per_element(levelshift_mct_mix(True, 3))
+
+    def test_levelshift_rejects_bad_comps(self):
+        with pytest.raises(ValueError):
+            levelshift_mct_mix(True, 2)
+
+
+class TestTier1BlockCost:
+    def test_cost_grows_with_symbols(self):
+        spe = SPECore()
+        a = tier1_block_cost_s(1000, 4096, spe)
+        b = tier1_block_cost_s(10000, 4096, spe)
+        assert b > a
+
+    def test_empty_block_costs_only_overhead(self):
+        spe = SPECore()
+        cost = tier1_block_cost_s(0, 0, spe)
+        assert 0 < cost < 1e-4
+
+    def test_ppe_cheaper_per_block(self):
+        c_spe = tier1_block_cost_s(5000, 4096, SPECore())
+        c_ppe = tier1_block_cost_s(5000, 4096, PPECore())
+        assert c_ppe < c_spe
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            tier1_block_cost_s(-1, 0, SPECore())
+
+
+class TestKernelSpec:
+    def test_traffic_sum(self):
+        spec = KernelSpec("k", dwt_mix(True), bytes_in=4.0, bytes_out=4.0)
+        assert spec.bytes_total == 8.0
+
+    def test_rejects_negative_traffic(self):
+        with pytest.raises(ValueError):
+            KernelSpec("k", dwt_mix(True), bytes_in=-1.0, bytes_out=0.0)

@@ -1,0 +1,87 @@
+"""Local Store allocator tests."""
+
+import pytest
+
+from repro.cell.localstore import (
+    LOCAL_STORE_BYTES,
+    LocalStore,
+    LocalStoreError,
+    max_buffer_depth,
+)
+
+
+class TestLocalStore:
+    def test_capacity_is_256k(self):
+        assert LOCAL_STORE_BYTES == 256 * 1024
+
+    def test_alloc_returns_aligned_offsets(self):
+        ls = LocalStore()
+        off = ls.alloc("buf", 100)
+        assert off % 16 == 0
+        off2 = ls.alloc("buf2", 100, align=128)
+        assert off2 % 128 == 0 and off2 >= off + 100
+
+    def test_overflow_raises(self):
+        ls = LocalStore()
+        ls.alloc("big", ls.free - 16)
+        with pytest.raises(LocalStoreError):
+            ls.alloc("more", 4096)
+
+    def test_exact_fill(self):
+        ls = LocalStore()
+        ls.alloc("all", ls.free)
+        assert ls.free == 0
+
+    def test_reset_keeps_code(self):
+        ls = LocalStore()
+        before = ls.free
+        ls.alloc("x", 1024)
+        ls.reset()
+        assert ls.free == before
+        assert ls.report() == []
+
+    def test_fits(self):
+        ls = LocalStore()
+        assert ls.fits(ls.free)
+        assert not ls.fits(ls.free + 16)
+
+    def test_code_reserved(self):
+        ls = LocalStore(code_bytes=64 * 1024)
+        assert ls.free <= 192 * 1024
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            LocalStore().alloc("z", 0)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            LocalStore(capacity=512 * 1024)
+
+    def test_report_lists_allocations(self):
+        ls = LocalStore()
+        ls.alloc("a", 256)
+        ls.alloc("b", 512)
+        names = [n for n, _, _ in ls.report()]
+        assert names == ["a", "b"]
+
+
+class TestMaxBufferDepth:
+    def test_constant_row_gives_many_buffers(self):
+        """Paper Section 2: constant per-row footprint lets buffering depth
+        grow until the Local Store is full."""
+        depth = max_buffer_depth(row_bytes=2048)
+        assert depth > 50
+
+    def test_depth_shrinks_with_row_size(self):
+        assert max_buffer_depth(1024) > max_buffer_depth(8192)
+
+    def test_huge_row_gives_zero(self):
+        assert max_buffer_depth(LOCAL_STORE_BYTES) == 0
+
+    def test_at_least_double_buffering_for_typical_chunk(self):
+        # a 512-element int32 chunk row = 2 KiB: double buffering trivially fits
+        assert max_buffer_depth(512 * 4) >= 2
+
+    def test_rejects_bad_row(self):
+        with pytest.raises(ValueError):
+            max_buffer_depth(0)

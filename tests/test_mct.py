@@ -1,0 +1,133 @@
+"""Level shift and RCT/ICT component transform tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.jpeg2000.mct import (
+    forward_ict,
+    forward_mct,
+    forward_rct,
+    inverse_ict,
+    inverse_mct,
+    inverse_rct,
+    level_shift,
+    level_unshift,
+)
+
+
+class TestLevelShift:
+    def test_shift_centres_range(self):
+        x = np.array([0, 128, 255], dtype=np.uint8)
+        assert level_shift(x, 8).tolist() == [-128, 0, 127]
+
+    def test_unshift_inverts(self):
+        x = np.arange(256, dtype=np.uint8)
+        assert np.array_equal(level_unshift(level_shift(x, 8), 8), x)
+
+    def test_unshift_clamps(self):
+        assert level_unshift(np.array([1000]), 8)[0] == 255
+        assert level_unshift(np.array([-1000]), 8)[0] == 0
+
+    def test_16bit(self):
+        x = np.array([0, 65535], dtype=np.uint16)
+        s = level_shift(x, 16)
+        assert s.tolist() == [-32768, 32767]
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ValueError):
+            level_shift(np.zeros(3), 0)
+        with pytest.raises(ValueError):
+            level_unshift(np.zeros(3), 17)
+
+
+class TestRct:
+    def test_exact_roundtrip_exhaustive_corners(self):
+        vals = np.array([-128, -1, 0, 1, 127], dtype=np.int32)
+        r, g, b = np.meshgrid(vals, vals, vals, indexing="ij")
+        y, u, v = forward_rct(r, g, b)
+        r2, g2, b2 = inverse_rct(y, u, v)
+        assert np.array_equal(r, r2) and np.array_equal(g, g2) and np.array_equal(b, b2)
+
+    def test_gray_maps_to_zero_chroma(self):
+        g = np.array([[10, -50]], dtype=np.int32)
+        y, u, v = forward_rct(g, g, g)
+        assert np.array_equal(y, g)
+        assert not u.any() and not v.any()
+
+    @given(hnp.arrays(np.int32, (4, 3), elements=st.integers(-32768, 32767)))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_property(self, rgb_plane):
+        r = rgb_plane[:, 0:1]
+        g = rgb_plane[:, 1:2]
+        b = rgb_plane[:, 2:3]
+        out = inverse_rct(*forward_rct(r, g, b))
+        assert all(np.array_equal(a, b_) for a, b_ in zip((r, g, b), out))
+
+    def test_chroma_range_expands_one_bit(self):
+        # |u|, |v| can reach 2x the input range but no more
+        vals = np.array([-128, 127], dtype=np.int32)
+        r, g, b = np.meshgrid(vals, vals, vals, indexing="ij")
+        _, u, v = forward_rct(r, g, b)
+        assert max(abs(u).max(), abs(v).max()) <= 255
+
+
+class TestIct:
+    def test_roundtrip_close(self):
+        rng = np.random.default_rng(0)
+        r, g, b = (rng.uniform(-128, 127, (8, 8)) for _ in range(3))
+        out = inverse_ict(*forward_ict(r, g, b))
+        for a, b_ in zip((r, g, b), out):
+            assert np.allclose(a, b_, atol=1e-10)
+
+    def test_luma_weights_sum_to_one(self):
+        ones = np.ones((2, 2))
+        y, cb, cr = forward_ict(ones, ones, ones)
+        assert np.allclose(y, 1.0)
+        # the T.800 constants are rounded to 5 decimals, so chroma of a gray
+        # pixel is ~1e-5, not exactly zero
+        assert np.allclose(cb, 0.0, atol=1e-4) and np.allclose(cr, 0.0, atol=1e-4)
+
+
+class TestForwardInverseMct:
+    def test_lossless_rgb_roundtrip(self):
+        rng = np.random.default_rng(1)
+        comps = [rng.integers(0, 256, (9, 7)).astype(np.uint8) for _ in range(3)]
+        planes = forward_mct(comps, 8, lossless=True)
+        out = inverse_mct(planes, 8, lossless=True)
+        for a, b in zip(comps, out):
+            assert np.array_equal(a, b.astype(np.uint8))
+
+    def test_lossy_rgb_roundtrip_close(self):
+        rng = np.random.default_rng(2)
+        comps = [rng.integers(0, 256, (9, 7)).astype(np.uint8) for _ in range(3)]
+        planes = forward_mct(comps, 8, lossless=False)
+        out = inverse_mct(planes, 8, lossless=False)
+        for a, b in zip(comps, out):
+            assert np.abs(a.astype(int) - b).max() <= 1
+
+    def test_single_component(self):
+        x = np.arange(12, dtype=np.uint8).reshape(3, 4)
+        planes = forward_mct([x], 8, lossless=True)
+        assert len(planes) == 1
+        out = inverse_mct(planes, 8, lossless=True)
+        assert np.array_equal(out[0].astype(np.uint8), x)
+
+    def test_lossless_planes_are_int(self):
+        comps = [np.zeros((2, 2), dtype=np.uint8)] * 3
+        planes = forward_mct(comps, 8, lossless=True)
+        assert all(p.dtype == np.int32 for p in planes)
+
+    def test_lossy_planes_are_float(self):
+        comps = [np.zeros((2, 2), dtype=np.uint8)] * 3
+        planes = forward_mct(comps, 8, lossless=False)
+        assert all(p.dtype == np.float64 for p in planes)
+
+    def test_rejects_two_components(self):
+        comps = [np.zeros((2, 2), dtype=np.uint8)] * 2
+        with pytest.raises(ValueError):
+            forward_mct(comps, 8, lossless=True)
+        with pytest.raises(ValueError):
+            inverse_mct([np.zeros((2, 2))] * 2, 8, lossless=True)

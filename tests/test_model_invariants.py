@@ -1,0 +1,96 @@
+"""Model-level invariants: scale stability, conservation, monotonicity.
+
+These guard the methodology itself: if the performance model's *ratios*
+drifted with workload scale, the crop-and-scale benchmarking approach
+would be invalid.
+"""
+
+import pytest
+
+from repro.baselines.pentium4 import P4PipelineModel
+from repro.cell.machine import CellMachine, SINGLE_CELL
+from repro.core.calibration import Calibration
+from repro.core.pipeline import PipelineModel, PipelineOptions
+from repro.jpeg2000.encoder import scale_workload
+
+
+@pytest.fixture(scope="module")
+def base(encoded_lossless_rgb):
+    return encoded_lossless_rgb.stats
+
+
+def _cell(stats, spes=8):
+    return PipelineModel(CellMachine(num_spes=spes), stats).simulate()
+
+
+class TestScaleInvariance:
+    def test_cell_vs_p4_ratio_stable_across_scales(self, base):
+        """The headline ratios must not be artifacts of the scale factor."""
+        ratios = []
+        for f in (6, 12, 20):
+            st = scale_workload(base, f)
+            ratios.append(
+                P4PipelineModel(st).simulate().total_s / _cell(st).total_s
+            )
+        assert max(ratios) / min(ratios) < 1.25
+
+    def test_time_scales_roughly_quadratically(self, base):
+        t1 = _cell(scale_workload(base, 8)).total_s
+        t2 = _cell(scale_workload(base, 16)).total_s
+        assert t2 / t1 == pytest.approx(4.0, rel=0.25)
+
+    def test_speedup_curve_stable_across_scales(self, base):
+        def speedup_at_8(f):
+            st = scale_workload(base, f)
+            return _cell(st, spes=1).total_s / _cell(st, spes=8).total_s
+
+        assert speedup_at_8(8) == pytest.approx(speedup_at_8(16), rel=0.1)
+
+
+class TestConservation:
+    def test_busy_time_not_exceeding_wall(self, base):
+        st = scale_workload(base, 8)
+        m = SINGLE_CELL
+        tl = PipelineModel(m, st).simulate()
+        for s in tl.stages:
+            # total SPE busy time across 8 SPEs cannot exceed 8x wall
+            assert s.spe_busy_s <= m.num_spes * s.wall_s + 1e-9
+
+    def test_tier1_work_conserved_across_configs(self, base):
+        """Same blocks -> nearly the same total busy work at any PE count.
+
+        Only the per-block DMA term varies (more SPEs share the bandwidth),
+        so totals drift by a few percent, never by a scheduling artifact.
+        """
+        st = scale_workload(base, 8)
+        busy = []
+        for spes in (2, 4, 8):
+            tl = PipelineModel(CellMachine(num_spes=spes), st).simulate()
+            busy.append(tl.stage("tier1").spe_busy_s)
+        assert busy[0] == pytest.approx(busy[1], rel=0.1)
+        assert busy[1] == pytest.approx(busy[2], rel=0.1)
+
+
+class TestCalibrationSensitivity:
+    def test_cheaper_tier1_shrinks_only_tier1(self, base):
+        st = scale_workload(base, 8)
+        default = PipelineModel(SINGLE_CELL, st).simulate()
+        cheap = PipelineModel(
+            SINGLE_CELL, st,
+            PipelineOptions(calibration=Calibration(tier1_ops_per_symbol=20.0)),
+        ).simulate()
+        assert cheap.stage("tier1").wall_s < default.stage("tier1").wall_s
+        assert cheap.stage("dwt").wall_s == pytest.approx(
+            default.stage("dwt").wall_s, rel=1e-9
+        )
+
+    def test_lower_bandwidth_slows_dwt(self, base):
+        from repro.cell.eib import MemorySystem
+
+        st = scale_workload(base, 8)
+        fast = PipelineModel(SINGLE_CELL, st).simulate()
+        slow_machine = CellMachine(
+            num_spes=8, memory=MemorySystem(offchip_bw=6.4e9)
+        )
+        slow = PipelineModel(slow_machine, st).simulate()
+        assert slow.stage("dwt").wall_s > fast.stage("dwt").wall_s

@@ -1,0 +1,138 @@
+"""MQ arithmetic coder tests: round trips, truncation, adaptation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jpeg2000.mq import MQDecoder, MQEncoder, STATE_TABLE
+
+
+class TestStateTable:
+    def test_has_47_states(self):
+        assert len(STATE_TABLE) == 47
+
+    def test_paper_relevant_qe_values(self):
+        assert STATE_TABLE[0][0] == 0x5601
+        assert STATE_TABLE[46][0] == 0x5601  # uniform state
+
+    def test_transitions_in_range(self):
+        for qe, nmps, nlps, switch in STATE_TABLE:
+            assert 0 < qe <= 0x5601
+            assert 0 <= nmps < 47 and 0 <= nlps < 47
+            assert switch in (0, 1)
+
+    def test_terminal_state_self_loops(self):
+        qe, nmps, nlps, switch = STATE_TABLE[46]
+        assert nmps == 46 and nlps == 46
+
+
+class TestRoundTrip:
+    def test_empty_stream(self):
+        enc = MQEncoder(1)
+        data = enc.flush()
+        MQDecoder(data, 1)  # must construct without error
+
+    def test_single_bits(self):
+        for bit in (0, 1):
+            enc = MQEncoder(1)
+            enc.encode(bit, 0)
+            dec = MQDecoder(enc.flush(), 1)
+            assert dec.decode(0) == bit
+
+    def test_alternating(self):
+        bits = [i % 2 for i in range(100)]
+        enc = MQEncoder(2)
+        for i, b in enumerate(bits):
+            enc.encode(b, i % 2)
+        dec = MQDecoder(enc.flush(), 2)
+        assert [dec.decode(i % 2) for i in range(100)] == bits
+
+    def test_all_zero_compresses_well(self):
+        enc = MQEncoder(1)
+        for _ in range(10000):
+            enc.encode(0, 0)
+        data = enc.flush()
+        assert len(data) < 40  # adaptive coder should crush a constant
+
+    def test_random_incompressible(self):
+        rng = random.Random(0)
+        bits = [rng.randint(0, 1) for _ in range(8000)]
+        enc = MQEncoder(1)
+        for b in bits:
+            enc.encode(b, 0)
+        data = enc.flush()
+        assert len(data) > 900  # can't beat entropy
+        dec = MQDecoder(data, 1)
+        assert [dec.decode(0) for _ in bits] == bits
+
+    def test_double_flush_idempotent(self):
+        enc = MQEncoder(1)
+        enc.encode(1, 0)
+        assert enc.flush() == enc.flush()
+
+    def test_encode_after_flush_raises(self):
+        enc = MQEncoder(1)
+        enc.flush()
+        with pytest.raises(RuntimeError):
+            enc.encode(0, 0)
+
+    def test_initial_states_respected(self):
+        # starting ctx 0 at state 46 (uniform) costs ~1 bit/symbol
+        enc = MQEncoder(1, {0: 46})
+        for _ in range(800):
+            enc.encode(0, 0)
+        uniform_len = len(enc.flush())
+        enc2 = MQEncoder(1)
+        for _ in range(800):
+            enc2.encode(0, 0)
+        adaptive_len = len(enc2.flush())
+        assert uniform_len > 5 * adaptive_len
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 1), st.integers(0, 18)), max_size=500),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_property(self, pairs):
+        enc = MQEncoder(19)
+        for bit, cx in pairs:
+            enc.encode(bit, cx)
+        dec = MQDecoder(enc.flush(), 19)
+        assert [dec.decode(cx) for _, cx in pairs] == [b for b, _ in pairs]
+
+
+class TestTruncation:
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_safe_length_decodes_prefix(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(12, 300)
+        bits = [1 if rng.random() < 0.2 else 0 for _ in range(n)]
+        cxs = [rng.randrange(4) for _ in range(n)]
+        enc = MQEncoder(4)
+        safe = []
+        for b, c in zip(bits, cxs):
+            enc.encode(b, c)
+            safe.append(enc.safe_length())
+        data = enc.flush()
+        k = rng.randrange(1, n)
+        trunc = data[: min(safe[k - 1], len(data))]
+        dec = MQDecoder(trunc, 4)
+        assert [dec.decode(c) for c in cxs[:k]] == bits[:k]
+
+    def test_safe_length_monotone(self):
+        rng = random.Random(1)
+        enc = MQEncoder(2)
+        prev = 0
+        for _ in range(500):
+            enc.encode(rng.randint(0, 1), rng.randint(0, 1))
+            cur = enc.safe_length()
+            assert cur >= prev
+            prev = cur
+
+    def test_decoder_survives_empty_data(self):
+        dec = MQDecoder(b"", 1)
+        # decodes *something* without crashing (all-1 fill)
+        for _ in range(50):
+            assert dec.decode(0) in (0, 1)

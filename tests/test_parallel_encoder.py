@@ -1,0 +1,103 @@
+"""CellJPEG2000Encoder facade and timeline/stats helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.cell.machine import QS20_BLADE, SINGLE_CELL, CellMachine
+from repro.cell.timeline import StageTiming, Timeline
+from repro.core.parallel_encoder import CellJPEG2000Encoder
+from repro.core.stats import format_scaling_table, scaling_table, speedup
+from repro.image.synthetic import watch_face_image
+from repro.jpeg2000.decoder import decode
+from repro.jpeg2000.params import EncoderParams
+
+
+@pytest.fixture(scope="module")
+def parallel_result():
+    img = watch_face_image(48, 48, channels=1)
+    enc = CellJPEG2000Encoder(machine=SINGLE_CELL)
+    return img, enc.encode(img, EncoderParams(lossless=True, levels=3))
+
+
+class TestFacade:
+    def test_codestream_decodes(self, parallel_result):
+        img, res = parallel_result
+        assert np.array_equal(decode(res.codestream), img)
+
+    def test_timeline_attached(self, parallel_result):
+        _, res = parallel_result
+        assert res.simulated_seconds > 0
+        assert res.timeline.stage("tier1").wall_s > 0
+
+    def test_report_mentions_everything(self, parallel_result):
+        _, res = parallel_result
+        text = res.report()
+        assert "lossless" in text and "tier1" in text and "ratio" in text
+
+    def test_simulate_existing_result_on_other_machine(self, parallel_result):
+        _, res = parallel_result
+        blade = CellJPEG2000Encoder(machine=QS20_BLADE)
+        tl = blade.simulate(res.encode_result)
+        assert tl.total_s < res.timeline.total_s
+
+    def test_scaling_study(self, parallel_result):
+        _, res = parallel_result
+        enc = CellJPEG2000Encoder(machine=QS20_BLADE)
+        tls = enc.scaling_study(res.encode_result, [1, 4, 16])
+        assert set(tls) == {1, 4, 16}
+        assert tls[16].total_s < tls[1].total_s
+
+
+class TestTimeline:
+    def make(self):
+        tl = Timeline(machine_name="m")
+        tl.add(StageTiming("a", 1.0))
+        tl.add(StageTiming("b", 3.0))
+        return tl
+
+    def test_total(self):
+        assert self.make().total_s == 4.0
+
+    def test_fraction(self):
+        assert self.make().fraction("b") == pytest.approx(0.75)
+
+    def test_stage_lookup_error(self):
+        with pytest.raises(KeyError):
+            self.make().stage("zzz")
+
+    def test_negative_wall_rejected(self):
+        with pytest.raises(ValueError):
+            StageTiming("x", -1.0)
+
+    def test_report_contains_percentages(self):
+        assert "%" in self.make().report()
+
+
+class TestStatsHelpers:
+    def test_speedup(self):
+        a = Timeline("x", [StageTiming("s", 2.0)])
+        b = Timeline("y", [StageTiming("s", 1.0)])
+        assert speedup(a, b) == 2.0
+
+    def test_speedup_rejects_zero(self):
+        a = Timeline("x", [StageTiming("s", 1.0)])
+        b = Timeline("y", [])
+        with pytest.raises(ValueError):
+            speedup(a, b)
+
+    def test_scaling_table_normalizes_to_smallest_key(self):
+        tls = {
+            1: Timeline("m", [StageTiming("s", 8.0)]),
+            4: Timeline("m", [StageTiming("s", 2.0)]),
+        }
+        rows = scaling_table(tls)
+        assert rows[0].speedup_vs_one_spe == 1.0
+        assert rows[1].speedup_vs_one_spe == 4.0
+
+    def test_format_scaling_table(self):
+        tls = {1: Timeline("m", [StageTiming("s", 1.0)])}
+        out = format_scaling_table(scaling_table(tls), "T")
+        assert "T" in out and "speedup" in out
+
+    def test_empty_table(self):
+        assert scaling_table({}) == []

@@ -1,0 +1,145 @@
+"""Pipeline model tests: stage structure, scaling behaviour, options."""
+
+import pytest
+
+from repro.cell.machine import CellMachine, QS20_BLADE, SINGLE_CELL
+from repro.core.pipeline import PipelineModel, PipelineOptions
+from repro.jpeg2000.encoder import scale_workload
+from repro.kernels.dwt_kernels import DwtVariant
+
+
+@pytest.fixture(scope="module")
+def stats_ll(encoded_lossless_rgb):
+    return scale_workload(encoded_lossless_rgb.stats, 8)
+
+
+@pytest.fixture(scope="module")
+def stats_lossy(encoded_lossy_rate):
+    return scale_workload(encoded_lossy_rate.stats, 8)
+
+
+def simulate(stats, spes=8, ppes=1, **opt):
+    chips = 2 if (spes > 8 or ppes > 1) else 1
+    m = CellMachine(chips=chips, num_spes=spes, num_ppe_threads=ppes)
+    return PipelineModel(m, stats, PipelineOptions(**opt)).simulate()
+
+
+class TestStageStructure:
+    def test_all_stages_present(self, stats_ll):
+        tl = simulate(stats_ll)
+        names = [s.name for s in tl.stages]
+        assert names == [
+            "read+convert", "levelshift+mct", "dwt", "quantize",
+            "tier1", "rate_control", "tier2", "stream_io",
+        ]
+
+    def test_lossless_skips_quantize_and_rate(self, stats_ll):
+        tl = simulate(stats_ll)
+        assert tl.stage("quantize").wall_s == 0.0
+        assert tl.stage("rate_control").wall_s == 0.0
+
+    def test_lossy_has_quantize_and_rate(self, stats_lossy):
+        tl = simulate(stats_lossy)
+        assert tl.stage("quantize").wall_s > 0.0
+        assert tl.stage("rate_control").wall_s > 0.0
+
+    def test_tier1_dominates_lossless(self, stats_ll):
+        """Prior profiling (Section 1): Tier-1 is the dominant kernel."""
+        tl = simulate(stats_ll)
+        assert tl.fraction("tier1") > 0.5
+
+    def test_report_renders(self, stats_ll):
+        text = simulate(stats_ll).report()
+        assert "tier1" in text and "ms" in text
+
+
+class TestScaling:
+    def test_more_spes_never_slower(self, stats_ll):
+        times = [simulate(stats_ll, spes=n).total_s for n in (1, 2, 4, 8)]
+        assert all(a > b for a, b in zip(times, times[1:]))
+
+    def test_speedup_at_most_linear(self, stats_ll):
+        t1 = simulate(stats_ll, spes=1).total_s
+        for n in (2, 4, 8):
+            assert t1 / simulate(stats_ll, spes=n).total_s <= n * 1.05
+
+    def test_two_chips_help(self, stats_ll):
+        t8 = simulate(stats_ll, spes=8, ppes=1).total_s
+        t16 = simulate(stats_ll, spes=16, ppes=2).total_s
+        assert t16 < t8
+
+    def test_extra_ppe_thread_helps_tier1(self, stats_ll):
+        base = simulate(stats_ll, spes=8, ppes=1, **{})
+        m2 = CellMachine(chips=2, num_spes=8, num_ppe_threads=2)
+        plus = PipelineModel(m2, stats_ll).simulate()
+        assert plus.stage("tier1").wall_s < base.stage("tier1").wall_s
+
+    def test_lossy_flattens_harder_than_lossless(self, stats_ll, stats_lossy):
+        """Figures 4 vs 5: the sequential rate control stage caps lossy."""
+        def speedup(stats):
+            return simulate(stats, spes=1).total_s / simulate(stats, spes=16, ppes=2).total_s
+        assert speedup(stats_lossy) < 0.7 * speedup(stats_ll)
+
+    def test_ppe_only_machine_works(self, stats_ll):
+        m = CellMachine(num_spes=0, num_ppe_threads=1)
+        tl = PipelineModel(m, stats_ll).simulate()
+        assert tl.total_s > simulate(stats_ll, spes=8).total_s
+
+    def test_dwt_stage_spe_far_faster_than_ppe_only(self, stats_ll):
+        """Section 5.1: '1 SPE case outperforms 1 PPE only case by far' on
+        the DWT."""
+        one_spe = simulate(stats_ll, spes=1).stage("dwt").wall_s
+        ppe_only = PipelineModel(
+            CellMachine(num_spes=0, num_ppe_threads=1), stats_ll
+        ).simulate().stage("dwt").wall_s
+        assert ppe_only / one_spe > 2.2
+
+
+class TestOptions:
+    def test_naive_dwt_variant_slower(self, stats_ll):
+        merged = simulate(stats_ll, dwt_variant=DwtVariant.MERGED)
+        naive = simulate(stats_ll, dwt_variant=DwtVariant.NAIVE)
+        assert naive.stage("dwt").wall_s > merged.stage("dwt").wall_s
+
+    def test_interleaved_between_naive_and_merged(self, stats_ll):
+        times = {
+            v: simulate(stats_ll, dwt_variant=v).stage("dwt").wall_s
+            for v in DwtVariant
+        }
+        assert times[DwtVariant.MERGED] <= times[DwtVariant.INTERLEAVED] \
+            <= times[DwtVariant.NAIVE]
+
+    def test_unaligned_decomposition_slower(self, stats_ll):
+        # use a width that is not a cache-line multiple, so the naive
+        # chunking actually lands on misaligned addresses
+        import dataclasses
+
+        ragged = dataclasses.replace(stats_ll, width=stats_ll.width + 37)
+        aligned = simulate(ragged, aligned_decomposition=True)
+        naive = simulate(ragged, aligned_decomposition=False)
+        assert naive.stage("dwt").wall_s > aligned.stage("dwt").wall_s
+        assert naive.stage("levelshift+mct").wall_s > \
+            aligned.stage("levelshift+mct").wall_s
+
+    def test_fixed_point_dwt_slower_lossy(self, stats_lossy):
+        flt = simulate(stats_lossy, fixed_point=False)
+        fix = simulate(stats_lossy, fixed_point=True)
+        assert fix.stage("dwt").wall_s > flt.stage("dwt").wall_s
+
+    def test_workqueue_beats_static(self, stats_ll):
+        wq = simulate(stats_ll, use_workqueue=True)
+        static = simulate(stats_ll, use_workqueue=False)
+        assert wq.stage("tier1").wall_s <= static.stage("tier1").wall_s
+
+    def test_single_buffer_slower(self, stats_ll):
+        b1 = simulate(stats_ll, buffers=1)
+        b4 = simulate(stats_ll, buffers=4)
+        assert b1.stage("dwt").wall_s > b4.stage("dwt").wall_s
+
+    def test_rate_control_fraction_rises_with_spes(self, stats_lossy):
+        """Section 5.1: lossy flattens because rate control is sequential —
+        its share grows toward ~60% at 16 SPE + 2 PPE."""
+        f8 = simulate(stats_lossy, spes=8).fraction("rate_control")
+        f16 = simulate(stats_lossy, spes=16, ppes=2).fraction("rate_control")
+        assert f16 > f8
+        assert f16 > 0.3  # the ~60% band is pinned in test_headline_results

@@ -1,0 +1,88 @@
+"""Cross-module property-based tests (hypothesis).
+
+Module-local property tests live next to their units; this file holds the
+end-to-end invariants that span the whole codec and the model layer.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.decomposition import apply_rowwise, plan_decomposition
+from repro.jpeg2000.decoder import decode
+from repro.jpeg2000.dwt import forward_dwt2d, inverse_dwt2d
+from repro.jpeg2000.encoder import encode
+from repro.jpeg2000.params import EncoderParams
+from repro.jpeg2000.tier1 import decode_codeblock, encode_codeblock
+
+
+@given(
+    hnp.arrays(np.uint8, st.tuples(st.integers(1, 24), st.integers(1, 24)),
+               elements=st.integers(0, 255)),
+    st.integers(0, 3),
+)
+@settings(max_examples=25, deadline=None)
+def test_lossless_encode_decode_identity(image, levels):
+    """Any uint8 image of any small shape round-trips bit exactly."""
+    res = encode(image, EncoderParams(lossless=True, levels=levels))
+    assert np.array_equal(decode(res.codestream), image)
+
+
+@given(
+    hnp.arrays(np.uint8, st.tuples(st.integers(4, 20), st.integers(4, 20)),
+               elements=st.integers(0, 255)),
+)
+@settings(max_examples=15, deadline=None)
+def test_lossy_error_bounded_by_quantizer(image):
+    """Irreversible coding error stays within a few quantizer steps."""
+    res = encode(image, EncoderParams(lossless=False, levels=2,
+                                      base_quant_step=1 / 64))
+    out = decode(res.codestream)
+    assert np.abs(out.astype(int) - image.astype(int)).max() <= 24
+
+
+@given(
+    st.integers(1, 6), st.integers(1, 6),
+    st.integers(0, 2**32 - 1), st.integers(0, 4),
+)
+@settings(max_examples=40, deadline=None)
+def test_dwt_then_tier1_roundtrip(hb, wb, seed, levels):
+    """The DWT -> Tier-1 composition is lossless for any block content."""
+    rng = np.random.default_rng(seed)
+    plane = rng.integers(-128, 128, size=(hb * 8, wb * 8)).astype(np.int32)
+    d = forward_dwt2d(plane, levels, reversible=True)
+    for sb in d.subbands():
+        if sb.data.size == 0:
+            continue
+        block = sb.data[:64, :64].astype(np.int32)
+        res = encode_codeblock(block, sb.band)
+        out = decode_codeblock(res.data, block.shape[0], block.shape[1],
+                               sb.band, res.msbs, res.num_passes)
+        assert np.array_equal(out, block)
+    assert np.array_equal(inverse_dwt2d(d), plane)
+
+
+@given(
+    st.integers(1, 40), st.integers(1, 400), st.integers(0, 12),
+    st.integers(0, 2**32 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_decomposition_never_changes_results(h, w, spes, seed):
+    """Processing through any chunk plan equals direct processing."""
+    rng = np.random.default_rng(seed)
+    arr = rng.integers(-1000, 1000, (h, w)).astype(np.int32)
+    plan = plan_decomposition(h, w, 4, spes)
+    out = apply_rowwise(plan, arr, lambda seg: seg * 3 - 7)
+    assert np.array_equal(out, arr * 3 - 7)
+
+
+@given(st.integers(0, 2**32 - 1))
+@settings(max_examples=10, deadline=None)
+def test_compression_ratio_sane(seed):
+    """Codestreams are never absurdly larger than the raw image."""
+    rng = np.random.default_rng(seed)
+    img = rng.integers(0, 256, (16, 16)).astype(np.uint8)
+    res = encode(img, EncoderParams(lossless=True, levels=2))
+    # headers dominate tiny images; 3x raw is a generous ceiling
+    assert len(res.codestream) < 3 * img.nbytes + 256

@@ -1,0 +1,122 @@
+"""Quantizer, step signalling, and subband parameter tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jpeg2000.quantize import (
+    dequantize,
+    derive_quant,
+    exponent_mantissa_to_step,
+    nominal_range_bits,
+    quantize,
+    step_to_exponent_mantissa,
+)
+
+
+class TestNominalRange:
+    def test_ll_is_depth(self):
+        assert nominal_range_bits(8, "LL", False) == 8
+
+    def test_hh_adds_two(self):
+        assert nominal_range_bits(8, "HH", False) == 10
+
+    def test_chroma_expansion(self):
+        assert nominal_range_bits(8, "HL", True) == 10
+
+    def test_rejects_unknown_band(self):
+        with pytest.raises(ValueError):
+            nominal_range_bits(8, "XY", False)
+
+
+class TestStepSignalling:
+    @given(st.floats(min_value=1e-4, max_value=100.0), st.integers(8, 12))
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip_within_mantissa_precision(self, step, rb):
+        exp, man = step_to_exponent_mantissa(step, rb)
+        back = exponent_mantissa_to_step(exp, man, rb)
+        assert back == pytest.approx(step, rel=2 ** -10)
+
+    def test_power_of_two_is_exact(self):
+        exp, man = step_to_exponent_mantissa(0.5, 8)
+        assert man == 0
+        assert exponent_mantissa_to_step(exp, man, 8) == 0.5
+
+    def test_rejects_nonpositive_step(self):
+        with pytest.raises(ValueError):
+            step_to_exponent_mantissa(0.0, 8)
+
+    def test_decode_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            exponent_mantissa_to_step(32, 0, 8)
+        with pytest.raises(ValueError):
+            exponent_mantissa_to_step(5, 2048, 8)
+
+
+class TestQuantizeDequantize:
+    def test_zero_stays_zero(self):
+        q = quantize(np.array([0.0]), 0.5)
+        assert q[0] == 0
+        assert dequantize(q, 0.5)[0] == 0.0
+
+    def test_deadzone_behaviour(self):
+        # values inside (-step, step) quantize to 0
+        q = quantize(np.array([0.49, -0.49]), 0.5)
+        assert not q.any()
+
+    def test_sign_preserved(self):
+        q = quantize(np.array([2.6, -2.6]), 0.5)
+        assert q.tolist() == [5, -5]
+
+    def test_reconstruction_error_bounded(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-100, 100, 1000)
+        step = 0.75
+        rec = dequantize(quantize(x, step), step)
+        nonzero = np.abs(x) >= step
+        assert np.abs(rec[nonzero] - x[nonzero]).max() <= step * 0.5 + 1e-9
+        # deadzone samples reconstruct to zero with error < step
+        assert np.abs(rec[~nonzero] - x[~nonzero]).max() < step
+
+    @given(
+        st.floats(min_value=0.01, max_value=10.0),
+        st.lists(st.floats(min_value=-1e4, max_value=1e4), min_size=1, max_size=50),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_error_bound_property(self, step, values):
+        x = np.array(values)
+        rec = dequantize(quantize(x, step), step)
+        assert np.abs(rec - x).max() <= step + 1e-6
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(ValueError):
+            quantize(np.zeros(2), -1.0)
+        with pytest.raises(ValueError):
+            dequantize(np.zeros(2, np.int32), 0.0)
+
+    def test_rejects_bad_bias(self):
+        with pytest.raises(ValueError):
+            dequantize(np.zeros(2, np.int32), 1.0, reconstruction_bias=1.5)
+
+
+class TestDeriveQuant:
+    def test_lossless_has_unit_step(self):
+        q = derive_quant("HL", 2, 8, True, 2, 1 / 128)
+        assert q.step == 1.0 and q.mantissa == 0
+        assert q.exponent == nominal_range_bits(8, "HL", False)
+
+    def test_lossy_step_positive_and_signalled(self):
+        q = derive_quant("HH", 1, 8, False, 2, 1 / 128)
+        assert q.step > 0
+        back = exponent_mantissa_to_step(q.exponent, q.mantissa, q.nominal_bits)
+        assert back == pytest.approx(q.step, rel=1e-9)
+
+    def test_high_gain_band_gets_smaller_step(self):
+        ll = derive_quant("LL", 3, 8, False, 2, 1 / 128)
+        hh = derive_quant("HH", 1, 8, False, 2, 1 / 128)
+        assert ll.step < hh.step  # LL synthesis gain is larger
+
+    def test_bitplanes_include_guard(self):
+        q = derive_quant("LL", 1, 8, True, 3, 1 / 128)
+        assert q.num_bitplanes == q.exponent + 3 - 1

@@ -1,0 +1,124 @@
+"""PCRD-opt rate control tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jpeg2000.rate import BlockRateInfo, choose_truncations
+
+
+def block(lengths, dists) -> BlockRateInfo:
+    return BlockRateInfo(lengths=lengths, dist_reductions=dists)
+
+
+class TestHull:
+    def test_concave_curve_keeps_all_points(self):
+        b = block([10, 20, 30], [100, 50, 10])
+        assert b.hull_passes == [1, 2, 3]
+        assert b.hull_slopes[0] > b.hull_slopes[1] > b.hull_slopes[2]
+
+    def test_non_hull_pass_removed(self):
+        # pass 2 gains almost nothing, pass 3 a lot: 2 is below the hull
+        b = block([10, 20, 30], [100, 1, 99])
+        assert 2 not in b.hull_passes
+        assert 3 in b.hull_passes
+
+    def test_zero_gain_passes_never_candidates(self):
+        b = block([10, 20], [50, 0])
+        assert b.hull_passes == [1]
+
+    def test_slopes_strictly_decreasing(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            n = rng.integers(1, 15)
+            lengths = np.cumsum(rng.integers(1, 50, n)).tolist()
+            dists = rng.uniform(0, 100, n).tolist()
+            b = block(lengths, dists)
+            slopes = b.hull_slopes
+            assert all(s1 > s2 for s1, s2 in zip(slopes, slopes[1:]))
+
+    def test_mismatched_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            block([1, 2], [3])
+
+
+class TestTruncationForSlope:
+    def test_zero_lambda_keeps_everything_on_hull(self):
+        b = block([10, 20, 30], [100, 50, 10])
+        assert b.truncation_for_slope(0.0) == 3
+
+    def test_huge_lambda_drops_block(self):
+        b = block([10, 20], [100, 50])
+        assert b.truncation_for_slope(1e12) == 0
+
+    def test_intermediate_lambda(self):
+        b = block([10, 20, 30], [100, 50, 10])  # slopes 10, 5, 1
+        assert b.truncation_for_slope(6.0) == 1
+        assert b.truncation_for_slope(4.0) == 2
+        assert b.truncation_for_slope(1.0) == 3
+
+
+class TestChooseTruncations:
+    def test_generous_budget_keeps_all(self):
+        blocks = [block([10, 20], [50, 20]), block([5, 15], [40, 30])]
+        trunc = choose_truncations(blocks, 1000)
+        assert trunc == [2, 2]
+
+    def test_zero_budget_drops_all(self):
+        blocks = [block([10], [50])]
+        assert choose_truncations(blocks, 0.0) == [0]
+
+    def test_budget_respected(self):
+        rng = np.random.default_rng(1)
+        blocks = []
+        for _ in range(30):
+            n = int(rng.integers(1, 12))
+            lengths = np.cumsum(rng.integers(5, 60, n)).tolist()
+            dists = sorted(rng.uniform(0, 1000, n), reverse=True)
+            blocks.append(block(lengths, [float(d) for d in dists]))
+        for budget in (100, 300, 700):
+            trunc = choose_truncations(blocks, budget)
+            total = sum(b.length_at(t) for b, t in zip(blocks, trunc))
+            assert total <= budget
+
+    def test_prefers_high_slope_blocks(self):
+        cheap_good = block([10], [1000.0])   # slope 100
+        dear_bad = block([10], [10.0])       # slope 1
+        trunc = choose_truncations([cheap_good, dear_bad], 10)
+        assert trunc == [1, 0]
+
+    def test_monotone_in_budget(self):
+        rng = np.random.default_rng(2)
+        blocks = []
+        for _ in range(10):
+            n = int(rng.integers(1, 8))
+            lengths = np.cumsum(rng.integers(5, 40, n)).tolist()
+            dists = sorted(rng.uniform(1, 500, n), reverse=True)
+            blocks.append(block(lengths, [float(d) for d in dists]))
+        prev_total = -1.0
+        for budget in (50, 150, 400, 1000):
+            trunc = choose_truncations(blocks, budget)
+            total = sum(b.length_at(t) for b, t in zip(blocks, trunc))
+            assert total >= prev_total
+            prev_total = total
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(ValueError):
+            choose_truncations([block([1], [1.0])], -1)
+
+    @given(st.integers(0, 2**31), st.integers(10, 2000))
+    @settings(max_examples=60, deadline=None)
+    def test_budget_property(self, seed, budget):
+        rng = np.random.default_rng(seed)
+        blocks = []
+        for _ in range(int(rng.integers(1, 15))):
+            n = int(rng.integers(1, 10))
+            lengths = np.cumsum(rng.integers(1, 80, n)).tolist()
+            dists = rng.uniform(0, 100, n).tolist()
+            blocks.append(block(lengths, dists))
+        trunc = choose_truncations(blocks, float(budget))
+        total = sum(b.length_at(t) for b, t in zip(blocks, trunc))
+        assert total <= budget
+        for b, t in zip(blocks, trunc):
+            assert 0 <= t <= len(b.lengths)

@@ -1,0 +1,143 @@
+"""Tag tree coder tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jpeg2000.tagtree import TagTreeDecoder, TagTreeEncoder
+from repro.utils.bitio import BitReader, BitWriter
+
+
+def roundtrip_values(values: np.ndarray) -> None:
+    rows, cols = values.shape
+    enc = TagTreeEncoder(rows, cols)
+    for r in range(rows):
+        for c in range(cols):
+            enc.set_value(r, c, int(values[r, c]))
+    bw = BitWriter()
+    for r in range(rows):
+        for c in range(cols):
+            enc.encode(r, c, int(values[r, c]) + 1, bw)
+    bw.align()
+    dec = TagTreeDecoder(rows, cols)
+    br = BitReader(bw.getvalue())
+    for r in range(rows):
+        for c in range(cols):
+            t = 1
+            while not dec.decode(r, c, t, br):
+                t += 1
+            assert dec.value(r, c) == values[r, c], (r, c)
+
+
+class TestRoundTrip:
+    def test_single_leaf(self):
+        roundtrip_values(np.array([[5]]))
+
+    def test_uniform(self):
+        roundtrip_values(np.full((4, 4), 3))
+
+    def test_raster_values(self):
+        roundtrip_values(np.arange(12).reshape(3, 4))
+
+    def test_non_power_of_two_grid(self):
+        rng = np.random.default_rng(0)
+        roundtrip_values(rng.integers(0, 10, size=(5, 7)))
+
+    def test_tall_and_wide(self):
+        rng = np.random.default_rng(1)
+        roundtrip_values(rng.integers(0, 6, size=(1, 9)))
+        roundtrip_values(rng.integers(0, 6, size=(9, 1)))
+
+    @given(st.integers(1, 6), st.integers(1, 6), st.integers(0, 2**31))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_property(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        roundtrip_values(rng.integers(0, 20, size=(rows, cols)))
+
+
+class TestThresholdSemantics:
+    def test_below_threshold_reports_true(self):
+        enc = TagTreeEncoder(1, 1)
+        enc.set_value(0, 0, 2)
+        bw = BitWriter()
+        enc.encode(0, 0, 4, bw)
+        bw.align()
+        dec = TagTreeDecoder(1, 1)
+        br = BitReader(bw.getvalue())
+        assert dec.decode(0, 0, 4, br) is True
+        assert dec.value(0, 0) == 2
+
+    def test_at_threshold_reports_false(self):
+        enc = TagTreeEncoder(1, 1)
+        enc.set_value(0, 0, 5)
+        bw = BitWriter()
+        enc.encode(0, 0, 5, bw)
+        bw.align()
+        dec = TagTreeDecoder(1, 1)
+        br = BitReader(bw.getvalue())
+        assert dec.decode(0, 0, 5, br) is False
+
+    def test_incremental_thresholds_share_state(self):
+        # coding to threshold 3 then 6 must equal coding straight to 6
+        enc1 = TagTreeEncoder(2, 2)
+        enc2 = TagTreeEncoder(2, 2)
+        for e in (enc1, enc2):
+            for r in range(2):
+                for c in range(2):
+                    e.set_value(r, c, 4)
+        bw1 = BitWriter()
+        enc1.encode(0, 0, 3, bw1)
+        enc1.encode(0, 0, 6, bw1)
+        bw1.align()
+        bw2 = BitWriter()
+        enc2.encode(0, 0, 6, bw2)
+        bw2.align()
+        assert bw1.getvalue() == bw2.getvalue()
+
+    def test_shared_parent_not_recoded(self):
+        # after coding one leaf, a sibling reuses parent information: fewer
+        # bits than a fresh tree would need
+        vals = np.array([[3, 3], [3, 3]])
+        enc = TagTreeEncoder(2, 2)
+        for r in range(2):
+            for c in range(2):
+                enc.set_value(r, c, int(vals[r, c]))
+        bw = BitWriter()
+        enc.encode(0, 0, 4, bw)
+        first = bw.bit_length
+        enc.encode(0, 1, 4, bw)
+        second = bw.bit_length - first
+        assert second < first
+
+
+class TestValidation:
+    def test_rejects_empty_tree(self):
+        with pytest.raises(ValueError):
+            TagTreeEncoder(0, 3)
+
+    def test_rejects_negative_value(self):
+        with pytest.raises(ValueError):
+            TagTreeEncoder(2, 2).set_value(0, 0, -1)
+
+    def test_rejects_out_of_range_leaf(self):
+        enc = TagTreeEncoder(2, 2)
+        with pytest.raises(IndexError):
+            enc.encode(2, 0, 1, BitWriter())
+
+    def test_rejects_bad_threshold(self):
+        enc = TagTreeEncoder(1, 1)
+        enc.set_value(0, 0, 0)
+        with pytest.raises(ValueError):
+            enc.encode(0, 0, 0, BitWriter())
+
+    def test_set_after_encode_raises(self):
+        enc = TagTreeEncoder(2, 2)
+        enc.encode(0, 0, 1, BitWriter())
+        with pytest.raises(RuntimeError):
+            enc.set_value(0, 0, 1)
+
+    def test_value_before_determined_raises(self):
+        dec = TagTreeDecoder(2, 2)
+        with pytest.raises(RuntimeError):
+            dec.value(0, 0)

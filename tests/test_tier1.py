@@ -1,0 +1,167 @@
+"""EBCOT Tier-1 bit-plane coder tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.jpeg2000.tier1 import (
+    PASS_CLEAN,
+    PASS_REF,
+    PASS_SIG,
+    decode_codeblock,
+    encode_codeblock,
+)
+
+BANDS = ["LL", "HL", "LH", "HH"]
+
+
+def roundtrip(cb: np.ndarray, band: str) -> np.ndarray:
+    res = encode_codeblock(cb, band)
+    return decode_codeblock(res.data, cb.shape[0], cb.shape[1], band,
+                            res.msbs, res.num_passes)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("band", BANDS)
+    def test_dense_random(self, band):
+        rng = np.random.default_rng(hash(band) % 2**32)
+        cb = rng.integers(-2000, 2000, size=(16, 16)).astype(np.int32)
+        assert np.array_equal(roundtrip(cb, band), cb)
+
+    def test_all_zero_block(self):
+        cb = np.zeros((32, 32), dtype=np.int32)
+        res = encode_codeblock(cb, "LL")
+        assert res.msbs == 0 and res.num_passes == 0 and res.data == b""
+        assert np.array_equal(
+            decode_codeblock(b"", 32, 32, "LL", 0, 0), cb
+        )
+
+    def test_single_nonzero_sample(self):
+        cb = np.zeros((8, 8), dtype=np.int32)
+        cb[3, 5] = -77
+        assert np.array_equal(roundtrip(cb, "HH"), cb)
+
+    def test_sparse_block(self):
+        rng = np.random.default_rng(4)
+        cb = np.where(rng.random((24, 24)) < 0.03,
+                      rng.integers(-500, 500, (24, 24)), 0).astype(np.int32)
+        assert np.array_equal(roundtrip(cb, "HL"), cb)
+
+    @pytest.mark.parametrize("shape", [(1, 1), (1, 17), (17, 1), (3, 5), (5, 4),
+                                       (4, 4), (64, 64)])
+    def test_odd_shapes(self, shape):
+        rng = np.random.default_rng(shape[0] * 100 + shape[1])
+        cb = rng.integers(-30, 30, size=shape).astype(np.int32)
+        assert np.array_equal(roundtrip(cb, "LH"), cb)
+
+    def test_extreme_magnitudes(self):
+        cb = np.array([[(1 << 20) - 1, -(1 << 20)], [0, 1]], dtype=np.int32)
+        assert np.array_equal(roundtrip(cb, "LL"), cb)
+
+    def test_stripe_boundary_heights(self):
+        # heights around the 4-row stripe boundary exercise RL-mode edges
+        for h in (3, 4, 5, 7, 8, 9, 12):
+            rng = np.random.default_rng(h)
+            cb = rng.integers(-9, 10, size=(h, 6)).astype(np.int32)
+            assert np.array_equal(roundtrip(cb, "HH"), cb), f"h={h}"
+
+    @given(hnp.arrays(np.int32, (8, 8), elements=st.integers(-300, 300)),
+           st.sampled_from(BANDS))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, cb, band):
+        assert np.array_equal(roundtrip(cb, band), cb)
+
+
+class TestPassStructure:
+    def test_pass_sequence(self):
+        rng = np.random.default_rng(0)
+        cb = rng.integers(-100, 100, size=(16, 16)).astype(np.int32)
+        res = encode_codeblock(cb, "LL")
+        assert res.pass_types[0] == PASS_CLEAN
+        for i in range(1, res.num_passes, 3):
+            assert res.pass_types[i] == PASS_SIG
+        assert res.num_passes == 1 + 3 * (res.msbs - 1)
+
+    def test_pass_lengths_monotone_and_final_is_total(self):
+        rng = np.random.default_rng(1)
+        cb = rng.integers(-1000, 1000, size=(16, 16)).astype(np.int32)
+        res = encode_codeblock(cb, "HL")
+        assert all(a <= b for a, b in zip(res.pass_lengths, res.pass_lengths[1:]))
+        assert res.pass_lengths[-1] == len(res.data)
+
+    def test_distortion_reductions_nonnegative(self):
+        rng = np.random.default_rng(2)
+        cb = rng.integers(-400, 400, size=(12, 12)).astype(np.int32)
+        res = encode_codeblock(cb, "HH")
+        assert all(d >= -1e-9 for d in res.pass_dist)
+        assert sum(res.pass_dist) > 0
+
+    def test_total_distortion_accounts_all_energy(self):
+        # full decode is exact, so cumulative distortion reduction must equal
+        # the initial distortion sum |v|^2 (bias terms vanish at plane 0)
+        rng = np.random.default_rng(3)
+        cb = rng.integers(-100, 100, size=(8, 8)).astype(np.int32)
+        res = encode_codeblock(cb, "LL")
+        total = sum(res.pass_dist)
+        energy = float(np.sum(cb.astype(np.float64) ** 2))
+        assert total == pytest.approx(energy, rel=1e-9)
+
+    def test_symbols_counted(self):
+        rng = np.random.default_rng(4)
+        cb = rng.integers(-50, 50, size=(16, 16)).astype(np.int32)
+        res = encode_codeblock(cb, "LL")
+        assert res.total_symbols >= cb.size  # at least one decision per sample
+        assert len(res.pass_symbols) == res.num_passes
+
+
+class TestTruncatedDecode:
+    def test_mse_monotone_in_passes(self):
+        rng = np.random.default_rng(7)
+        cb = rng.integers(-2000, 2000, size=(16, 16)).astype(np.int32)
+        res = encode_codeblock(cb, "HL")
+        prev_mse = float("inf")
+        for npass in range(1, res.num_passes + 1):
+            ln = res.pass_lengths[npass - 1]
+            dec = decode_codeblock(res.data[:ln], 16, 16, "HL", res.msbs, npass)
+            mse = float(np.mean((dec.astype(np.float64) - cb) ** 2))
+            assert mse <= prev_mse + 1e-9
+            prev_mse = mse
+        assert prev_mse == 0.0
+
+    def test_error_bounded_by_remaining_planes(self):
+        rng = np.random.default_rng(8)
+        cb = rng.integers(-1023, 1024, size=(8, 8)).astype(np.int32)
+        res = encode_codeblock(cb, "LL")
+        # after the cleanup pass of plane p, error < 2^(p+1)
+        for k, ptype in enumerate(res.pass_types):
+            if ptype != PASS_CLEAN:
+                continue
+            plane = res.msbs - 1 - k // 3
+            dec = decode_codeblock(res.data[: res.pass_lengths[k]], 8, 8,
+                                   "LL", res.msbs, k + 1)
+            err = np.abs(dec.astype(np.int64) - cb).max()
+            assert err < 2 ** (plane + 1), (plane, err)
+
+
+class TestValidation:
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            encode_codeblock(np.zeros(16, dtype=np.int32), "LL")
+
+    def test_rejects_oversize(self):
+        with pytest.raises(ValueError):
+            encode_codeblock(np.zeros((65, 64), dtype=np.int32), "LL")
+
+    def test_rejects_unknown_band(self):
+        with pytest.raises(ValueError):
+            encode_codeblock(np.ones((4, 4), dtype=np.int32), "QQ")
+
+    def test_decode_rejects_too_many_passes(self):
+        with pytest.raises(ValueError):
+            decode_codeblock(b"", 4, 4, "LL", 2, 10)
+
+    def test_decode_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            decode_codeblock(b"", 0, 4, "LL", 1, 1)

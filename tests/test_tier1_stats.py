@@ -1,0 +1,97 @@
+"""Tier-1 workload estimator tests: accuracy against the exact coder."""
+
+import numpy as np
+import pytest
+
+from repro.cell.machine import SINGLE_CELL
+from repro.core.pipeline import PipelineModel
+from repro.image.synthetic import watch_face_image
+from repro.jpeg2000.encoder import encode
+from repro.jpeg2000.params import EncoderParams
+from repro.jpeg2000.tier1 import encode_codeblock
+from repro.jpeg2000.tier1_stats import (
+    estimate_codeblock_stats,
+    estimate_workload,
+)
+
+
+class TestBlockEstimator:
+    @pytest.mark.parametrize("style", ["dense", "sparse", "small", "structured"])
+    def test_within_15pct_of_exact(self, style):
+        rng = np.random.default_rng(hash(style) % 2**32)
+        h, w = 48, 40
+        if style == "dense":
+            cb = rng.integers(-2000, 2000, (h, w)).astype(np.int32)
+        elif style == "sparse":
+            cb = ((rng.random((h, w)) < 0.04)
+                  * rng.integers(-500, 500, (h, w))).astype(np.int32)
+        elif style == "small":
+            cb = rng.integers(-15, 16, (h, w)).astype(np.int32)
+        else:
+            yy, xx = np.mgrid[0:h, 0:w]
+            cb = ((yy * 3 + xx * 2) % 40 - 20).astype(np.int32)
+        exact = encode_codeblock(cb, "HL")
+        msbs, est, passes = estimate_codeblock_stats(cb)
+        assert msbs == exact.msbs
+        assert len(passes) == exact.num_passes
+        assert est == pytest.approx(exact.total_symbols, rel=0.15)
+
+    def test_zero_block(self):
+        assert estimate_codeblock_stats(np.zeros((16, 16), np.int32)) == (0, 0, [])
+
+    def test_pass_symbols_sum(self):
+        rng = np.random.default_rng(1)
+        cb = rng.integers(-100, 100, (32, 32)).astype(np.int32)
+        _, total, passes = estimate_codeblock_stats(cb)
+        assert sum(passes) == total
+        assert all(p >= 0 for p in passes)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            estimate_codeblock_stats(np.zeros(16, np.int32))
+
+    def test_per_pass_correlation_with_exact(self):
+        """Pass-by-pass estimates track the real pass profile."""
+        rng = np.random.default_rng(2)
+        cb = rng.integers(-300, 300, (40, 40)).astype(np.int32)
+        exact = encode_codeblock(cb, "LL")
+        _, _, est = estimate_codeblock_stats(cb)
+        e = np.array(exact.pass_symbols, float)
+        a = np.array(est, float)
+        corr = np.corrcoef(e, a)[0, 1]
+        assert corr > 0.95
+
+
+class TestWorkloadEstimator:
+    def test_matches_exact_workload_closely(self):
+        img = watch_face_image(64, 64, channels=1)
+        params = EncoderParams(lossless=True, levels=3)
+        exact = encode(img, params).stats
+        est = estimate_workload(img, params)
+        assert len(est.blocks) == len(exact.blocks)
+        tot_exact = sum(b.total_symbols for b in exact.blocks)
+        tot_est = sum(b.total_symbols for b in est.blocks)
+        assert tot_est == pytest.approx(tot_exact, rel=0.15)
+
+    def test_lossy_workload(self):
+        img = watch_face_image(64, 64, channels=1)
+        est = estimate_workload(img, EncoderParams(lossless=False, levels=3))
+        assert not est.lossless
+        assert sum(b.total_symbols for b in est.blocks) > 0
+
+    def test_drives_pipeline_model(self):
+        """The estimator's purpose: pricing big images without exact Tier-1."""
+        img = watch_face_image(256, 256, channels=3)
+        est = estimate_workload(img)
+        tl = PipelineModel(SINGLE_CELL, est).simulate()
+        assert tl.total_s > 0
+        assert tl.fraction("tier1") > 0.3
+
+    def test_simulated_time_close_to_exact_path(self):
+        img = watch_face_image(96, 96, channels=1)
+        params = EncoderParams(lossless=True, levels=3)
+        exact = encode(img, params).stats
+        est = estimate_workload(img, params)
+        t_exact = PipelineModel(SINGLE_CELL, exact).simulate().total_s
+        t_est = PipelineModel(SINGLE_CELL, est).simulate().total_s
+        assert t_est == pytest.approx(t_exact, rel=0.2)

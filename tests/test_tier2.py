@@ -1,0 +1,141 @@
+"""Packet header encode/parse tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jpeg2000.tier2 import (
+    BlockContribution,
+    PacketBand,
+    _read_num_passes,
+    _write_num_passes,
+    encode_packet,
+    parse_packet,
+)
+from repro.utils.bitio import BitReader, BitWriter
+
+
+class TestNumPassesCodeword:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 6, 7, 36, 37, 100, 164])
+    def test_roundtrip(self, n):
+        bw = BitWriter()
+        _write_num_passes(bw, n)
+        bw.align()
+        assert _read_num_passes(BitReader(bw.getvalue())) == n
+
+    def test_codeword_lengths_match_standard(self):
+        expected = {1: 1, 2: 2, 3: 4, 5: 4, 6: 9, 36: 9, 37: 16, 164: 16}
+        for n, bits in expected.items():
+            bw = BitWriter()
+            _write_num_passes(bw, n)
+            assert bw.bit_length == bits, n
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            _write_num_passes(BitWriter(), 0)
+        with pytest.raises(ValueError):
+            _write_num_passes(BitWriter(), 165)
+
+
+def _random_packet(rng, nbands=2):
+    bands, grids = [], []
+    for _ in range(nbands):
+        rows, cols = rng.randint(1, 4), rng.randint(1, 4)
+        blocks = []
+        for i in range(rows * cols):
+            inc = rng.random() < 0.7
+            data = bytes(rng.randrange(256) for _ in range(rng.randint(0, 64))) \
+                if inc else b""
+            blocks.append(BlockContribution(
+                i // cols, i % cols, inc,
+                zero_bitplanes=rng.randint(0, 14) if inc else 0,
+                num_passes=rng.randint(1, 34) if inc else 0,
+                data=data,
+            ))
+        bands.append(PacketBand(rows, cols, blocks))
+        grids.append((rows, cols, rows * cols))
+    return bands, grids
+
+
+class TestPacketRoundTrip:
+    def test_empty_packet_is_one_byte(self):
+        bands = [PacketBand(1, 1, [BlockContribution(0, 0, False)])]
+        pkt = encode_packet(bands)
+        assert len(pkt) == 1
+        parsed, end = parse_packet(pkt, 0, [(1, 1, 1)])
+        assert end == 1 and not parsed[0][0].included
+
+    def test_single_included_block(self):
+        blk = BlockContribution(0, 0, True, zero_bitplanes=3, num_passes=7,
+                                data=b"\x01\x02\x03")
+        pkt = encode_packet([PacketBand(1, 1, [blk])])
+        parsed, end = parse_packet(pkt, 0, [(1, 1, 1)])
+        p = parsed[0][0]
+        assert p.included and p.zero_bitplanes == 3
+        assert p.num_passes == 7 and p.data == b"\x01\x02\x03"
+        assert end == len(pkt)
+
+    def test_zero_length_contribution(self):
+        blk = BlockContribution(0, 0, True, zero_bitplanes=0, num_passes=1, data=b"")
+        pkt = encode_packet([PacketBand(1, 1, [blk])])
+        parsed, _ = parse_packet(pkt, 0, [(1, 1, 1)])
+        assert parsed[0][0].included and parsed[0][0].data == b""
+
+    def test_large_length_needs_lblock_growth(self):
+        blk = BlockContribution(0, 0, True, zero_bitplanes=1, num_passes=1,
+                                data=bytes(5000))
+        pkt = encode_packet([PacketBand(1, 1, [blk])])
+        parsed, _ = parse_packet(pkt, 0, [(1, 1, 1)])
+        assert len(parsed[0][0].data) == 5000
+
+    def test_body_bytes_with_ff_are_safe(self):
+        # packet body full of 0xFF must not confuse the stuffed header parse
+        blk = BlockContribution(0, 0, True, zero_bitplanes=0, num_passes=2,
+                                data=b"\xff" * 32)
+        pkt = encode_packet([PacketBand(1, 1, [blk])])
+        parsed, end = parse_packet(pkt, 0, [(1, 1, 1)])
+        assert parsed[0][0].data == b"\xff" * 32 and end == len(pkt)
+
+    def test_multiple_packets_concatenated(self):
+        rng = random.Random(5)
+        packets = []
+        all_grids = []
+        for _ in range(4):
+            bands, grids = _random_packet(rng)
+            packets.append((encode_packet(bands), bands, grids))
+            all_grids.append(grids)
+        stream = b"".join(p[0] for p in packets)
+        pos = 0
+        for pkt, bands, grids in packets:
+            parsed, pos2 = parse_packet(stream, pos, grids)
+            assert pos2 - pos == len(pkt)
+            pos = pos2
+            for band, pb in zip(bands, parsed):
+                for b, p in zip(band.blocks, pb):
+                    assert b.included == p.included
+                    if b.included:
+                        assert b.data == p.data
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_property(self, seed):
+        rng = random.Random(seed)
+        bands, grids = _random_packet(rng, nbands=rng.randint(1, 3))
+        pkt = encode_packet(bands)
+        parsed, end = parse_packet(pkt, 0, grids)
+        assert end == len(pkt)
+        for band, pb in zip(bands, parsed):
+            for b, p in zip(band.blocks, pb):
+                assert b.included == p.included
+                if b.included:
+                    assert (b.zero_bitplanes, b.num_passes, b.data) == (
+                        p.zero_bitplanes, p.num_passes, p.data)
+
+    def test_truncated_body_raises(self):
+        blk = BlockContribution(0, 0, True, zero_bitplanes=0, num_passes=1,
+                                data=b"abcdef")
+        pkt = encode_packet([PacketBand(1, 1, [blk])])
+        with pytest.raises(ValueError):
+            parse_packet(pkt[:-3], 0, [(1, 1, 1)])

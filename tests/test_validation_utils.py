@@ -1,0 +1,45 @@
+"""Tests for the shared validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import require_2d, require_in, require_positive
+
+
+class TestRequire2d:
+    def test_accepts_2d(self):
+        arr = require_2d(np.zeros((2, 3)))
+        assert arr.shape == (2, 3)
+
+    def test_converts_lists(self):
+        arr = require_2d([[1, 2], [3, 4]])
+        assert arr.shape == (2, 2)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="must be 2-D"):
+            require_2d(np.zeros(3))
+
+    def test_rejects_3d_with_name(self):
+        with pytest.raises(ValueError, match="img"):
+            require_2d(np.zeros((2, 2, 2)), name="img")
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        require_positive(1, "x")
+        require_positive(0.5, "x")
+
+    def test_rejects_zero_and_negative(self):
+        with pytest.raises(ValueError):
+            require_positive(0, "x")
+        with pytest.raises(ValueError, match="count"):
+            require_positive(-1, "count")
+
+
+class TestRequireIn:
+    def test_accepts_member(self):
+        require_in("a", ("a", "b"), "mode")
+
+    def test_rejects_non_member(self):
+        with pytest.raises(ValueError, match="mode"):
+            require_in("c", ("a", "b"), "mode")
