@@ -1,0 +1,148 @@
+"""Tier-1 hot-path benchmark: scalar vs. vectorized, serial vs. pooled.
+
+Measures the two tentpole optimizations and records the numbers to
+``BENCH_tier1.json`` so the performance trajectory is tracked across PRs:
+
+* ``encode_codeblock`` on a dense 64x64 block, ``reference`` vs.
+  ``vectorized`` backend (the paper's "EBCOT Tier-1 dominates" kernel);
+* full-image encode at worker counts {1, 2, 4, 8} through the real
+  multiprocessing work queue (the executable analogue of the paper's
+  SPE scaling study, Figures 4/5).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_tier1_hotpath.py           # full
+    PYTHONPATH=src python benchmarks/bench_tier1_hotpath.py --smoke   # CI
+
+``--smoke`` shrinks repetitions and the image so the whole thing runs in
+well under a minute on a single-core CI runner.  Worker scaling is
+machine-dependent: on a single-core container the pool *cannot* beat
+serial (process start-up is pure overhead), so the JSON records
+``cpu_count`` alongside every number — read speedups only against it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import time
+
+import numpy as np
+
+from repro.image.synthetic import watch_face_image
+from repro.jpeg2000.encoder import encode
+from repro.jpeg2000.params import EncoderParams
+from repro.jpeg2000.tier1 import encode_codeblock
+
+WORKER_COUNTS = (1, 2, 4, 8)
+
+
+def _time(fn, repeats: int, warmup: int = 1) -> dict:
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return {
+        "median_s": statistics.median(samples),
+        "min_s": min(samples),
+        "repeats": repeats,
+    }
+
+
+def bench_codeblock(repeats: int) -> dict:
+    """Dense 64x64 block, both backends (issue acceptance: >= 5x)."""
+    rng = np.random.default_rng(42)
+    cb = rng.integers(-2000, 2000, size=(64, 64)).astype(np.int32)
+    out = {}
+    for backend in ("reference", "vectorized"):
+        out[backend] = _time(
+            lambda b=backend: encode_codeblock(cb, "HL", backend=b), repeats
+        )
+    ref, vec = out["reference"]["median_s"], out["vectorized"]["median_s"]
+    out["speedup"] = ref / vec if vec > 0 else float("inf")
+    return out
+
+
+def bench_full_image(size: int, repeats: int) -> dict:
+    """Full lossless encode through the work queue at several widths."""
+    img = watch_face_image(size, size, channels=3)
+    out = {"image": f"{size}x{size}x3", "workers": {}}
+    codestreams = {}
+    for workers in WORKER_COUNTS:
+        params = EncoderParams(levels=3, workers=workers)
+        result = _time(lambda p=params: encode(img, p), repeats)
+        codestreams[workers] = encode(img, params).codestream
+        out["workers"][str(workers)] = result
+    base = out["workers"]["1"]["median_s"]
+    for workers in WORKER_COUNTS:
+        w = out["workers"][str(workers)]
+        w["speedup_vs_1"] = base / w["median_s"] if w["median_s"] > 0 else 0.0
+    first = codestreams[WORKER_COUNTS[0]]
+    out["codestreams_identical"] = all(
+        codestreams[w] == first for w in WORKER_COUNTS
+    )
+    return out
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="tiny image + few repeats (CI)")
+    ap.add_argument("--output", default=None,
+                    help="JSON path (default: BENCH_tier1.json at repo root)")
+    args = ap.parse_args(argv)
+
+    block_repeats = 3 if args.smoke else 9
+    image_size = 96 if args.smoke else 192
+    image_repeats = 1 if args.smoke else 3
+
+    from repro.jpeg2000 import _mq_native
+
+    report = {
+        "benchmark": "tier1_hotpath",
+        "smoke": args.smoke,
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "mq_native_kernel": _mq_native.native_encode_run is not None,
+        },
+        "codeblock_64x64_dense": bench_codeblock(block_repeats),
+        "full_image_encode": bench_full_image(image_size, image_repeats),
+    }
+
+    cb = report["codeblock_64x64_dense"]
+    fi = report["full_image_encode"]
+    print(f"dense 64x64 block : reference {cb['reference']['median_s']*1e3:8.1f} ms"
+          f"  vectorized {cb['vectorized']['median_s']*1e3:8.1f} ms"
+          f"  speedup {cb['speedup']:.1f}x")
+    for w in WORKER_COUNTS:
+        r = fi["workers"][str(w)]
+        print(f"{fi['image']} encode, {w} worker(s): {r['median_s']:8.2f} s"
+              f"  ({r['speedup_vs_1']:.2f}x vs 1)")
+    print(f"codestreams identical across worker counts: "
+          f"{fi['codestreams_identical']}  (cpu_count={os.cpu_count()})")
+
+    out_path = args.output or os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "BENCH_tier1.json",
+    )
+    with open(out_path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {out_path}")
+
+    if not fi["codestreams_identical"]:
+        return 1  # determinism is an acceptance criterion, fail loudly
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -46,12 +46,21 @@ def _write_image(path: str, image) -> None:
         raise SystemExit(f"unsupported output format: {path} (use .bmp/.pgm/.ppm)")
 
 
+def _workers(value: str) -> int | None:
+    if value.lower() in ("auto", "all", "0"):
+        return None  # one worker per CPU core
+    n = int(value)
+    if n < 1:
+        raise argparse.ArgumentTypeError(f"workers must be >= 1, got {n}")
+    return n
+
+
 def _params(args) -> EncoderParams:
+    common = dict(levels=args.levels, codeblock_size=args.codeblock,
+                  tier1_backend=args.tier1_backend, workers=args.workers)
     if args.lossy or args.rate is not None:
-        return EncoderParams(lossless=False, rate=args.rate, levels=args.levels,
-                             codeblock_size=args.codeblock)
-    return EncoderParams(lossless=True, levels=args.levels,
-                         codeblock_size=args.codeblock)
+        return EncoderParams(lossless=False, rate=args.rate, **common)
+    return EncoderParams(lossless=True, **common)
 
 
 def _add_coding_options(p: argparse.ArgumentParser) -> None:
@@ -62,6 +71,12 @@ def _add_coding_options(p: argparse.ArgumentParser) -> None:
     p.add_argument("--levels", type=int, default=5, help="DWT levels")
     p.add_argument("--codeblock", type=int, default=64,
                    help="code block size (64 = paper, 32 = Muta et al.)")
+    p.add_argument("--workers", type=_workers, default=1, metavar="N",
+                   help="Tier-1 worker processes; 'auto' = one per core "
+                        "(codestream is identical for any value)")
+    p.add_argument("--tier1-backend", default="auto",
+                   choices=("auto", "reference", "vectorized"),
+                   help="Tier-1 coder implementation (all are bit-exact)")
 
 
 def cmd_encode(args) -> int:

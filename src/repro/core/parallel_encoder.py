@@ -7,7 +7,7 @@ execution timeline for the requested machine configuration.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -47,15 +47,25 @@ class ParallelEncodeResult:
 
 @dataclass
 class CellJPEG2000Encoder:
-    """The paper's encoder: Jasper-equivalent codec + Cell parallelization."""
+    """The paper's encoder: Jasper-equivalent codec + Cell parallelization.
+
+    ``workers`` sets the *real* Tier-1 process count used for the
+    functional encode (see :mod:`repro.core.workpool`); the simulated
+    timeline is still priced for ``machine``.  ``None`` defers to the
+    ``EncoderParams`` passed to :meth:`encode`.
+    """
 
     machine: CellMachine = SINGLE_CELL
     options: PipelineOptions = field(default_factory=PipelineOptions)
+    workers: int | None = None
 
     def encode(
         self, image: np.ndarray, params: EncoderParams | None = None
     ) -> ParallelEncodeResult:
         """Encode ``image`` and simulate the machine's execution time."""
+        if self.workers is not None:
+            params = replace(params or EncoderParams.lossless_default(),
+                             workers=self.workers)
         er = encode(image, params)
         timeline = self.simulate(er)
         return ParallelEncodeResult(encode_result=er, timeline=timeline,

@@ -196,8 +196,11 @@ def encode(image: np.ndarray, params: EncoderParams | None = None) -> EncodeResu
     decomps = [forward_dwt2d(p, params.levels, params.lossless) for p in planes]
     actual_levels = decomps[0].levels
 
-    # Quantize and Tier-1 encode every code block of every subband.
+    # Phase 1: quantize every subband and collect the independent Tier-1
+    # work items.  Nothing is encoded yet — the blocks go through the work
+    # queue as one batch so idle workers can steal from any subband.
     planned: list[_PlannedSubband] = []
+    pending: list[tuple[_PlannedSubband, CodeBlockSpec, np.ndarray]] = []
     for ci, decomp in enumerate(decomps):
         for sb in decomp.subbands():
             quant = derive_quant(
@@ -223,29 +226,39 @@ def encode(image: np.ndarray, params: EncoderParams | None = None) -> EncodeResu
             for spec in specs:
                 blockdata = q[spec.row0 : spec.row0 + spec.height,
                               spec.col0 : spec.col0 + spec.width]
-                res = encode_codeblock(blockdata, sb.band)
-                if res.msbs > quant.num_bitplanes:
-                    raise RuntimeError(
-                        f"code block needs {res.msbs} bit planes but subband "
-                        f"{sb.band}{sb.dlevel} signals only {quant.num_bitplanes}; "
-                        f"increase guard_bits"
-                    )
-                pb = _PlannedBlock(
-                    comp=ci, band=sb.band, dlevel=sb.dlevel, spec=spec,
-                    quant=quant, result=res, included_passes=res.num_passes,
-                )
-                psb.blocks.append(pb)
-                stats.blocks.append(
-                    BlockStats(
-                        comp=ci, band=sb.band, dlevel=sb.dlevel,
-                        height=spec.height, width=spec.width,
-                        msbs=res.msbs, num_passes=res.num_passes,
-                        total_symbols=res.total_symbols,
-                        coded_bytes=len(res.data),
-                        pass_symbols=list(res.pass_symbols),
-                    )
-                )
+                pending.append((psb, spec, blockdata))
             planned.append(psb)
+
+    # Phase 2: Tier-1 encode all blocks — serially or through the
+    # multiprocessing work queue (the executable analogue of the paper's
+    # SPE dynamic queue).  Results come back in submission order, so
+    # everything downstream is identical for any worker count.
+    results = _encode_pending(pending, params)
+
+    # Phase 3: reattach results in the original planning order.
+    for (psb, spec, _), res in zip(pending, results):
+        quant = psb.quant
+        if res.msbs > quant.num_bitplanes:
+            raise RuntimeError(
+                f"code block needs {res.msbs} bit planes but subband "
+                f"{psb.band}{psb.dlevel} signals only {quant.num_bitplanes}; "
+                f"increase guard_bits"
+            )
+        pb = _PlannedBlock(
+            comp=psb.comp, band=psb.band, dlevel=psb.dlevel, spec=spec,
+            quant=quant, result=res, included_passes=res.num_passes,
+        )
+        psb.blocks.append(pb)
+        stats.blocks.append(
+            BlockStats(
+                comp=psb.comp, band=psb.band, dlevel=psb.dlevel,
+                height=spec.height, width=spec.width,
+                msbs=res.msbs, num_passes=res.num_passes,
+                total_symbols=res.total_symbols,
+                coded_bytes=len(res.data),
+                pass_symbols=list(res.pass_symbols),
+            )
+        )
 
     info = CodestreamInfo(
         width=width, height=height, num_components=ncomp, bit_depth=depth,
@@ -262,6 +275,29 @@ def encode(image: np.ndarray, params: EncoderParams | None = None) -> EncodeResu
     codestream = write_codestream(info)
     stats.codestream_bytes = len(codestream)
     return EncodeResult(codestream=codestream, params=params, stats=stats)
+
+
+def _encode_pending(
+    pending: list[tuple[_PlannedSubband, CodeBlockSpec, np.ndarray]],
+    params: EncoderParams,
+) -> list[CodeBlockResult]:
+    """Tier-1 encode the collected blocks, honouring ``params.workers``."""
+    workers = params.workers
+    if workers == 1 or len(pending) < 2:
+        return [
+            encode_codeblock(blockdata, psb.band, backend=params.tier1_backend)
+            for psb, _, blockdata in pending
+        ]
+    # Imported lazily: the serial path must not pay the multiprocessing
+    # import, and repro.core pulls in the performance-model stack.
+    from repro.core.workpool import CodeBlockTask, CodeBlockWorkQueue
+
+    queue = CodeBlockWorkQueue(workers=workers, backend=params.tier1_backend)
+    tasks = [
+        CodeBlockTask(seq=i, coeffs=blockdata, band=psb.band)
+        for i, (psb, _, blockdata) in enumerate(pending)
+    ]
+    return queue.encode_all(tasks)
 
 
 def _qcd_fields(planned: list[_PlannedSubband], ncomp: int) -> list[SubbandQuantField]:

@@ -29,6 +29,17 @@ class EncoderParams:
     base_quant_step:
         Base quantization step for the irreversible path, before per-subband
         scaling by synthesis gain.
+    tier1_backend:
+        Tier-1 coder implementation: ``"reference"`` (scalar, the
+        differential-testing oracle), ``"vectorized"`` (NumPy-batched hot
+        path), or ``"auto"`` (default; also honours the
+        ``REPRO_TIER1_BACKEND`` environment variable).  All backends
+        produce byte-identical codestreams.
+    workers:
+        Tier-1 worker processes — the executable analogue of the paper's
+        SPE count.  ``1`` (default) encodes in-process; ``None`` uses one
+        worker per CPU core.  The codestream is byte-identical for any
+        value.
     """
 
     lossless: bool = True
@@ -37,6 +48,8 @@ class EncoderParams:
     codeblock_size: int = 64
     guard_bits: int = 2
     base_quant_step: float = 1.0 / 128.0
+    tier1_backend: str = "auto"
+    workers: int | None = 1
 
     def __post_init__(self) -> None:
         if self.levels < 0 or self.levels > 32:
@@ -57,6 +70,15 @@ class EncoderParams:
             raise ValueError(
                 f"base_quant_step must be in (0, 2), got {self.base_quant_step}"
             )
+        from repro.jpeg2000.tier1 import BACKENDS  # lazy: avoids heavy import
+
+        if self.tier1_backend not in BACKENDS:
+            raise ValueError(
+                f"tier1_backend must be one of {BACKENDS}, "
+                f"got {self.tier1_backend!r}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise ValueError(f"workers must be >= 1 or None, got {self.workers}")
 
     @staticmethod
     def lossless_default() -> "EncoderParams":

@@ -16,12 +16,24 @@ segments.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from functools import lru_cache
 
 import numpy as np
 
 from repro.jpeg2000.mq import MQDecoder, MQEncoder
+
+#: Environment variable consulted when ``backend="auto"`` (see
+#: :func:`encode_codeblock`).  Values: ``"reference"``, ``"vectorized"``.
+BACKEND_ENV_VAR = "REPRO_TIER1_BACKEND"
+
+#: Valid Tier-1 encoder backend names.
+BACKENDS = ("auto", "reference", "vectorized")
+
+#: Below this many samples the NumPy batching overhead of the vectorized
+#: backend exceeds its win and ``"auto"`` picks the scalar coder instead.
+AUTO_VECTORIZE_MIN_SAMPLES = 64
 
 # Context numbering (T.800 Table D.1 layout).
 NUM_CONTEXTS = 19
@@ -114,27 +126,27 @@ _SIGN_LUT = _build_sign_lut()
 
 
 @lru_cache(maxsize=64)
-def _neighbour_indices(h: int, w: int):
+def _neighbour_indices(h: int, w: int) -> np.ndarray:
     """Flat neighbour indices (W, E, N, S, NW, NE, SW, SE) per sample.
 
-    Out-of-block neighbours point at a sentinel slot ``h*w`` that always
-    holds "insignificant".
+    Returns a read-only ``(h*w, 8)`` int32 array; out-of-block neighbours
+    point at a sentinel slot ``h*w`` that always holds "insignificant".
+    Marking the cached array immutable keeps ``lru_cache`` sharing safe
+    (the previous list-of-tuples form handed every caller the same mutable
+    object).
     """
     n = h * w
     sentinel = n
-    out = []
-    for r in range(h):
-        for c in range(w):
-            i = r * w + c
-            west = i - 1 if c > 0 else sentinel
-            east = i + 1 if c < w - 1 else sentinel
-            north = i - w if r > 0 else sentinel
-            south = i + w if r < h - 1 else sentinel
-            nw = i - w - 1 if (r > 0 and c > 0) else sentinel
-            ne = i - w + 1 if (r > 0 and c < w - 1) else sentinel
-            sw = i + w - 1 if (r < h - 1 and c > 0) else sentinel
-            se = i + w + 1 if (r < h - 1 and c < w - 1) else sentinel
-            out.append((west, east, north, south, nw, ne, sw, se))
+    idx = np.arange(n, dtype=np.int32).reshape(h, w)
+    padded = np.full((h + 2, w + 2), sentinel, dtype=np.int32)
+    padded[1:-1, 1:-1] = idx
+    # (dr, dc) per column: W, E, N, S, NW, NE, SW, SE
+    offsets = ((0, -1), (0, 1), (-1, 0), (1, 0),
+               (-1, -1), (-1, 1), (1, -1), (1, 1))
+    out = np.empty((n, 8), dtype=np.int32)
+    for k, (dr, dc) in enumerate(offsets):
+        out[:, k] = padded[1 + dr:1 + dr + h, 1 + dc:1 + dc + w].ravel()
+    out.setflags(write=False)
     return out
 
 
@@ -158,25 +170,84 @@ class CodeBlockResult:
         return sum(self.pass_symbols)
 
 
-def encode_codeblock(coeffs: np.ndarray, band: str) -> CodeBlockResult:
-    """Tier-1 encode one code block of signed integer coefficients."""
+def _validate_block(coeffs: np.ndarray) -> np.ndarray:
+    """Shared code-block argument validation for both encoder backends."""
     arr = np.asarray(coeffs)
     if arr.ndim != 2:
         raise ValueError(f"code block must be 2-D, got shape {arr.shape}")
     if arr.shape[0] > 64 or arr.shape[1] > 64:
         raise ValueError(f"code block too large: {arr.shape}")
+    return arr
+
+
+def resolve_backend(backend: str | None) -> str:
+    """Resolve a backend name, honouring :data:`BACKEND_ENV_VAR` for auto."""
+    if backend is None:
+        backend = "auto"
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown tier-1 backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if backend == "auto":
+        env = os.environ.get(BACKEND_ENV_VAR, "")
+        if env:
+            if env not in BACKENDS:
+                raise ValueError(
+                    f"{BACKEND_ENV_VAR}={env!r} invalid; expected one of "
+                    f"{BACKENDS}"
+                )
+            return env
+    return backend
+
+
+def encode_codeblock(
+    coeffs: np.ndarray, band: str, backend: str | None = None
+) -> CodeBlockResult:
+    """Tier-1 encode one code block of signed integer coefficients.
+
+    ``backend`` selects the implementation: ``"reference"`` is the scalar
+    per-sample coder below (the differential-testing oracle),
+    ``"vectorized"`` is the NumPy-batched coder in
+    :mod:`repro.jpeg2000.tier1_vec` (byte-identical output, much faster),
+    and ``"auto"`` (default, also via the ``REPRO_TIER1_BACKEND``
+    environment variable) picks the vectorized coder for all but tiny
+    blocks.
+    """
+    backend = resolve_backend(backend)
+    if backend == "auto":
+        arr = _validate_block(coeffs)
+        backend = (
+            "vectorized" if arr.size >= AUTO_VECTORIZE_MIN_SAMPLES
+            else "reference"
+        )
+    if backend == "vectorized":
+        from repro.jpeg2000.tier1_vec import encode_codeblock_vectorized
+
+        return encode_codeblock_vectorized(coeffs, band)
+    return encode_codeblock_reference(coeffs, band)
+
+
+def encode_codeblock_reference(coeffs: np.ndarray, band: str) -> CodeBlockResult:
+    """Scalar per-sample Tier-1 encoder (T.800 D, followed literally).
+
+    This is the oracle the vectorized backend is differentially tested
+    against: every stream byte, pass length, and distortion value of
+    :func:`repro.jpeg2000.tier1_vec.encode_codeblock_vectorized` must match
+    this implementation exactly.
+    """
+    arr = _validate_block(coeffs)
     hgt, wid = arr.shape
     n = hgt * wid
     flat = arr.astype(np.int64).ravel()
-    mag = [int(abs(v)) for v in flat]
-    sgn = [1 if v < 0 else 0 for v in flat]
-    max_mag = max(mag) if mag else 0
-    msbs = max_mag.bit_length()
+    mag_arr = np.abs(flat)
+    mag = mag_arr.tolist()
+    sgn = (flat < 0).view(np.int8).tolist()
+    msbs = int(mag_arr.max()).bit_length() if n else 0
     if msbs == 0:
         return CodeBlockResult(data=b"", num_passes=0, msbs=0)
 
     sig_lut = _sig_lut_for_band(band)
-    nbr = _neighbour_indices(hgt, wid)
+    nbr = _neighbour_indices(hgt, wid).tolist()
     sig = [0] * (n + 1)       # +1 sentinel slot
     visited = [0] * n
     refined = [0] * n
@@ -365,7 +436,7 @@ def decode_codeblock(
         raise ValueError(f"num_passes {num_passes} exceeds maximum {max_passes}")
 
     sig_lut = _sig_lut_for_band(band)
-    nbr = _neighbour_indices(height, width)
+    nbr = _neighbour_indices(height, width).tolist()
     sig = [0] * (n + 1)
     visited = [0] * n
     refined = [0] * n

@@ -1,0 +1,149 @@
+"""Multi-core code-block work queue: determinism and integration.
+
+The contract mirrors the paper's Section 3 SPE queue: blocks are handed
+out dynamically, but the assembled codestream must not depend on worker
+count, completion order, or backend.  Pool tests use small images so the
+suite stays fast on single-core CI machines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.workpool import (
+    CodeBlockTask,
+    CodeBlockWorkQueue,
+    QueueStats,
+    default_workers,
+    encode_blocks,
+)
+from repro.jpeg2000.encoder import encode
+from repro.jpeg2000.params import EncoderParams
+from repro.jpeg2000.tier1 import encode_codeblock
+
+
+def _blocks(seed=0, count=12):
+    rng = np.random.default_rng(seed)
+    bands = ["LL", "HL", "LH", "HH"]
+    return [
+        (
+            rng.integers(-200, 200, size=(rng.integers(1, 17),
+                                          rng.integers(1, 17))).astype(np.int32),
+            bands[i % 4],
+        )
+        for i in range(count)
+    ]
+
+
+class TestQueue:
+    def test_serial_matches_direct_calls(self):
+        blocks = _blocks()
+        got = encode_blocks(blocks, workers=1)
+        want = [encode_codeblock(cb, band) for cb, band in blocks]
+        assert got == want
+
+    def test_pool_matches_serial(self):
+        blocks = _blocks(seed=1)
+        assert encode_blocks(blocks, workers=3) == encode_blocks(blocks, workers=1)
+
+    def test_results_in_submission_order(self):
+        # Mix fast (tiny) and slow (big dense) blocks so completion order
+        # under the pool almost certainly differs from submission order.
+        rng = np.random.default_rng(2)
+        blocks = []
+        for i in range(8):
+            if i % 2:
+                blocks.append((rng.integers(-1000, 1000, size=(32, 32))
+                               .astype(np.int32), "HH"))
+            else:
+                blocks.append((np.ones((1, 1), dtype=np.int32), "LL"))
+        serial = encode_blocks(blocks, workers=1)
+        pooled = encode_blocks(blocks, workers=4)
+        for i, (a, b) in enumerate(zip(serial, pooled)):
+            assert a == b, f"block {i} out of order or mismatched"
+
+    def test_queue_stats_recorded(self):
+        queue = CodeBlockWorkQueue(workers=2)
+        tasks = [CodeBlockTask(i, cb, band)
+                 for i, (cb, band) in enumerate(_blocks(seed=3, count=6))]
+        queue.encode_all(tasks)
+        stats = queue.last_stats
+        assert isinstance(stats, QueueStats)
+        assert stats.workers == 2
+        assert stats.blocks == 6
+        assert sum(stats.blocks_per_worker.values()) == 6
+
+    def test_empty_and_single(self):
+        assert CodeBlockWorkQueue(workers=4).encode_all([]) == []
+        # A single block never pays for a pool.
+        [res] = encode_blocks(_blocks(count=1), workers=4)
+        cb, band = _blocks(count=1)[0]
+        assert res == encode_codeblock(cb, band)
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            CodeBlockWorkQueue(workers=0)
+        assert CodeBlockWorkQueue(workers=None).workers == default_workers()
+        assert default_workers() >= 1
+
+    def test_backend_forwarded(self):
+        blocks = _blocks(seed=4, count=4)
+        ref = encode_blocks(blocks, workers=2, backend="reference")
+        vec = encode_blocks(blocks, workers=2, backend="vectorized")
+        assert ref == vec
+
+    def test_duplicate_seq_rejected(self):
+        cb = np.ones((2, 2), dtype=np.int32)
+        tasks = [CodeBlockTask(0, cb, "LL"), CodeBlockTask(0, cb, "HL")]
+        with pytest.raises(ValueError, match="duplicate"):
+            CodeBlockWorkQueue(workers=2).encode_all(tasks)
+
+
+class TestEncoderIntegration:
+    """Issue acceptance: --workers 1 vs --workers 4 byte-identical."""
+
+    @pytest.fixture(scope="class")
+    def image(self, watch_rgb_96):
+        return watch_rgb_96
+
+    def test_workers_1_vs_4_identical(self, image):
+        r1 = encode(image, EncoderParams(levels=3, workers=1))
+        r4 = encode(image, EncoderParams(levels=3, workers=4))
+        assert r1.codestream == r4.codestream
+
+    def test_stats_identical_across_workers(self, image):
+        r1 = encode(image, EncoderParams(levels=3, workers=1))
+        r2 = encode(image, EncoderParams(levels=3, workers=2))
+        assert [vars(b) for b in r1.stats.blocks] == [
+            vars(b) for b in r2.stats.blocks
+        ]
+        assert [vars(s) for s in r1.stats.subbands] == [
+            vars(s) for s in r2.stats.subbands
+        ]
+
+    def test_rate_control_with_workers(self, image):
+        p1 = EncoderParams(lossless=False, rate=0.2, workers=1)
+        p2 = EncoderParams(lossless=False, rate=0.2, workers=2)
+        assert encode(image, p1).codestream == encode(image, p2).codestream
+
+    def test_backend_param_identical(self, image):
+        a = encode(image, EncoderParams(levels=3, tier1_backend="reference"))
+        b = encode(image, EncoderParams(levels=3, tier1_backend="vectorized"))
+        assert a.codestream == b.codestream
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError, match="tier1_backend"):
+            EncoderParams(tier1_backend="cuda")
+        with pytest.raises(ValueError, match="workers"):
+            EncoderParams(workers=0)
+        assert EncoderParams(workers=None).workers is None
+
+    def test_cell_encoder_workers_override(self, watch_gray_64):
+        from repro.core.parallel_encoder import CellJPEG2000Encoder
+
+        pe = CellJPEG2000Encoder(workers=2)
+        pr = pe.encode(watch_gray_64, EncoderParams(levels=3))
+        base = encode(watch_gray_64, EncoderParams(levels=3))
+        assert pr.codestream == base.codestream
+        assert pr.encode_result.params.workers == 2
