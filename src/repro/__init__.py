@@ -1,0 +1,5 @@
+"""Reproduction of "Optimizing JPEG2000 Still Image Encoding on the Cell
+Broadband Engine" (Kang & Bader, ICPP 2008): a complete JPEG2000 Part-1
+codec, a Cell/B.E. performance simulator, and an encode service."""
+
+__version__ = "1.0.0"

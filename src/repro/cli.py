@@ -1,19 +1,24 @@
-"""Command-line interface: encode / decode / simulate.
+"""Command-line interface: encode / decode / simulate / serve.
 
     python -m repro encode  input.bmp output.j2c [--lossy] [--rate 0.1]
     python -m repro decode  input.j2c output.bmp
     python -m repro simulate input.bmp [--spes 8] [--ppe-threads 1]
                               [--chips 1] [--lossy] [--rate 0.1] [--estimate]
+    python -m repro serve   [--port 8000] [--workers auto] [--cache-mb 64]
+                              [--max-queue 32] [--admission reject|block]
 
 ``simulate`` prints the per-stage Cell/B.E. timeline for encoding the
 image; ``--estimate`` uses the fast Tier-1 workload estimator instead of
-the exact coder (recommended above ~512x512).
+the exact coder (recommended above ~512x512).  ``serve`` runs the
+long-running encode service (persistent worker pool + HTTP front end);
+see the README "Serving" section.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.cell.machine import CellMachine
 from repro.core.pipeline import PipelineModel
@@ -81,11 +86,19 @@ def _add_coding_options(p: argparse.ArgumentParser) -> None:
 
 def cmd_encode(args) -> int:
     image = _read_image(args.input)
+    t0 = time.perf_counter()
     result = encode(image, _params(args))
+    wall = time.perf_counter() - t0
     with open(args.output, "wb") as fh:
         fh.write(result.codestream)
+    workers = result.params.workers
+    from repro.core.workpool import default_workers
+
+    workers_used = default_workers() if workers is None else workers
     print(f"{args.input} -> {args.output}: {len(result.codestream)} bytes "
-          f"({result.compression_ratio:.2f}:1)")
+          f"({result.compression_ratio:.2f}:1), "
+          f"{len(result.stats.blocks)} blocks, "
+          f"{workers_used} worker(s), {wall:.2f}s")
     return 0
 
 
@@ -114,12 +127,41 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    # Imported lazily: encode/decode/simulate must not pay for the service
+    # stack (threads, http.server) they never use.
+    from repro.service import ServiceConfig
+    from repro.service.http import run_server
+
+    config = ServiceConfig(
+        workers=args.workers,
+        backend=args.tier1_backend,
+        cache_bytes=args.cache_mb * 2**20,
+        max_queue=args.max_queue,
+        admission_policy=args.admission,
+    )
+    return run_server(config, host=args.host, port=args.port, quiet=args.quiet)
+
+
+def _package_version() -> str:
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        from repro import __version__
+
+        return __version__
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="JPEG2000 on the Cell Broadband Engine (ICPP 2008) "
                     "reproduction toolkit",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {_package_version()}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("encode", help="encode BMP/PNM to a JPEG2000 codestream")
@@ -142,6 +184,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--estimate", action="store_true",
                    help="use the fast Tier-1 workload estimator")
     p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the long-running encode service (HTTP front end)",
+        description="Persistent-pool encode server: POST /encode with a "
+                    "BMP/PGM/PPM body returns the .j2c codestream; "
+                    "GET /healthz, /metrics, /stats observe it.  "
+                    "SIGTERM drains gracefully.",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8000)
+    p.add_argument("--workers", type=_workers, default=None, metavar="N",
+                   help="pool worker processes; 'auto' (default) = one per core")
+    p.add_argument("--tier1-backend", default="auto",
+                   choices=("auto", "reference", "vectorized"))
+    p.add_argument("--cache-mb", type=int, default=64,
+                   help="result-cache byte budget in MiB (0 disables)")
+    p.add_argument("--max-queue", type=int, default=32,
+                   help="max admitted-but-unfinished encode jobs")
+    p.add_argument("--admission", default="reject",
+                   choices=("reject", "block"),
+                   help="policy when the queue is full: fail fast (503) "
+                        "or make the client wait")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-request access logs")
+    p.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -79,6 +79,13 @@ class CodeBlockWorkQueue:
     mp_context:
         Optional :func:`multiprocessing.get_context` name (``"fork"``,
         ``"spawn"``, ...).  Default: the platform default.
+    pool:
+        Optional injected block executor that *outlives* this queue: any
+        object with a ``workers`` attribute and an ``imap_unordered(payloads)``
+        method yielding ``(seq, pid, CodeBlockResult)`` tuples (e.g.
+        :class:`repro.service.pool.PersistentWorkerPool`, or a scheduler
+        job handle).  When given, ``encode_all`` submits through it instead
+        of spawning a one-shot pool, and never closes it — the owner does.
     """
 
     def __init__(
@@ -86,8 +93,11 @@ class CodeBlockWorkQueue:
         workers: int | None = 1,
         backend: str | None = None,
         mp_context: str | None = None,
+        pool=None,
     ) -> None:
-        if workers is None:
+        if pool is not None:
+            workers = pool.workers
+        elif workers is None:
             workers = default_workers()
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -97,6 +107,7 @@ class CodeBlockWorkQueue:
         resolved = resolve_backend(backend)
         self.backend: str = resolved
         self.mp_context = mp_context
+        self.pool = pool
         self.last_stats: QueueStats | None = None
 
     def encode_all(self, tasks: list[CodeBlockTask]) -> list[CodeBlockResult]:
@@ -111,7 +122,9 @@ class CodeBlockWorkQueue:
         self.last_stats = stats
         if not tasks:
             return []
-        if self.workers == 1 or len(tasks) < MIN_BLOCKS_FOR_POOL:
+        if self.pool is None and (
+            self.workers == 1 or len(tasks) < MIN_BLOCKS_FOR_POOL
+        ):
             pid = os.getpid()
             stats.blocks_per_worker[pid] = len(tasks)
             return [
@@ -123,19 +136,35 @@ class CodeBlockWorkQueue:
         if len(seq_to_pos) != len(tasks):
             raise ValueError("duplicate task sequence numbers")
         results: list[CodeBlockResult | None] = [None] * len(tasks)
-        ctx = (
-            multiprocessing.get_context(self.mp_context)
-            if self.mp_context
-            else multiprocessing.get_context()
-        )
-        with ctx.Pool(processes=self.workers) as pool:
-            for seq, pid, res in pool.imap_unordered(
-                _encode_task, payloads, chunksize=1
-            ):
+
+        def _consume(iterator) -> None:
+            for seq, pid, res in iterator:
                 results[seq_to_pos[seq]] = res
                 stats.blocks_per_worker[pid] = (
                     stats.blocks_per_worker.get(pid, 0) + 1
                 )
+
+        if self.pool is not None:
+            # Injected persistent pool: submit and leave it running.
+            _consume(self.pool.imap_unordered(payloads))
+        else:
+            ctx = (
+                multiprocessing.get_context(self.mp_context)
+                if self.mp_context
+                else multiprocessing.get_context()
+            )
+            pool = ctx.Pool(processes=self.workers)
+            try:
+                _consume(pool.imap_unordered(_encode_task, payloads, chunksize=1))
+                pool.close()
+            except BaseException:
+                # KeyboardInterrupt (and any other failure) must not leave
+                # orphaned encoder processes: kill the children before
+                # propagating so the CLI exits promptly.
+                pool.terminate()
+                raise
+            finally:
+                pool.join()
         missing = sum(r is None for r in results)
         if missing:
             raise RuntimeError(f"work queue lost {missing} block results")

@@ -6,19 +6,50 @@ workflow, PNM support for convenience, and a deterministic synthetic
 "watch-face" generator used as a stand-in for the unavailable test photo.
 """
 
-from repro.image.bmp import read_bmp, write_bmp
-from repro.image.pnm import read_pnm, write_pnm
+from __future__ import annotations
+
+import numpy as np
+
+from repro.image.bmp import parse_bmp, read_bmp, write_bmp
+from repro.image.pnm import parse_pnm, read_pnm, write_pnm
 from repro.image.synthetic import (
     gradient_image,
     noise_image,
     watch_face_image,
 )
 
+
+def sniff_format(data: bytes) -> str | None:
+    """Identify raw image bytes: ``"bmp"``, ``"pnm"``, or ``None``."""
+    if data[:2] == b"BM":
+        return "bmp"
+    if data[:2] in (b"P5", b"P6"):
+        return "pnm"
+    return None
+
+
+def parse_image(data: bytes) -> np.ndarray:
+    """Parse BMP or binary PNM bytes into a uint8 array (HTTP upload path)."""
+    fmt = sniff_format(data)
+    if fmt == "bmp":
+        return parse_bmp(data)
+    if fmt == "pnm":
+        return parse_pnm(data)
+    raise ValueError(
+        f"unrecognized image format (magic {data[:2]!r}); expected BMP or "
+        "binary PGM/PPM"
+    )
+
+
 __all__ = [
     "gradient_image",
     "noise_image",
+    "parse_bmp",
+    "parse_image",
+    "parse_pnm",
     "read_bmp",
     "read_pnm",
+    "sniff_format",
     "watch_face_image",
     "write_bmp",
     "write_pnm",

@@ -76,7 +76,11 @@ def _write_gray8(path: str, img: np.ndarray) -> None:
 def read_bmp(path: str) -> np.ndarray:
     """Read an uncompressed 24-bit or 8-bit BMP into a uint8 array."""
     with open(path, "rb") as fh:
-        data = fh.read()
+        return parse_bmp(fh.read())
+
+
+def parse_bmp(data: bytes) -> np.ndarray:
+    """Parse uncompressed BMP bytes (e.g. an HTTP body) into a uint8 array."""
     if len(data) < _FILE_HEADER.size + _INFO_HEADER_SIZE:
         raise ValueError("file too short to be a BMP")
     magic, _size, _r1, _r2, offset = _FILE_HEADER.unpack_from(data, 0)

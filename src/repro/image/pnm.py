@@ -26,7 +26,11 @@ def write_pnm(path: str, image: np.ndarray) -> None:
 def read_pnm(path: str) -> np.ndarray:
     """Read a binary PGM/PPM file into a uint8 array."""
     with open(path, "rb") as fh:
-        data = fh.read()
+        return parse_pnm(fh.read())
+
+
+def parse_pnm(data: bytes) -> np.ndarray:
+    """Parse binary PGM/PPM bytes (e.g. an HTTP body) into a uint8 array."""
     if data[:2] not in (b"P5", b"P6"):
         raise ValueError(f"not a binary PNM file (magic {data[:2]!r})")
     channels = 1 if data[:2] == b"P5" else 3

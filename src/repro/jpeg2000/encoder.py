@@ -175,8 +175,18 @@ def _normalize_image(image: np.ndarray) -> tuple[list[np.ndarray], int]:
     return comps, depth
 
 
-def encode(image: np.ndarray, params: EncoderParams | None = None) -> EncodeResult:
-    """Encode ``image`` (uint8/uint16, gray or RGB) to a JPEG2000 codestream."""
+def encode(
+    image: np.ndarray,
+    params: EncoderParams | None = None,
+    pool=None,
+) -> EncodeResult:
+    """Encode ``image`` (uint8/uint16, gray or RGB) to a JPEG2000 codestream.
+
+    ``pool`` optionally injects a persistent block executor (see
+    :class:`repro.core.workpool.CodeBlockWorkQueue`'s ``pool`` argument) —
+    the encode service routes Tier-1 work through its shared worker pool
+    this way.  The codestream is byte-identical with or without it.
+    """
     if params is None:
         params = EncoderParams.lossless_default()
     comps, depth = _normalize_image(image)
@@ -233,7 +243,7 @@ def encode(image: np.ndarray, params: EncoderParams | None = None) -> EncodeResu
     # multiprocessing work queue (the executable analogue of the paper's
     # SPE dynamic queue).  Results come back in submission order, so
     # everything downstream is identical for any worker count.
-    results = _encode_pending(pending, params)
+    results = _encode_pending(pending, params, pool)
 
     # Phase 3: reattach results in the original planning order.
     for (psb, spec, _), res in zip(pending, results):
@@ -280,10 +290,15 @@ def encode(image: np.ndarray, params: EncoderParams | None = None) -> EncodeResu
 def _encode_pending(
     pending: list[tuple[_PlannedSubband, CodeBlockSpec, np.ndarray]],
     params: EncoderParams,
+    pool=None,
 ) -> list[CodeBlockResult]:
-    """Tier-1 encode the collected blocks, honouring ``params.workers``."""
+    """Tier-1 encode the collected blocks, honouring ``params.workers``.
+
+    An injected ``pool`` overrides ``params.workers``: all blocks go
+    through it (the service's persistent pool / scheduler lane).
+    """
     workers = params.workers
-    if workers == 1 or len(pending) < 2:
+    if pool is None and (workers == 1 or len(pending) < 2):
         return [
             encode_codeblock(blockdata, psb.band, backend=params.tier1_backend)
             for psb, _, blockdata in pending
@@ -292,7 +307,9 @@ def _encode_pending(
     # import, and repro.core pulls in the performance-model stack.
     from repro.core.workpool import CodeBlockTask, CodeBlockWorkQueue
 
-    queue = CodeBlockWorkQueue(workers=workers, backend=params.tier1_backend)
+    queue = CodeBlockWorkQueue(
+        workers=workers, backend=params.tier1_backend, pool=pool
+    )
     tasks = [
         CodeBlockTask(seq=i, coeffs=blockdata, band=psb.band)
         for i, (psb, _, blockdata) in enumerate(pending)

@@ -1,0 +1,244 @@
+"""Long-running encode service: the serving layer over the offline codec.
+
+One-shot CLI encodes spin up a worker pool per image; a server cannot.
+This package keeps a single :class:`PersistentWorkerPool` alive across
+requests (the paper's SPEs, loaded once), multiplexes concurrent requests
+onto it block-by-block through :class:`EncodeScheduler` (the paper's
+PPE-side dynamic queue), short-circuits repeated work through a
+content-addressed :class:`ResultCache`, bounds load with
+:class:`AdmissionController`, and observes it all via
+:class:`MetricsRegistry`.  :mod:`repro.service.http` puts a stdlib HTTP
+front end on top (``python -m repro serve``).
+
+Every codestream produced here is byte-identical to the offline
+:func:`repro.jpeg2000.encoder.encode` — determinism survives the pool,
+the scheduler interleaving, and the cache by construction, and is
+enforced by tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.jpeg2000.encoder import EncodeResult, encode
+from repro.jpeg2000.params import EncoderParams
+from repro.service.admission import AdmissionController, QueueFullError
+from repro.service.cache import ResultCache, cache_key
+from repro.service.metrics import MetricsRegistry
+from repro.service.pool import PersistentWorkerPool
+from repro.service.scheduler import EncodeScheduler, SchedulerClosed
+
+__all__ = [
+    "AdmissionController",
+    "EncodeResponse",
+    "EncodeScheduler",
+    "EncodeService",
+    "MetricsRegistry",
+    "PersistentWorkerPool",
+    "QueueFullError",
+    "ResultCache",
+    "SchedulerClosed",
+    "ServiceConfig",
+    "cache_key",
+]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs of one :class:`EncodeService` (CLI ``serve`` flags)."""
+
+    workers: int | None = None  # None = one per CPU core
+    backend: str | None = None
+    cache_bytes: int = 64 * 2**20
+    max_queue: int = 32
+    admission_policy: str = "reject"
+    #: Blocks in flight inside the pool; None = 2 * workers (see scheduler).
+    max_inflight_blocks: int | None = None
+
+
+@dataclass
+class EncodeResponse:
+    """One served encode: the codestream plus how it was produced."""
+
+    codestream: bytes
+    cache_hit: bool
+    queue_wait_s: float
+    encode_s: float
+    params: EncoderParams
+    result: EncodeResult | None = field(default=None, repr=False)
+
+
+class EncodeService:
+    """Thread-safe facade: many submitting threads, one shared pool."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self.pool = PersistentWorkerPool(
+            workers=self.config.workers, backend=self.config.backend
+        )
+        self.scheduler = EncodeScheduler(
+            self.pool, max_inflight=self.config.max_inflight_blocks
+        )
+        self.cache = ResultCache(self.config.cache_bytes)
+        self.admission = AdmissionController(
+            self.config.max_queue, policy=self.config.admission_policy
+        )
+        self.metrics = MetricsRegistry()
+        m = self.metrics
+        self._requests = m.counter("requests_total", "encode requests received")
+        self._encoded = m.counter("images_encoded_total", "full encodes run")
+        self._cache_hits = m.counter("cache_hits_total", "requests served from cache")
+        self._coalesced = m.counter(
+            "coalesced_total", "requests that waited on an identical in-flight encode"
+        )
+        self._rejected = m.counter("rejected_total", "requests shed by admission")
+        self._errors = m.counter("errors_total", "requests failed with an error")
+        self._inflight_gauge = m.gauge("inflight_jobs", "admitted unfinished jobs")
+        self._queue_wait = m.histogram("queue_wait_seconds", "admission wait")
+        self._encode_time = m.histogram("encode_seconds", "pool encode time")
+        self._request_time = m.histogram("request_seconds", "total request time")
+        self._started = time.time()
+        self._closed = False
+        self._close_lock = threading.Lock()
+        # Single-flight table: cache key -> Event set when the leading
+        # encode for that key completes (successfully or not).
+        self._singleflight: dict[str, threading.Event] = {}
+        self._sf_lock = threading.Lock()
+
+    # -- serving -----------------------------------------------------------
+
+    def encode_image(
+        self,
+        image: np.ndarray,
+        params: EncoderParams | None = None,
+        priority: int = 0,
+    ) -> EncodeResponse:
+        """Encode one image through the shared pool (or the cache).
+
+        Identical concurrent requests are coalesced (single-flight): one
+        leader encodes while the rest wait and return the cached bytes, so
+        a burst of duplicates costs one pool trip instead of N.
+
+        Raises :class:`QueueFullError` when admission sheds the request and
+        :class:`SchedulerClosed` if the service is shutting down.
+        """
+        if self._closed:
+            raise SchedulerClosed("service is closed")
+        if params is None:
+            params = EncoderParams.lossless_default()
+        self._requests.inc()
+        t_start = time.perf_counter()
+
+        key = cache_key(image, params)
+        leader_key = None
+        first_probe = True
+        try:
+            while True:
+                # Cache first: a hit never touches admission or the pool,
+                # so cached traffic keeps flowing even while load-shedding.
+                cached = self.cache.get(key, record=first_probe)
+                first_probe = False
+                if cached is not None:
+                    self._cache_hits.inc()
+                    self._request_time.observe(time.perf_counter() - t_start)
+                    return EncodeResponse(
+                        codestream=cached, cache_hit=True,
+                        queue_wait_s=0.0, encode_s=0.0, params=params,
+                    )
+                if self.cache.max_bytes <= 0 or leader_key is not None:
+                    break  # no cache to coalesce through, or we lead
+                with self._sf_lock:
+                    event = self._singleflight.get(key)
+                    if event is None:
+                        self._singleflight[key] = threading.Event()
+                        leader_key = key
+                if leader_key is None:
+                    # A leader is already encoding these exact bytes+params;
+                    # wait it out instead of re-encoding.
+                    self._coalesced.inc()
+                    event.wait()
+                # Loop: re-check the cache — either the leader just finished,
+                # or we took leadership and must confirm the cache is still
+                # cold (a previous leader may have filled it in the gap).
+
+            try:
+                self.admission.acquire()
+            except QueueFullError:
+                self._rejected.inc()
+                raise
+            t_admitted = time.perf_counter()
+            self._queue_wait.observe(t_admitted - t_start)
+            self._inflight_gauge.inc()
+            try:
+                with self.scheduler.job(priority=priority) as job:
+                    result = encode(image, params, pool=job)
+            except Exception:
+                self._errors.inc()
+                raise
+            finally:
+                self._inflight_gauge.dec()
+                self.admission.release()
+            t_done = time.perf_counter()
+            self._encoded.inc()
+            self._encode_time.observe(t_done - t_admitted)
+            self._request_time.observe(t_done - t_start)
+            self.cache.put(key, result.codestream)
+            return EncodeResponse(
+                codestream=result.codestream, cache_hit=False,
+                queue_wait_s=t_admitted - t_start, encode_s=t_done - t_admitted,
+                params=params, result=result,
+            )
+        finally:
+            if leader_key is not None:
+                with self._sf_lock:
+                    pending = self._singleflight.pop(leader_key, None)
+                if pending is not None:
+                    pending.set()
+
+    # -- observability -----------------------------------------------------
+
+    def healthy(self) -> bool:
+        return not self._closed and self.pool.ping()
+
+    def stats(self) -> dict:
+        """JSON-ready rollup for ``GET /stats``."""
+        return {
+            "uptime_s": time.time() - self._started,
+            "closed": self._closed,
+            "pool": self.pool.snapshot(),
+            "scheduler": self.scheduler.snapshot(),
+            "cache": self.cache.snapshot(),
+            "admission": self.admission.snapshot(),
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self, drain: bool = True) -> None:
+        """Shut down; with ``drain`` wait for in-flight work (idempotent).
+
+        New submissions fail immediately; in-flight jobs run to completion
+        when draining (graceful SIGTERM path), or are killed otherwise.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        if drain:
+            deadline = time.time() + 60.0
+            while self.admission.inflight > 0 and time.time() < deadline:
+                time.sleep(0.02)
+        self.scheduler.close()
+        if drain:
+            self.pool.close()
+        else:
+            self.pool.terminate()
+
+    def __enter__(self) -> "EncodeService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(drain=exc_type is None)

@@ -1,0 +1,135 @@
+"""Admission control: bounded in-flight jobs with reject-or-block policy.
+
+A bounded queue is what separates "slow under load" from "falls over
+under load": past a certain depth, accepted work only adds latency for
+everyone (the pool's throughput is fixed by the worker count, exactly as
+the paper's throughput is fixed by the SPE count).  The controller caps
+the number of admitted-but-unfinished encode jobs; past the cap it either
+fails fast (``reject``, the default — callers get an immediate 503 and
+can retry elsewhere) or applies backpressure by making the submitter wait
+(``block``).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+POLICIES = ("reject", "block")
+
+
+class QueueFullError(RuntimeError):
+    """Raised under the ``reject`` policy when the service is saturated."""
+
+    def __init__(self, max_queue: int) -> None:
+        super().__init__(
+            f"encode queue full ({max_queue} jobs in flight); retry later"
+        )
+        self.max_queue = max_queue
+
+
+class AdmissionController:
+    """Counting gate over concurrently admitted encode jobs.
+
+    Parameters
+    ----------
+    max_queue:
+        Maximum jobs admitted but not yet finished (queued + encoding).
+    policy:
+        ``"reject"`` raises :class:`QueueFullError` when full;
+        ``"block"`` waits for a slot (optionally up to ``block_timeout_s``).
+    block_timeout_s:
+        Under ``block``, how long to wait before giving up and raising
+        :class:`QueueFullError` anyway.  ``None`` waits forever.
+    """
+
+    def __init__(
+        self,
+        max_queue: int,
+        policy: str = "reject",
+        block_timeout_s: float | None = None,
+    ) -> None:
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if policy not in POLICIES:
+            raise ValueError(f"policy must be one of {POLICIES}, got {policy!r}")
+        self.max_queue = max_queue
+        self.policy = policy
+        self.block_timeout_s = block_timeout_s
+        self._cond = threading.Condition()
+        self._inflight = 0
+        self.peak_inflight = 0
+        self.admitted = 0
+        self.rejected = 0
+
+    def try_acquire(self) -> bool:
+        """Non-blocking admission attempt (the ``reject`` fast path)."""
+        with self._cond:
+            if self._inflight >= self.max_queue:
+                self.rejected += 1
+                return False
+            self._admit_locked()
+            return True
+
+    def acquire(self) -> None:
+        """Admit one job according to the configured policy."""
+        with self._cond:
+            if self.policy == "reject":
+                if self._inflight >= self.max_queue:
+                    self.rejected += 1
+                    raise QueueFullError(self.max_queue)
+                self._admit_locked()
+                return
+            ok = self._cond.wait_for(
+                lambda: self._inflight < self.max_queue,
+                timeout=self.block_timeout_s,
+            )
+            if not ok:
+                self.rejected += 1
+                raise QueueFullError(self.max_queue)
+            self._admit_locked()
+
+    def _admit_locked(self) -> None:
+        self._inflight += 1
+        self.peak_inflight = max(self.peak_inflight, self._inflight)
+        self.admitted += 1
+
+    def release(self) -> None:
+        with self._cond:
+            if self._inflight <= 0:
+                raise RuntimeError("release() without matching acquire()")
+            self._inflight -= 1
+            self._cond.notify()
+
+    @contextmanager
+    def admit(self):
+        """``with admission.admit(): ...`` — acquire/release bracket."""
+        self.acquire()
+        try:
+            yield
+        finally:
+            self.release()
+
+    @property
+    def inflight(self) -> int:
+        with self._cond:
+            return self._inflight
+
+    @property
+    def shedding(self) -> bool:
+        """True while at capacity (new ``reject``-policy work would shed)."""
+        with self._cond:
+            return self._inflight >= self.max_queue
+
+    def snapshot(self) -> dict:
+        """JSON-ready view for ``/stats``."""
+        with self._cond:
+            return {
+                "max_queue": self.max_queue,
+                "policy": self.policy,
+                "inflight": self._inflight,
+                "peak_inflight": self.peak_inflight,
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+                "shedding": self._inflight >= self.max_queue,
+            }

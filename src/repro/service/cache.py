@@ -1,0 +1,128 @@
+"""Content-addressed codestream cache with an LRU byte budget.
+
+Serving traffic repeats itself — thumbnails regenerated on every deploy,
+hot images re-requested by many clients — and a JPEG2000 encode is
+expensive enough (Tier-1 dominates, per the paper) that recomputing an
+identical codestream is pure waste.  The key is content-addressed:
+SHA-256 over the raw pixels (dtype, shape, bytes) plus the *canonical*
+encoder parameters.  Only parameters that change the codestream
+participate; ``workers`` and ``tier1_backend`` are deliberately excluded
+because every backend/worker-count combination is bit-exact (the repo's
+central invariant) — a hit computed with 1 worker serves a request asking
+for 8.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.jpeg2000.params import EncoderParams
+
+#: EncoderParams fields that affect emitted bytes.  ``tier1_backend`` and
+#: ``workers`` are execution strategy, not coding parameters.
+_CODESTREAM_FIELDS = (
+    "lossless", "rate", "levels", "codeblock_size", "guard_bits",
+    "base_quant_step",
+)
+
+
+def canonical_params(params: EncoderParams) -> str:
+    """Stable string of the codestream-affecting parameters."""
+    return "|".join(
+        f"{name}={getattr(params, name)!r}" for name in _CODESTREAM_FIELDS
+    )
+
+
+def cache_key(image: np.ndarray, params: EncoderParams) -> str:
+    """SHA-256 content address of (pixels, coding parameters)."""
+    arr = np.ascontiguousarray(image)
+    h = hashlib.sha256()
+    h.update(f"{arr.dtype.str}|{arr.shape}|".encode())
+    h.update(arr.tobytes())
+    h.update(canonical_params(params).encode())
+    return h.hexdigest()
+
+
+class ResultCache:
+    """Thread-safe LRU cache of codestream bytes under a byte budget.
+
+    ``max_bytes=0`` disables the cache entirely (every ``get`` misses,
+    ``put`` is a no-op) — used by benchmarks to isolate pool effects.
+    """
+
+    def __init__(self, max_bytes: int) -> None:
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, bytes] = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: str, record: bool = True) -> bytes | None:
+        """Look up ``key``; ``record=False`` skips the hit/miss counters.
+
+        The service's single-flight path re-probes the cache after waiting
+        on an in-flight encode; those internal probes pass ``record=False``
+        so the stats stay one-lookup-per-request.
+        """
+        with self._lock:
+            data = self._entries.get(key)
+            if data is None:
+                if record:
+                    self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            if record:
+                self.hits += 1
+            return data
+
+    def put(self, key: str, data: bytes) -> bool:
+        """Insert unless the single item exceeds the whole budget."""
+        if len(data) > self.max_bytes:
+            return False
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= len(old)
+            self._entries[key] = data
+            self._bytes += len(data)
+            while self._bytes > self.max_bytes:
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= len(evicted)
+                self.evictions += 1
+            return True
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def bytes_used(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def snapshot(self) -> dict:
+        """JSON-ready view for ``/stats``."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "entries": len(self._entries),
+                "bytes_used": self._bytes,
+                "max_bytes": self.max_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": (self.hits / total) if total else 0.0,
+            }

@@ -1,0 +1,210 @@
+"""Stdlib-only threaded HTTP front end for the encode service.
+
+    POST /encode     raw BMP or binary PGM/PPM body -> .j2c codestream
+    GET  /healthz    liveness (pings the worker pool)
+    GET  /metrics    JSON metrics snapshot (counters/gauges/histograms)
+    GET  /stats      pool / scheduler / cache / admission rollup
+
+Coding parameters ride on the ``/encode`` query string and mirror the CLI
+flags: ``lossy=1``, ``rate=0.1``, ``levels=5``, ``codeblock=64``,
+``priority=5``.  Each connection is handled on its own thread
+(``ThreadingHTTPServer``); actual Tier-1 work is interleaved block-by-block
+onto the shared persistent pool by the scheduler, so one huge upload
+cannot starve small ones.
+
+``run_server`` (the ``python -m repro serve`` entry) installs SIGTERM /
+SIGINT handlers that stop accepting connections, let in-flight requests
+finish, drain the worker pool, and exit 0 — a clean drain that the CI
+smoke job asserts.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.image import parse_image
+from repro.jpeg2000.params import EncoderParams
+from repro.service import EncodeService, ServiceConfig
+from repro.service.admission import QueueFullError
+from repro.service.scheduler import SchedulerClosed
+
+#: Largest accepted upload; a 3072x3072x3 BMP (the paper's image) is ~28 MB.
+MAX_BODY_BYTES = 128 * 2**20
+
+
+def params_from_query(query: str) -> tuple[EncoderParams, int]:
+    """Translate an ``/encode`` query string into (params, priority)."""
+    q = {k: v[-1] for k, v in parse_qs(query).items()}
+    unknown = set(q) - {"lossy", "rate", "levels", "codeblock", "priority"}
+    if unknown:
+        raise ValueError(f"unknown query parameters: {sorted(unknown)}")
+    try:
+        rate = float(q["rate"]) if "rate" in q else None
+        lossy = q.get("lossy", "0").lower() in ("1", "true", "yes") or rate is not None
+        params = EncoderParams(
+            lossless=not lossy,
+            rate=rate,
+            levels=int(q.get("levels", 5)),
+            codeblock_size=int(q.get("codeblock", 64)),
+        )
+        priority = int(q.get("priority", 0))
+    except ValueError:
+        raise
+    return params, priority
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """Threaded server bound to one :class:`EncodeService`."""
+
+    # Join handler threads in server_close(): that *is* the graceful drain.
+    daemon_threads = False
+    allow_reuse_address = True
+
+    def __init__(self, address, service: EncodeService, quiet: bool = False):
+        self.service = service
+        self.quiet = quiet
+        super().__init__(address, ServiceRequestHandler)
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    server: ServiceHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+    def _respond(self, status: int, body: bytes, content_type: str,
+                 extra_headers: dict[str, str] | None = None) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _json(self, status: int, payload: dict,
+              extra_headers: dict[str, str] | None = None) -> None:
+        body = json.dumps(payload, indent=2, sort_keys=True).encode() + b"\n"
+        self._respond(status, body, "application/json", extra_headers)
+
+    def _error(self, status: int, message: str,
+               extra_headers: dict[str, str] | None = None) -> None:
+        self._json(status, {"error": message}, extra_headers)
+
+    # -- routes ------------------------------------------------------------
+
+    def do_GET(self) -> None:
+        path = urlparse(self.path).path
+        service = self.server.service
+        if path == "/healthz":
+            if service.healthy():
+                self._json(200, {"status": "ok"})
+            else:
+                self._error(503, "worker pool unavailable")
+        elif path == "/metrics":
+            self._json(200, service.metrics.snapshot())
+        elif path == "/stats":
+            self._json(200, service.stats())
+        else:
+            self._error(404, f"no such endpoint: {path}")
+
+    def do_POST(self) -> None:
+        parsed = urlparse(self.path)
+        if parsed.path != "/encode":
+            self._error(404, f"no such endpoint: {parsed.path}")
+            return
+        service = self.server.service
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            self._error(400, "bad Content-Length")
+            return
+        if length <= 0:
+            self._error(400, "empty body; POST raw BMP or binary PGM/PPM bytes")
+            return
+        if length > MAX_BODY_BYTES:
+            self._error(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+            return
+        body = self.rfile.read(length)
+        try:
+            params, priority = params_from_query(parsed.query)
+            image = parse_image(body)
+        except ValueError as exc:
+            self._error(400, str(exc))
+            return
+        try:
+            response = service.encode_image(image, params, priority=priority)
+        except QueueFullError as exc:
+            self._error(503, str(exc), {"Retry-After": "1"})
+            return
+        except SchedulerClosed:
+            self._error(503, "service is shutting down")
+            return
+        except ValueError as exc:
+            self._error(400, str(exc))
+            return
+        except Exception as exc:  # pragma: no cover - defensive
+            self._error(500, f"encode failed: {exc!r}")
+            return
+        self._respond(
+            200, response.codestream, "image/x-jpeg2000-codestream",
+            {
+                "X-Cache": "HIT" if response.cache_hit else "MISS",
+                "X-Queue-Wait-Seconds": f"{response.queue_wait_s:.6f}",
+                "X-Encode-Seconds": f"{response.encode_s:.6f}",
+            },
+        )
+
+
+def make_server(
+    service: EncodeService, host: str = "127.0.0.1", port: int = 0,
+    quiet: bool = False,
+) -> ServiceHTTPServer:
+    """Bind (but do not run) a server; ``port=0`` picks a free port."""
+    return ServiceHTTPServer((host, port), service, quiet=quiet)
+
+
+def run_server(
+    config: ServiceConfig | None = None,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    quiet: bool = False,
+) -> int:
+    """Run until SIGTERM/SIGINT, then drain gracefully.  Returns 0."""
+    service = EncodeService(config)
+    server = make_server(service, host, port, quiet=quiet)
+
+    def _request_shutdown(signum, frame):
+        # shutdown() blocks until serve_forever() exits, and the handler
+        # runs on the main thread *inside* serve_forever — hand it off.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = {
+        sig: signal.signal(sig, _request_shutdown)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    bound_port = server.server_address[1]
+    print(
+        f"repro encode service on http://{host}:{bound_port}  "
+        f"(workers={service.pool.workers}, backend={service.pool.backend}, "
+        f"cache={service.cache.max_bytes // 2**20} MiB, "
+        f"max-queue={service.admission.max_queue})",
+        flush=True,
+    )
+    try:
+        server.serve_forever(poll_interval=0.1)
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        server.server_close()  # joins in-flight request threads
+        service.close(drain=True)
+        print("repro encode service: drained cleanly", flush=True)
+    return 0

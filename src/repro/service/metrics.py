@@ -1,0 +1,188 @@
+"""Counters, gauges, and latency histograms for the encode service.
+
+Deliberately tiny and stdlib-only: a metric is a named, thread-safe value
+holder and the registry renders one JSON snapshot for ``GET /metrics``.
+Histograms keep fixed cumulative buckets (Prometheus-style, so scrapers
+can aggregate across processes) plus a bounded reservoir of recent
+samples for exact p50/p95 over the recent window.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+#: Default latency buckets (seconds): 1 ms .. 60 s, roughly x2.5 spaced.
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+#: Samples kept for quantile estimates (per histogram).
+RESERVOIR_SIZE = 2048
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Point-in-time value that can go up and down."""
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Cumulative-bucket histogram plus a recent-sample reservoir."""
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        if list(buckets) != sorted(buckets) or not buckets:
+            raise ValueError("buckets must be a non-empty ascending sequence")
+        self.name = name
+        self.help = help
+        self.bounds = tuple(buckets)
+        self._lock = threading.Lock()
+        self._bucket_counts = [0] * (len(self.bounds) + 1)  # +inf tail
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._reservoir: deque[float] = deque(maxlen=RESERVOIR_SIZE)
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            i = 0
+            while i < len(self.bounds) and value > self.bounds[i]:
+                i += 1
+            self._bucket_counts[i] += 1
+            self._count += 1
+            self._sum += value
+            self._min = min(self._min, value)
+            self._max = max(self._max, value)
+            self._reservoir.append(value)
+
+    def quantile(self, q: float) -> float:
+        """Exact quantile over the recent-sample window (0 if empty)."""
+        if not (0.0 <= q <= 1.0):
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            if not self._reservoir:
+                return 0.0
+            ordered = sorted(self._reservoir)
+            idx = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+            return ordered[idx]
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            cumulative = []
+            running = 0
+            for bound, n in zip(self.bounds, self._bucket_counts):
+                running += n
+                cumulative.append({"le": bound, "count": running})
+            cumulative.append(
+                {"le": "inf", "count": running + self._bucket_counts[-1]}
+            )
+            out = {
+                "type": "histogram",
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min if self._count else 0.0,
+                "max": self._max if self._count else 0.0,
+                "buckets": cumulative,
+            }
+        # quantile() takes the lock itself; compute outside the hold.
+        out["p50"] = self.quantile(0.50)
+        out["p95"] = self.quantile(0.95)
+        out["p99"] = self.quantile(0.99)
+        return out
+
+
+class MetricsRegistry:
+    """Named metrics with one JSON-ready snapshot."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _register(self, metric):
+        with self._lock:
+            existing = self._metrics.get(metric.name)
+            if existing is not None:
+                if type(existing) is not type(metric):
+                    raise ValueError(
+                        f"metric {metric.name!r} already registered as "
+                        f"{type(existing).__name__}"
+                    )
+                return existing
+            self._metrics[metric.name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._register(Counter(name, help))
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._register(Gauge(name, help))
+
+    def histogram(
+        self, name: str, help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._register(Histogram(name, help, buckets))
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            metrics = dict(self._metrics)
+        return {name: m.snapshot() for name, m in sorted(metrics.items())}

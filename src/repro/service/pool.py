@@ -1,0 +1,252 @@
+"""Persistent Tier-1 worker pool for the encode service.
+
+The offline encoder spins up a fresh :class:`multiprocessing.Pool` inside
+every :meth:`CodeBlockWorkQueue.encode_all` call and tears it down before
+returning — fine for one-shot CLI encodes, pure overhead for a server
+handling a stream of images.  This module lifts the pool out into a
+long-lived object: one set of worker processes survives across images
+(the serving analogue of the paper's SPEs, which are loaded once and then
+pull work forever), with warm-up, liveness checks, and crashed-worker
+respawn on top.
+
+The pool speaks the same duck interface :class:`CodeBlockWorkQueue`
+expects of an injected pool — ``workers`` plus ``imap_unordered(payloads)``
+yielding ``(seq, pid, CodeBlockResult)`` — so the offline encoder can be
+pointed at it with zero changes to the Tier-1 path, keeping codestreams
+byte-identical to the per-image-pool path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from dataclasses import dataclass, field
+
+from repro.core.workpool import _encode_task, default_workers
+from repro.jpeg2000.tier1 import resolve_backend
+
+#: Seconds a liveness ping may take before the pool is declared dead.
+PING_TIMEOUT_S = 10.0
+
+
+def _ping_task(i: int) -> int:
+    """Trivial worker task used for warm-up and health checks."""
+    return os.getpid()
+
+
+def _abandon(mp_pool) -> None:
+    """Tear down a possibly-wedged ``multiprocessing.Pool`` without joining.
+
+    A worker SIGKILLed mid-queue-operation leaves the pool's shared queue
+    locks held forever, so ``Pool.terminate()`` (which puts a sentinel on
+    those queues and joins helper threads) can deadlock — observed on
+    CPython 3.11.  Kill the worker processes directly, then run the
+    built-in teardown on a daemon thread: it cleans up when the locks are
+    free and merely leaks one parked thread when they are not.
+    """
+    for proc in list(getattr(mp_pool, "_pool", None) or []):
+        try:
+            proc.kill()
+        except Exception:
+            pass
+    threading.Thread(
+        target=mp_pool.terminate, name="pool-reaper", daemon=True
+    ).start()
+
+
+@dataclass
+class PoolStats:
+    """Lifetime counters of one :class:`PersistentWorkerPool`."""
+
+    tasks_done: int = 0
+    images_served: int = 0
+    respawns: int = 0
+    #: Blocks completed per worker pid across the pool's whole lifetime.
+    blocks_per_worker: dict[int, int] = field(default_factory=dict)
+
+
+class PersistentWorkerPool:
+    """A reusable multiprocessing pool of Tier-1 block encoders.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count; ``None`` means one per CPU core.
+    backend:
+        Tier-1 backend, resolved once here (as in the one-shot queue) so
+        codestreams cannot depend on per-child environments.
+    mp_context:
+        Optional :func:`multiprocessing.get_context` name.
+    warmup:
+        When true (default), block until every worker has answered a ping
+        so the first real request does not pay process start-up latency.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        backend: str | None = None,
+        mp_context: str | None = None,
+        warmup: bool = True,
+    ) -> None:
+        if workers is None:
+            workers = default_workers()
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.backend: str = resolve_backend(backend)
+        self._ctx = (
+            multiprocessing.get_context(mp_context)
+            if mp_context
+            else multiprocessing.get_context()
+        )
+        self._lock = threading.Lock()
+        self._pool = None
+        self.stats = PoolStats()
+        self._closed = False
+        self._start(warmup=warmup)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _start(self, warmup: bool) -> None:
+        self._pool = self._ctx.Pool(processes=self.workers)
+        if warmup:
+            self.warm_up()
+
+    def warm_up(self) -> list[int]:
+        """Touch every worker once; returns the live worker pids."""
+        # chunksize=1 over >= workers items guarantees each process runs at
+        # least one task, forcing lazy imports (numpy, tier1) to happen now.
+        pids = self._pool.map(_ping_task, range(self.workers * 2), chunksize=1)
+        return sorted(set(pids))
+
+    def ping(self, timeout: float = PING_TIMEOUT_S) -> bool:
+        """True if the pool answers a trivial task within ``timeout``."""
+        if self._pool is None or self._closed:
+            return False
+        try:
+            self._pool.apply_async(_ping_task, (0,)).get(timeout=timeout)
+            return True
+        except Exception:
+            return False
+
+    def ensure_healthy(self, timeout: float = PING_TIMEOUT_S) -> bool:
+        """Ping the pool; respawn it if dead.  Returns True if a respawn
+        happened.  (``multiprocessing.Pool`` already replaces workers that
+        die *between* tasks; this recovers from a wedged/broken pool.)"""
+        if self.ping(timeout=timeout):
+            return False
+        self.respawn()
+        return True
+
+    def respawn(self) -> None:
+        """Abandon the current worker set and start a fresh one.
+
+        Called when the pool failed a health check, so the old pool must
+        be presumed wedged and is never joined (see :func:`_abandon`).
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("pool is closed")
+            old = self._pool
+            if old is not None:
+                _abandon(old)
+            self.stats.respawns += 1
+            self._start(warmup=True)
+
+    def close(self) -> None:
+        """Drain outstanding tasks and stop the workers (idempotent).
+
+        A wedged pool (e.g. a worker SIGKILLed while holding the shared
+        task-queue lock) cannot drain; rather than hang the shutdown path,
+        fall back to terminate when the pool no longer answers pings.
+        """
+        responsive = self.ping(timeout=PING_TIMEOUT_S)
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._pool is not None:
+                if responsive:
+                    self._pool.close()
+                    self._pool.join()
+                else:
+                    _abandon(self._pool)
+                self._pool = None
+
+    def terminate(self) -> None:
+        """Kill the workers without draining (idempotent).
+
+        Uses the abandon path unconditionally: terminate is the abort
+        handler, and joining a pool that might be wedged trades a fast
+        exit for a potential deadlock.
+        """
+        with self._lock:
+            self._closed = True
+            if self._pool is not None:
+                _abandon(self._pool)
+                self._pool = None
+
+    def __enter__(self) -> "PersistentWorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.terminate()
+
+    # -- work submission ---------------------------------------------------
+
+    def submit(self, payload, callback=None, error_callback=None):
+        """Submit one ``(seq, coeffs, band, backend)`` block asynchronously.
+
+        Returns the ``AsyncResult``; used by the scheduler, whose callbacks
+        run on the pool's result-handler thread.
+        """
+        if self._pool is None:
+            raise RuntimeError("pool is closed")
+        return self._pool.apply_async(
+            _encode_task, (payload,),
+            callback=callback, error_callback=error_callback,
+        )
+
+    def imap_unordered(self, payloads):
+        """Yield ``(seq, pid, result)`` as blocks finish, pool kept alive.
+
+        This is the injected-pool interface of
+        :class:`repro.core.workpool.CodeBlockWorkQueue`: identical
+        semantics to the one-shot pool path minus the per-image spawn.
+        """
+        if self._pool is None:
+            raise RuntimeError("pool is closed")
+        self.stats.images_served += 1
+        for seq, pid, res in self._pool.imap_unordered(
+            _encode_task, payloads, chunksize=1
+        ):
+            self.record_completion(pid)
+            yield seq, pid, res
+
+    def record_completion(self, pid: int) -> None:
+        """Count one finished block against worker ``pid`` (thread-safe)."""
+        with self._lock:
+            self.stats.tasks_done += 1
+            self.stats.blocks_per_worker[pid] = (
+                self.stats.blocks_per_worker.get(pid, 0) + 1
+            )
+
+    def snapshot(self) -> dict:
+        """JSON-ready view for ``/stats``."""
+        with self._lock:
+            return {
+                "workers": self.workers,
+                "backend": self.backend,
+                "closed": self._closed,
+                "tasks_done": self.stats.tasks_done,
+                "images_served": self.stats.images_served,
+                "respawns": self.stats.respawns,
+                "blocks_per_worker": {
+                    str(k): v for k, v in sorted(self.stats.blocks_per_worker.items())
+                },
+            }

@@ -58,3 +58,31 @@ class TestSimulate:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestVersionAndSummary:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert capsys.readouterr().out.startswith("repro ")
+
+    def test_encode_summary_line(self, bmp_path, tmp_path, capsys):
+        assert main(["encode", bmp_path, str(tmp_path / "o.j2c"),
+                     "--levels", "3"]) == 0
+        line = capsys.readouterr().out.strip()
+        assert "bytes" in line
+        assert "blocks" in line
+        assert "worker(s)" in line
+        assert line.endswith("s")  # wall time
+
+    def test_serve_in_parser(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--workers", "2", "--cache-mb", "8",
+             "--max-queue", "4", "--admission", "block"]
+        )
+        assert args.port == 0 and args.workers == 2
+        assert args.cache_mb == 8 and args.max_queue == 4
+        assert args.admission == "block"

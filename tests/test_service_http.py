@@ -1,0 +1,177 @@
+"""HTTP front end: end-to-end encodes over a real socket.
+
+The server under test binds port 0 (ephemeral) and runs on a background
+thread; requests go through ``urllib`` so the whole stack — request
+parsing, image sniffing, scheduler, pool, cache, response headers — is
+exercised exactly as a client sees it.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.image.bmp import write_bmp
+from repro.image.pnm import write_pnm
+from repro.image.synthetic import watch_face_image
+from repro.jpeg2000.decoder import decode
+from repro.jpeg2000.encoder import encode
+from repro.jpeg2000.params import EncoderParams
+from repro.service import EncodeService, ServiceConfig
+from repro.service.http import make_server, params_from_query
+
+
+@pytest.fixture(scope="module")
+def server():
+    service = EncodeService(ServiceConfig(workers=2, max_queue=8))
+    srv = make_server(service, port=0, quiet=True)
+    thread = threading.Thread(
+        target=srv.serve_forever, kwargs={"poll_interval": 0.05}
+    )
+    thread.start()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+    service.close()
+    thread.join()
+
+
+@pytest.fixture(scope="module")
+def base_url(server):
+    host, port = server.server_address[:2]
+    return f"http://{host}:{port}"
+
+
+@pytest.fixture(scope="module")
+def pgm_bytes(tmp_path_factory):
+    path = tmp_path_factory.mktemp("http") / "in.pgm"
+    write_pnm(str(path), watch_face_image(48, 48, channels=1))
+    return path.read_bytes()
+
+
+def _post(url: str, body: bytes):
+    req = urllib.request.Request(url, data=body, method="POST")
+    return urllib.request.urlopen(req, timeout=60)
+
+
+class TestEncodeEndpoint:
+    def test_pgm_roundtrip_matches_offline(self, base_url, pgm_bytes):
+        img = watch_face_image(48, 48, channels=1)
+        offline = encode(img, EncoderParams(levels=3)).codestream
+        with _post(f"{base_url}/encode?levels=3", pgm_bytes) as resp:
+            body = resp.read()
+            assert resp.status == 200
+            assert resp.headers["X-Cache"] == "MISS"
+            assert resp.headers["Content-Type"] == "image/x-jpeg2000-codestream"
+        assert body == offline
+        assert np.array_equal(decode(body), img)
+
+    def test_second_request_hits_cache(self, base_url, pgm_bytes):
+        with _post(f"{base_url}/encode?levels=3", pgm_bytes) as resp:
+            first = resp.read()
+        with _post(f"{base_url}/encode?levels=3", pgm_bytes) as resp:
+            assert resp.headers["X-Cache"] == "HIT"
+            assert resp.read() == first
+
+    def test_bmp_body_and_lossy_params(self, base_url, tmp_path):
+        img = watch_face_image(48, 48, channels=3)
+        path = tmp_path / "in.bmp"
+        write_bmp(str(path), img)
+        offline = encode(img, EncoderParams(lossless=False, rate=0.3)).codestream
+        with _post(f"{base_url}/encode?rate=0.3", path.read_bytes()) as resp:
+            assert resp.read() == offline
+
+    def test_bad_body_is_400(self, base_url):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(f"{base_url}/encode", b"this is not an image")
+        assert err.value.code == 400
+        assert "unrecognized image format" in json.load(err.value)["error"]
+
+    def test_empty_body_is_400(self, base_url):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(f"{base_url}/encode", b"")
+        assert err.value.code == 400
+
+    def test_bad_params_are_400(self, base_url, pgm_bytes):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(f"{base_url}/encode?rate=7.0", pgm_bytes)
+        assert err.value.code == 400
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(f"{base_url}/encode?bogus=1", pgm_bytes)
+        assert err.value.code == 400
+
+    def test_queue_full_is_503_with_retry_after(self, base_url, server):
+        service = server.service
+        # Saturate admission so the next uncached encode sheds.
+        slots = 0
+        while service.admission.try_acquire():
+            slots += 1
+        try:
+            unique = watch_face_image(40, 40, channels=1)
+            header = b"P5\n40 40\n255\n"
+            body = header + unique.tobytes()
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _post(f"{base_url}/encode?levels=2", body)
+            assert err.value.code == 503
+            assert err.value.headers["Retry-After"] == "1"
+        finally:
+            for _ in range(slots):
+                service.admission.release()
+
+    def test_unknown_paths_are_404(self, base_url, pgm_bytes):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(f"{base_url}/nope", timeout=10)
+        assert err.value.code == 404
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(f"{base_url}/nope", pgm_bytes)
+        assert err.value.code == 404
+
+
+class TestObservabilityEndpoints:
+    def test_healthz(self, base_url):
+        with urllib.request.urlopen(f"{base_url}/healthz", timeout=30) as resp:
+            assert resp.status == 200
+            assert json.load(resp) == {"status": "ok"}
+
+    def test_metrics_shape(self, base_url, pgm_bytes):
+        with _post(f"{base_url}/encode?levels=3", pgm_bytes):
+            pass
+        with urllib.request.urlopen(f"{base_url}/metrics", timeout=30) as resp:
+            metrics = json.load(resp)
+        assert metrics["requests_total"]["value"] >= 1
+        lat = metrics["request_seconds"]
+        assert lat["type"] == "histogram"
+        assert lat["count"] >= 1
+        assert lat["p95"] >= lat["p50"] >= 0
+        assert any(b["le"] == "inf" for b in lat["buckets"])
+
+    def test_stats_shape(self, base_url):
+        with urllib.request.urlopen(f"{base_url}/stats", timeout=30) as resp:
+            stats = json.load(resp)
+        assert stats["pool"]["workers"] == 2
+        assert set(stats) >= {"pool", "scheduler", "cache", "admission"}
+
+
+class TestQueryParsing:
+    def test_defaults(self):
+        params, priority = params_from_query("")
+        assert params == EncoderParams.lossless_default()
+        assert priority == 0
+
+    def test_lossy_and_priority(self):
+        params, priority = params_from_query("lossy=1&levels=3&priority=7")
+        assert params.lossless is False and params.levels == 3
+        assert priority == 7
+
+    def test_rate_implies_lossy(self):
+        params, _ = params_from_query("rate=0.1")
+        assert params.lossless is False and params.rate == 0.1
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(ValueError, match="unknown query"):
+            params_from_query("speed=11")
