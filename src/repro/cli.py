@@ -62,7 +62,9 @@ def _workers(value: str) -> int | None:
 
 def _params(args) -> EncoderParams:
     common = dict(levels=args.levels, codeblock_size=args.codeblock,
-                  tier1_backend=args.tier1_backend, workers=args.workers)
+                  tier1_backend=args.tier1_backend, workers=args.workers,
+                  dwt_backend=args.dwt_backend,
+                  dwt_chunk_cols=args.dwt_chunk)
     if args.lossy or args.rate is not None:
         return EncoderParams(lossless=False, rate=args.rate, **common)
     return EncoderParams(lossless=True, **common)
@@ -82,6 +84,14 @@ def _add_coding_options(p: argparse.ArgumentParser) -> None:
     p.add_argument("--tier1-backend", default="auto",
                    choices=("auto", "reference", "vectorized"),
                    help="Tier-1 coder implementation (all are bit-exact)")
+    p.add_argument("--dwt-backend", default="auto",
+                   choices=("auto", "reference", "fused"),
+                   help="front-end (MCT+DWT+quantize) implementation; "
+                        "'fused' = interleaved lifting over column chunks "
+                        "(byte-identical to 'reference')")
+    p.add_argument("--dwt-chunk", type=int, default=None, metavar="COLS",
+                   help="fused front-end chunk width in samples (rounded up "
+                        "to a multiple of 32); default: automatic")
 
 
 def cmd_encode(args) -> int:
@@ -99,6 +109,8 @@ def cmd_encode(args) -> int:
           f"({result.compression_ratio:.2f}:1), "
           f"{len(result.stats.blocks)} blocks, "
           f"{workers_used} worker(s), {wall:.2f}s")
+    if result.timings is not None:
+        print(f"  stages: {result.timings.summary()}")
     return 0
 
 

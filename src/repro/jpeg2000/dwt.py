@@ -40,18 +40,29 @@ def sym_indices(n: int, pad_left: int, pad_right: int) -> np.ndarray:
     """Whole-sample symmetric (period ``2n-2``) source indices.
 
     Maps extended positions ``-pad_left .. n-1+pad_right`` onto ``0..n-1``.
+    The returned array is cached and read-only — the same ``(n, pad_left,
+    pad_right)`` triple recurs twice per level per component, so rebuilding
+    it on every 1-D call was pure waste.
 
     >>> sym_indices(4, 2, 2).tolist()
     [2, 1, 0, 1, 2, 3, 2, 1]
     """
     if n <= 0:
         raise ValueError(f"signal length must be positive, got {n}")
+    return _sym_indices_cached(n, pad_left, pad_right)
+
+
+@lru_cache(maxsize=1024)
+def _sym_indices_cached(n: int, pad_left: int, pad_right: int) -> np.ndarray:
     pos = np.arange(-pad_left, n + pad_right)
     if n == 1:
-        return np.zeros_like(pos)
-    period = 2 * (n - 1)
-    pos = np.abs(pos) % period
-    return np.where(pos < n, pos, period - pos)
+        idx = np.zeros_like(pos)
+    else:
+        period = 2 * (n - 1)
+        pos = np.abs(pos) % period
+        idx = np.where(pos < n, pos, period - pos)
+    idx.setflags(write=False)
+    return idx
 
 
 def _extended(x: np.ndarray, n: int) -> tuple[np.ndarray, int]:
@@ -73,12 +84,37 @@ def _split(E: np.ndarray, pad: int, n: int) -> tuple[np.ndarray, np.ndarray]:
     return low.copy(), high.copy()
 
 
+#: Magnitude below which one 5/3 lifting level is overflow-safe in int32:
+#: intermediate sums are bounded by ``4*M + 6``, so ``M < 2**27`` keeps them
+#: under ``2**29``.  Samples up to 16 bits through 5 decomposition levels
+#: (every paper workload) stay far below this; larger magnitudes fall back
+#: to the historical int64 path automatically.
+I32_SAFE_MAX = 1 << 27
+
+
+def _lift_dtype(*arrays: np.ndarray) -> type:
+    """int32 when every input provably fits the 5/3 headroom, else int64.
+
+    Dropping the int64 upcast halves the memory traffic of the reversible
+    path; the min/max scan that guards it is a single cheap pass.
+    """
+    for a in arrays:
+        if a.size == 0:
+            continue
+        if a.dtype.kind not in "iu" or a.dtype.itemsize > 4:
+            return np.int64
+        if max(int(a.max()), -int(a.min())) >= I32_SAFE_MAX:
+            return np.int64
+    return np.int32
+
+
 def forward_53_1d(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Reversible 5/3 analysis along axis 0.  Returns ``(low, high)``."""
     n = x.shape[0]
     if n == 1:
         return x.astype(np.int32).copy(), x[:0].astype(np.int32).copy()
-    E, pad = _extended(x.astype(np.int64), n)
+    dt = _lift_dtype(x)
+    E, pad = _extended(x.astype(dt, copy=False), n)
     E[1::2] -= (E[0:-1:2] + E[2::2]) >> 1
     E[2:-1:2] += (E[1:-2:2] + E[3::2] + 2) >> 2
     low, high = _split(E, pad, n)
@@ -90,7 +126,9 @@ def inverse_53_1d(low: np.ndarray, high: np.ndarray, n: int) -> np.ndarray:
     _check_band_sizes(low, high, n)
     if n == 1:
         return low.astype(np.int32).copy()
-    E = _interleave_extended(low.astype(np.int64), high.astype(np.int64), n)
+    dt = _lift_dtype(low, high)
+    E = _interleave_extended(low.astype(dt, copy=False),
+                             high.astype(dt, copy=False), n)
     E[2:-1:2] -= (E[1:-2:2] + E[3::2] + 2) >> 2
     E[1::2] += (E[0:-1:2] + E[2::2]) >> 1
     return E[_PAD : _PAD + n].astype(np.int32)
@@ -219,6 +257,24 @@ def _inverse_2d_once(ll, hl, lh, hh, shape: tuple[int, int], reversible: bool,
     lo_v = inv(ll.T, hl.T, w).T
     hi_v = inv(lh.T, hh.T, w).T
     return inv(lo_v, hi_v, h)
+
+
+def effective_levels(shape: tuple[int, int], levels: int) -> int:
+    """Levels :func:`forward_dwt2d` actually performs on ``shape``.
+
+    Mirrors the 1x1 clamp in the decomposition loop so callers (the fused
+    front end, quantizer derivation) can size outputs without running it.
+    """
+    if levels < 0:
+        raise ValueError(f"levels must be non-negative, got {levels}")
+    h, w = shape
+    done = 0
+    for _ in range(levels):
+        if h == 1 and w == 1:
+            break
+        h, w = (h + 1) // 2, (w + 1) // 2
+        done += 1
+    return done
 
 
 def forward_dwt2d(plane: np.ndarray, levels: int, reversible: bool) -> Decomposition:

@@ -10,11 +10,11 @@ the Cell/B.E. performance model in :mod:`repro.cell`.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.jpeg2000 import mct
 from repro.jpeg2000.codeblocks import CodeBlockSpec, partition_subband
 from repro.jpeg2000.codestream import (
     CodestreamInfo,
@@ -22,9 +22,10 @@ from repro.jpeg2000.codestream import (
     write_codestream,
     write_main_header,
 )
-from repro.jpeg2000.dwt import Decomposition, forward_dwt2d, synthesis_gain_sq
+from repro.jpeg2000.dwt import synthesis_gain_sq
+from repro.jpeg2000.dwt_fast import StageTimings, run_frontend
 from repro.jpeg2000.params import EncoderParams
-from repro.jpeg2000.quantize import SubbandQuant, derive_quant, quantize
+from repro.jpeg2000.quantize import SubbandQuant
 from repro.jpeg2000.rate import BlockRateInfo, choose_truncations
 from repro.jpeg2000.tier1 import CodeBlockResult, encode_codeblock
 from repro.jpeg2000.tier2 import BlockContribution, PacketBand, encode_packet
@@ -120,6 +121,8 @@ class EncodeResult:
     codestream: bytes
     params: EncoderParams
     stats: WorkloadStats
+    #: Per-stage wall times (see :class:`repro.jpeg2000.dwt_fast.StageTimings`).
+    timings: StageTimings | None = None
 
     @property
     def compression_ratio(self) -> float:
@@ -189,11 +192,11 @@ def encode(
     """
     if params is None:
         params = EncoderParams.lossless_default()
+    t_start = time.perf_counter()
     comps, depth = _normalize_image(image)
     height, width = comps[0].shape
     ncomp = len(comps)
     use_mct = ncomp == 3
-    chroma_expanded = params.lossless and use_mct
 
     stats = WorkloadStats(
         height=height, width=width, num_components=ncomp, bit_depth=depth,
@@ -202,26 +205,22 @@ def encode(
         raw_bytes=int(np.asarray(image).nbytes),
     )
 
-    planes = mct.forward_mct(comps, depth, params.lossless)
-    decomps = [forward_dwt2d(p, params.levels, params.lossless) for p in planes]
-    actual_levels = decomps[0].levels
+    # Front end: level shift + MCT + DWT + quantization, via the backend
+    # selected by ``params.dwt_backend`` (byte-identical either way).
+    timings = StageTimings()
+    frontend = run_frontend(comps, depth, params, timings=timings)
+    decomps = frontend.decomps
+    actual_levels = frontend.levels
 
-    # Phase 1: quantize every subband and collect the independent Tier-1
-    # work items.  Nothing is encoded yet — the blocks go through the work
-    # queue as one batch so idle workers can steal from any subband.
+    # Phase 1: collect the independent Tier-1 work items.  Nothing is
+    # encoded yet — the blocks go through the work queue as one batch so
+    # idle workers can steal from any subband.
     planned: list[_PlannedSubband] = []
     pending: list[tuple[_PlannedSubband, CodeBlockSpec, np.ndarray]] = []
     for ci, decomp in enumerate(decomps):
         for sb in decomp.subbands():
-            quant = derive_quant(
-                sb.band, max(sb.dlevel, 1), depth, params.lossless,
-                params.guard_bits, params.base_quant_step,
-                chroma_expanded=chroma_expanded,
-            )
-            if params.lossless:
-                q = sb.data.astype(np.int32)
-            else:
-                q = quantize(sb.data, quant.step)
+            quant = frontend.quants[(sb.band, sb.dlevel)]
+            q = sb.data  # already quantized int32 from the front end
             specs, grows, gcols = partition_subband(
                 sb.shape[0], sb.shape[1], params.codeblock_size
             )
@@ -243,7 +242,9 @@ def encode(
     # multiprocessing work queue (the executable analogue of the paper's
     # SPE dynamic queue).  Results come back in submission order, so
     # everything downstream is identical for any worker count.
+    t0 = time.perf_counter()
     results = _encode_pending(pending, params, pool)
+    timings.tier1 += time.perf_counter() - t0
 
     # Phase 3: reattach results in the original planning order.
     for (psb, spec, _), res in zip(pending, results):
@@ -279,12 +280,19 @@ def encode(
     )
 
     if params.rate is not None:
+        t0 = time.perf_counter()
         _apply_rate_control(planned, params, stats, info)
+        timings.rate_control += time.perf_counter() - t0
 
+    t0 = time.perf_counter()
     info.tile_data = _assemble_packets(planned, ncomp, actual_levels)
     codestream = write_codestream(info)
+    timings.tier2 += time.perf_counter() - t0
+    timings.total = time.perf_counter() - t_start
     stats.codestream_bytes = len(codestream)
-    return EncodeResult(codestream=codestream, params=params, stats=stats)
+    return EncodeResult(
+        codestream=codestream, params=params, stats=stats, timings=timings
+    )
 
 
 def _encode_pending(

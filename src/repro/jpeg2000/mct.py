@@ -60,18 +60,38 @@ def inverse_rct(y: np.ndarray, u: np.ndarray, v: np.ndarray):
     return r.astype(np.int32), g.astype(np.int32), b.astype(np.int32)
 
 
+def _matrix_rows(m: np.ndarray, a, b, c):
+    """Apply a 3x3 matrix row by row as explicit elementwise expressions.
+
+    Deliberately *not* a BLAS call: elementwise arithmetic is evaluated in a
+    fixed order per sample, so the result is bitwise identical whether the
+    planes are transformed whole or one column chunk at a time — the
+    property the fused front end's chunk-vs-whole byte-identity rests on.
+    (``tensordot`` may reassociate/FMA the 3-term dot depending on shape.)
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    c = np.asarray(c, dtype=np.float64)
+    scratch = np.empty(a.shape, np.float64)
+    out = []
+    for i in range(3):
+        acc = np.multiply(a, m[i, 0])
+        np.multiply(b, m[i, 1], out=scratch)
+        np.add(acc, scratch, out=acc)
+        np.multiply(c, m[i, 2], out=scratch)
+        np.add(acc, scratch, out=acc)
+        out.append(acc)
+    return tuple(out)
+
+
 def forward_ict(r: np.ndarray, g: np.ndarray, b: np.ndarray):
     """Irreversible color transform (floating point YCbCr)."""
-    stacked = np.stack([r, g, b]).astype(np.float64)
-    out = np.tensordot(_ICT_FWD, stacked, axes=(1, 0))
-    return out[0], out[1], out[2]
+    return _matrix_rows(_ICT_FWD, r, g, b)
 
 
 def inverse_ict(y: np.ndarray, cb: np.ndarray, cr: np.ndarray):
     """Inverse of :func:`forward_ict` (floating point)."""
-    stacked = np.stack([y, cb, cr]).astype(np.float64)
-    out = np.tensordot(_ICT_INV, stacked, axes=(1, 0))
-    return out[0], out[1], out[2]
+    return _matrix_rows(_ICT_INV, y, cb, cr)
 
 
 def forward_mct(components: list[np.ndarray], bit_depth: int, lossless: bool):
@@ -90,6 +110,48 @@ def forward_mct(components: list[np.ndarray], bit_depth: int, lossless: bool):
         raise ValueError(f"MCT supports 1 or 3 components, got {len(shifted)}")
     if lossless:
         return list(forward_rct(*shifted))
+    return list(forward_ict(*shifted))
+
+
+def forward_mct_chunk(
+    chunks: list[np.ndarray], bit_depth: int, lossless: bool, dtype=np.int32
+) -> list[np.ndarray]:
+    """Merged level shift + MCT on one column chunk (fused front end).
+
+    Bitwise identical to :func:`forward_mct` restricted to the same columns
+    (every operation is elementwise), but the reversible path folds the DC
+    shift into the transform algebraically instead of running a separate
+    shift pass — ``((r-h) + 2(g-h) + (b-h)) >> 2 == ((r + 2g + b) >> 2) - h``
+    and the chroma differences cancel the shift outright — one traversal
+    where the naive pipeline makes two, the paper's Section 3.2 merge.
+
+    ``dtype`` selects the reversible working precision (int32 when the
+    caller proved the headroom, int64 otherwise); the lossy path is always
+    float64.
+    """
+    _check_depth(bit_depth)
+    half = 1 << (bit_depth - 1)
+    if len(chunks) == 1:
+        if lossless:
+            shifted = level_shift(chunks[0], bit_depth)
+            return [shifted.astype(dtype, copy=False)]
+        out = chunks[0].astype(np.float64)
+        out -= half  # same value as level_shift then float-convert, one pass
+        return [out]
+    if len(chunks) != 3:
+        raise ValueError(f"MCT supports 1 or 3 components, got {len(chunks)}")
+    if lossless:
+        r = chunks[0].astype(dtype)
+        g = chunks[1].astype(dtype)
+        b = chunks[2].astype(dtype)
+        y = (r + 2 * g + b) >> 2
+        y -= half
+        return [y, b - g, r - g]
+    shifted = []
+    for c in chunks:
+        s = c.astype(np.float64)
+        s -= half  # bitwise equal to int shift for any depth <= 16
+        shifted.append(s)
     return list(forward_ict(*shifted))
 
 

@@ -36,10 +36,24 @@ class EncoderParams:
         ``REPRO_TIER1_BACKEND`` environment variable).  All backends
         produce byte-identical codestreams.
     workers:
-        Tier-1 worker processes — the executable analogue of the paper's
-        SPE count.  ``1`` (default) encodes in-process; ``None`` uses one
-        worker per CPU core.  The codestream is byte-identical for any
-        value.
+        Worker parallelism — the executable analogue of the paper's SPE
+        count.  Controls both the Tier-1 code-block process pool and the
+        fused front end's chunk threads.  ``1`` (default) encodes
+        in-process; ``None`` uses one worker per CPU core.  The codestream
+        is byte-identical for any value.
+    dwt_backend:
+        Front-end (level shift + MCT + DWT + quantize) implementation:
+        ``"reference"`` (the naive per-stage oracle in
+        :mod:`repro.jpeg2000.dwt`), ``"fused"`` (interleaved lifting over
+        column chunks, :mod:`repro.jpeg2000.dwt_fast`), or ``"auto"``
+        (default; honours the ``REPRO_DWT_BACKEND`` environment variable,
+        otherwise fused).  Both backends produce byte-identical
+        codestreams.
+    dwt_chunk_cols:
+        Column-chunk width for the fused front end, rounded up to a
+        multiple of the 32-sample cache line.  ``None`` (default) picks
+        automatically: whole-plane when serial, about two chunks per
+        worker otherwise.
     """
 
     lossless: bool = True
@@ -50,6 +64,8 @@ class EncoderParams:
     base_quant_step: float = 1.0 / 128.0
     tier1_backend: str = "auto"
     workers: int | None = 1
+    dwt_backend: str = "auto"
+    dwt_chunk_cols: int | None = None
 
     def __post_init__(self) -> None:
         if self.levels < 0 or self.levels > 32:
@@ -79,6 +95,17 @@ class EncoderParams:
             )
         if self.workers is not None and self.workers < 1:
             raise ValueError(f"workers must be >= 1 or None, got {self.workers}")
+        from repro.jpeg2000.dwt_fast import DWT_BACKENDS  # lazy: avoids cycle
+
+        if self.dwt_backend not in DWT_BACKENDS:
+            raise ValueError(
+                f"dwt_backend must be one of {DWT_BACKENDS}, "
+                f"got {self.dwt_backend!r}"
+            )
+        if self.dwt_chunk_cols is not None and self.dwt_chunk_cols < 1:
+            raise ValueError(
+                f"dwt_chunk_cols must be >= 1 or None, got {self.dwt_chunk_cols}"
+            )
 
     @staticmethod
     def lossless_default() -> "EncoderParams":

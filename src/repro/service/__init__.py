@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.jpeg2000.dwt_fast import StageTimings
 from repro.jpeg2000.encoder import EncodeResult, encode
 from repro.jpeg2000.params import EncoderParams
 from repro.service.admission import AdmissionController, QueueFullError
@@ -101,6 +102,13 @@ class EncodeService:
         self._queue_wait = m.histogram("queue_wait_seconds", "admission wait")
         self._encode_time = m.histogram("encode_seconds", "pool encode time")
         self._request_time = m.histogram("request_seconds", "total request time")
+        # Per-pipeline-stage wall time (StageTimings from every full encode).
+        self._stage_times = {
+            stage: m.histogram(
+                f"stage_{stage}_seconds", f"encode {stage} stage wall time"
+            )
+            for stage in StageTimings.STAGES
+        }
         self._started = time.time()
         self._closed = False
         self._close_lock = threading.Lock()
@@ -186,6 +194,9 @@ class EncodeService:
             self._encoded.inc()
             self._encode_time.observe(t_done - t_admitted)
             self._request_time.observe(t_done - t_start)
+            if result.timings is not None:
+                for stage, hist in self._stage_times.items():
+                    hist.observe(getattr(result.timings, stage))
             self.cache.put(key, result.codestream)
             return EncodeResponse(
                 codestream=result.codestream, cache_hit=False,

@@ -7,7 +7,7 @@
 
 Coding parameters ride on the ``/encode`` query string and mirror the CLI
 flags: ``lossy=1``, ``rate=0.1``, ``levels=5``, ``codeblock=64``,
-``priority=5``.  Each connection is handled on its own thread
+``dwt_backend=fused``, ``dwt_chunk=64``, ``priority=5``.  Each connection is handled on its own thread
 (``ThreadingHTTPServer``); actual Tier-1 work is interleaved block-by-block
 onto the shared persistent pool by the scheduler, so one huge upload
 cannot starve small ones.
@@ -39,7 +39,10 @@ MAX_BODY_BYTES = 128 * 2**20
 def params_from_query(query: str) -> tuple[EncoderParams, int]:
     """Translate an ``/encode`` query string into (params, priority)."""
     q = {k: v[-1] for k, v in parse_qs(query).items()}
-    unknown = set(q) - {"lossy", "rate", "levels", "codeblock", "priority"}
+    unknown = set(q) - {
+        "lossy", "rate", "levels", "codeblock", "priority",
+        "dwt_backend", "dwt_chunk",
+    }
     if unknown:
         raise ValueError(f"unknown query parameters: {sorted(unknown)}")
     try:
@@ -50,6 +53,8 @@ def params_from_query(query: str) -> tuple[EncoderParams, int]:
             rate=rate,
             levels=int(q.get("levels", 5)),
             codeblock_size=int(q.get("codeblock", 64)),
+            dwt_backend=q.get("dwt_backend", "auto"),
+            dwt_chunk_cols=int(q["dwt_chunk"]) if "dwt_chunk" in q else None,
         )
         priority = int(q.get("priority", 0))
     except ValueError:

@@ -86,3 +86,28 @@ class TestVersionAndSummary:
         assert args.port == 0 and args.workers == 2
         assert args.cache_mb == 8 and args.max_queue == 4
         assert args.admission == "block"
+
+
+class TestDwtBackendFlag:
+    def test_stage_timings_line(self, bmp_path, tmp_path, capsys):
+        assert main(["encode", bmp_path, str(tmp_path / "o.j2c"),
+                     "--levels", "2"]) == 0
+        out = capsys.readouterr().out
+        stages = [ln for ln in out.splitlines() if ln.strip().startswith("stages:")]
+        assert len(stages) == 1
+        for label in ("mct", "dwt", "quant", "tier1", "tier2"):
+            assert label in stages[0]
+
+    def test_dwt_backend_flag_bytes_identical(self, bmp_path, tmp_path):
+        ref, fused = str(tmp_path / "r.j2c"), str(tmp_path / "f.j2c")
+        assert main(["encode", bmp_path, ref, "--levels", "2",
+                     "--dwt-backend", "reference"]) == 0
+        assert main(["encode", bmp_path, fused, "--levels", "2",
+                     "--dwt-backend", "fused", "--dwt-chunk", "8"]) == 0
+        with open(ref, "rb") as fr, open(fused, "rb") as ff:
+            assert fr.read() == ff.read()
+
+    def test_rejects_unknown_dwt_backend(self, bmp_path, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["encode", bmp_path, str(tmp_path / "o.j2c"),
+                  "--dwt-backend", "simd"])

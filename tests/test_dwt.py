@@ -191,3 +191,73 @@ class TestSynthesisGain:
     def test_rejects_level_zero(self):
         with pytest.raises(ValueError):
             synthesis_gain_sq(BAND_LL, 0, False)
+
+
+class TestSymIndicesCache:
+    """PR 3 satellite: extension index arrays are cached and immutable."""
+
+    def test_repeated_calls_share_one_array(self):
+        a = sym_indices(37, 4, 4)
+        b = sym_indices(37, 4, 4)
+        assert a is b
+
+    def test_cached_arrays_are_read_only(self):
+        idx = sym_indices(12, 4, 4)
+        assert not idx.flags.writeable
+        with pytest.raises(ValueError):
+            idx[0] = 99
+
+    def test_distinct_keys_distinct_arrays(self):
+        assert sym_indices(12, 4, 4) is not sym_indices(12, 4, 5)
+
+
+class TestLiftDtypeFastPath:
+    """PR 3 satellite: int32 lifting when headroom allows, int64 fallback."""
+
+    def test_int32_inputs_stay_int32(self):
+        x = np.arange(-100, 100, dtype=np.int32)
+        low, high = forward_53_1d(x)
+        assert low.dtype == np.int32 and high.dtype == np.int32
+        assert np.array_equal(inverse_53_1d(low, high, x.size), x)
+
+    def test_large_magnitudes_fall_back_to_int64(self):
+        # Values at the safety threshold must take the int64 path and
+        # still reconstruct exactly (the whole point of the fallback).
+        from repro.jpeg2000.dwt import I32_SAFE_MAX, _lift_dtype
+
+        big = np.array([I32_SAFE_MAX, -I32_SAFE_MAX, 0, 1], dtype=np.int32)
+        assert _lift_dtype(big) == np.int64
+        low, high = forward_53_1d(big)
+        assert np.array_equal(inverse_53_1d(low, high, big.size), big)
+
+    def test_small_magnitudes_use_int32(self):
+        from repro.jpeg2000.dwt import _lift_dtype
+
+        small = np.array([1 << 26, -(1 << 26)], dtype=np.int32)
+        assert _lift_dtype(small) == np.int32
+
+    def test_paths_bit_exact(self):
+        # The int32 fast path must produce the same coefficients as the
+        # int64 fallback on identical data.
+        rng = np.random.default_rng(53)
+        x = rng.integers(-(1 << 20), 1 << 20, size=301).astype(np.int32)
+        lo32, hi32 = forward_53_1d(x)
+        lo64, hi64 = forward_53_1d(x.astype(np.int64) + (1 << 28) - (1 << 28))
+        assert np.array_equal(lo32, lo64) and np.array_equal(hi32, hi64)
+
+
+class TestEffectiveLevels:
+    def test_matches_forward_dwt2d_clamp(self):
+        from repro.jpeg2000.dwt import effective_levels
+
+        for shape in [(1, 1), (1, 9), (64, 48), (3, 200)]:
+            for levels in range(0, 8):
+                x = np.zeros(shape, dtype=np.int32)
+                assert (effective_levels(shape, levels)
+                        == forward_dwt2d(x, levels, True).levels)
+
+    def test_rejects_negative(self):
+        from repro.jpeg2000.dwt import effective_levels
+
+        with pytest.raises(ValueError):
+            effective_levels((4, 4), -1)

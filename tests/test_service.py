@@ -314,3 +314,23 @@ class TestMetrics:
         snap = reg.snapshot()
         assert snap["x"]["type"] == "counter"
         assert snap["lat"]["count"] == 1
+
+
+class TestStageHistograms:
+    """PR 3: every full encode feeds per-stage wall-time histograms."""
+
+    def test_stage_histograms_observed(self, gray48):
+        with EncodeService(_no_cache(1)) as service:
+            service.encode_image(gray48, PARAMS)
+            snap = service.metrics.snapshot()
+        for stage in ("levelshift_mct", "dwt", "quantize", "tier1", "tier2"):
+            hist = snap[f"stage_{stage}_seconds"]
+            assert hist["count"] == 1
+            assert "p50" in hist and "p95" in hist and "p99" in hist
+
+    def test_cache_hit_does_not_observe_stages(self, gray48):
+        with EncodeService(ServiceConfig(workers=1)) as service:
+            service.encode_image(gray48, PARAMS)
+            service.encode_image(gray48, PARAMS)  # cache hit
+            snap = service.metrics.snapshot()
+        assert snap["stage_tier1_seconds"]["count"] == 1
