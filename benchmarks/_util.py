@@ -1,0 +1,49 @@
+"""Shared benchmark harness helpers.
+
+Every ``bench_*.py`` script times with :func:`time_fn` (median of >= 3
+repeats after a warm-up, so one scheduler hiccup cannot skew a recorded
+number) and exposes the repeat count via :func:`add_repeats_flag` so CI
+and local runs can trade accuracy for wall time explicitly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import time
+
+#: Benchmarks must default to at least this many timed repeats.
+DEFAULT_REPEATS = 3
+
+
+def add_repeats_flag(
+    parser: argparse.ArgumentParser, default: int = DEFAULT_REPEATS
+) -> None:
+    """Add the shared ``--repeats`` option (defaults to median-of-3)."""
+    parser.add_argument(
+        "--repeats", type=int, default=default, metavar="N",
+        help=f"timed repeats per case, median reported (default {default})",
+    )
+
+
+def check_repeats(repeats: int) -> int:
+    if repeats < 1:
+        raise SystemExit(f"--repeats must be >= 1, got {repeats}")
+    return repeats
+
+
+def time_fn(fn, repeats: int, warmup: int = 1) -> dict:
+    """Median-of-``repeats`` wall time of ``fn()`` after ``warmup`` calls."""
+    check_repeats(repeats)
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return {
+        "median_s": statistics.median(samples),
+        "min_s": min(samples),
+        "repeats": repeats,
+    }

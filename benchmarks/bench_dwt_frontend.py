@@ -25,11 +25,10 @@ import argparse
 import json
 import os
 import platform
-import statistics
-import time
 
 import numpy as np
 
+from _util import add_repeats_flag, check_repeats, time_fn
 from repro.image.synthetic import watch_face_image
 from repro.jpeg2000.dwt_fast import run_frontend
 from repro.jpeg2000.encoder import _normalize_image
@@ -37,21 +36,6 @@ from repro.jpeg2000.params import EncoderParams
 
 WORKER_COUNTS = (2, 4)
 QUICK_SPEEDUP_FLOOR = 1.5
-
-
-def _time(fn, repeats: int, warmup: int = 1) -> dict:
-    for _ in range(warmup):
-        fn()
-    samples = []
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn()
-        samples.append(time.perf_counter() - t0)
-    return {
-        "median_s": statistics.median(samples),
-        "min_s": min(samples),
-        "repeats": repeats,
-    }
 
 
 def _identical(a, b) -> bool:
@@ -78,20 +62,20 @@ def bench_case(size: int, channels: int, lossless: bool, repeats: int) -> dict:
     }
 
     reference = run_frontend(comps, depth, params, backend="reference")
-    out["reference"] = _time(
+    out["reference"] = time_fn(
         lambda: run_frontend(comps, depth, params, backend="reference"), repeats
     )
     identical = True
     fused = run_frontend(comps, depth, params, backend="fused", workers=1)
     identical &= _identical(reference.decomps, fused.decomps)
-    out["fused_serial"] = _time(
+    out["fused_serial"] = time_fn(
         lambda: run_frontend(comps, depth, params, backend="fused", workers=1),
         repeats,
     )
     for workers in WORKER_COUNTS:
         fused = run_frontend(comps, depth, params, backend="fused", workers=workers)
         identical &= _identical(reference.decomps, fused.decomps)
-        out[f"fused_{workers}w"] = _time(
+        out[f"fused_{workers}w"] = time_fn(
             lambda w=workers: run_frontend(
                 comps, depth, params, backend="fused", workers=w
             ),
@@ -114,16 +98,19 @@ def main(argv=None) -> int:
                     help="single 1024x1024 plane + speedup floor (CI)")
     ap.add_argument("--output", default=None,
                     help="JSON path (default: BENCH_dwt.json at repo root)")
+    add_repeats_flag(ap)
     args = ap.parse_args(argv)
+    repeats = check_repeats(args.repeats)
 
     if args.quick:
-        cases = [(1024, 1, True, 1), (1024, 1, False, 1)]
+        sizes = [(1024, 1, True), (1024, 1, False)]
     else:
-        cases = [
-            (512, 3, True, 3), (512, 3, False, 3),
-            (1024, 1, True, 3), (1024, 1, False, 3),
-            (2048, 3, True, 3), (2048, 3, False, 3),
+        sizes = [
+            (512, 3, True), (512, 3, False),
+            (1024, 1, True), (1024, 1, False),
+            (2048, 3, True), (2048, 3, False),
         ]
+    cases = [(s, ch, ll, repeats) for s, ch, ll in sizes]
 
     report = {
         "benchmark": "dwt_frontend",

@@ -27,11 +27,10 @@ import argparse
 import json
 import os
 import platform
-import statistics
-import time
 
 import numpy as np
 
+from _util import add_repeats_flag, check_repeats, time_fn
 from repro.image.synthetic import watch_face_image
 from repro.jpeg2000.encoder import encode
 from repro.jpeg2000.params import EncoderParams
@@ -40,28 +39,13 @@ from repro.jpeg2000.tier1 import encode_codeblock
 WORKER_COUNTS = (1, 2, 4, 8)
 
 
-def _time(fn, repeats: int, warmup: int = 1) -> dict:
-    for _ in range(warmup):
-        fn()
-    samples = []
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn()
-        samples.append(time.perf_counter() - t0)
-    return {
-        "median_s": statistics.median(samples),
-        "min_s": min(samples),
-        "repeats": repeats,
-    }
-
-
 def bench_codeblock(repeats: int) -> dict:
     """Dense 64x64 block, both backends (issue acceptance: >= 5x)."""
     rng = np.random.default_rng(42)
     cb = rng.integers(-2000, 2000, size=(64, 64)).astype(np.int32)
     out = {}
     for backend in ("reference", "vectorized"):
-        out[backend] = _time(
+        out[backend] = time_fn(
             lambda b=backend: encode_codeblock(cb, "HL", backend=b), repeats
         )
     ref, vec = out["reference"]["median_s"], out["vectorized"]["median_s"]
@@ -76,7 +60,7 @@ def bench_full_image(size: int, repeats: int) -> dict:
     codestreams = {}
     for workers in WORKER_COUNTS:
         params = EncoderParams(levels=3, workers=workers)
-        result = _time(lambda p=params: encode(img, p), repeats)
+        result = time_fn(lambda p=params: encode(img, p), repeats)
         codestreams[workers] = encode(img, params).codestream
         out["workers"][str(workers)] = result
     base = out["workers"]["1"]["median_s"]
@@ -96,11 +80,13 @@ def main(argv=None) -> int:
                     help="tiny image + few repeats (CI)")
     ap.add_argument("--output", default=None,
                     help="JSON path (default: BENCH_tier1.json at repo root)")
+    add_repeats_flag(ap)
     args = ap.parse_args(argv)
+    repeats = check_repeats(args.repeats)
 
-    block_repeats = 3 if args.smoke else 9
+    block_repeats = max(repeats, 3 if args.smoke else 9)
     image_size = 96 if args.smoke else 192
-    image_repeats = 1 if args.smoke else 3
+    image_repeats = repeats
 
     from repro.jpeg2000 import _mq_native
 

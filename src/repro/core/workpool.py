@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -32,6 +33,10 @@ from repro.jpeg2000.tier1 import CodeBlockResult, encode_codeblock, resolve_back
 #: serially no matter what ``workers`` says.
 MIN_BLOCKS_FOR_POOL = 2
 
+#: Set to ``"0"`` to force the pickled-block dispatch path even where
+#: ``multiprocessing.shared_memory`` is available.
+SHM_ENV = "REPRO_SHM_DISPATCH"
+
 
 @dataclass(frozen=True)
 class CodeBlockTask:
@@ -40,6 +45,30 @@ class CodeBlockTask:
     seq: int
     coeffs: np.ndarray
     band: str
+
+
+@dataclass(frozen=True)
+class PlaneBlockTask:
+    """One unit of Tier-1 work described as a slice of a published plane.
+
+    Instead of carrying the coefficients, the task names the plane (by
+    index into the list handed to :meth:`CodeBlockWorkQueue.encode_plane_blocks`)
+    and the block's offsets/shape within it — the paper's DMA-minimizing
+    move of shipping each coefficient plane to the workers once and letting
+    them slice blocks locally.
+    """
+
+    seq: int
+    plane: int
+    row0: int
+    col0: int
+    height: int
+    width: int
+    band: str
+
+    def slice_of(self, plane: np.ndarray) -> np.ndarray:
+        return plane[self.row0 : self.row0 + self.height,
+                     self.col0 : self.col0 + self.width]
 
 
 @dataclass
@@ -52,11 +81,116 @@ class QueueStats:
     #: run keys by this process).  Uneven counts on a busy machine are the
     #: dynamic queue doing its job — the paper's Table 1 load imbalance.
     blocks_per_worker: dict[int, int] = field(default_factory=dict)
+    #: How blocks reached the workers: ``"serial"`` (no pool), ``"pickle"``
+    #: (coefficients serialized per task), or ``"shared_memory"`` (planes
+    #: published once, tasks carry descriptors).
+    dispatch: str = "serial"
 
 
 def _encode_task(payload):
     """Worker entry point; module-level so it pickles under spawn."""
     seq, coeffs, band, backend = payload
+    return seq, os.getpid(), encode_codeblock(coeffs, band, backend=backend)
+
+
+def shared_memory_available() -> bool:
+    """True when plane dispatch can use ``multiprocessing.shared_memory``."""
+    if os.environ.get(SHM_ENV, "1") == "0":
+        return False
+    try:
+        from multiprocessing import shared_memory  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+class _SharedPlanes:
+    """Subband planes published once as named shared-memory segments.
+
+    The parent copies each plane into a segment at construction; workers
+    attach by name (:func:`_attach_plane`).  :meth:`close` unlinks every
+    segment — callers must invoke it on success, error, and interrupt, so
+    construction itself cleans up if it fails partway.
+    """
+
+    def __init__(self, planes: list[np.ndarray]) -> None:
+        from multiprocessing import shared_memory
+
+        self.segments = []
+        #: Per-plane ``(name, shape, dtype str)`` — all a worker needs.
+        self.descs: list[tuple[str, tuple[int, ...], str]] = []
+        try:
+            for plane in planes:
+                arr = np.ascontiguousarray(plane)
+                seg = shared_memory.SharedMemory(
+                    create=True, size=max(1, arr.nbytes)
+                )
+                view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
+                view[...] = arr
+                del view
+                self.segments.append(seg)
+                self.descs.append((seg.name, arr.shape, arr.dtype.str))
+        except BaseException:
+            self.close()
+            raise
+
+    def close(self) -> None:
+        """Release and unlink every segment (idempotent, error-swallowing)."""
+        segments, self.segments = self.segments, []
+        for seg in segments:
+            try:
+                seg.close()
+            except OSError:
+                pass
+            try:
+                seg.unlink()
+            except (OSError, FileNotFoundError):
+                pass
+
+
+#: Worker-side cache of attached segments, keyed by segment name.  Bounded
+#: (LRU) so a long-lived worker serving many encodes cannot accumulate
+#: stale maps; one encode's planes comfortably fit.
+_ATTACH_CACHE: OrderedDict[str, tuple] = OrderedDict()
+_ATTACH_CACHE_MAX = 32
+
+
+def _attach_plane(desc) -> np.ndarray:
+    """Attach (or reuse) the named segment and view it as an array."""
+    from multiprocessing import shared_memory
+
+    name, shape, dtype = desc
+    cached = _ATTACH_CACHE.get(name)
+    if cached is not None:
+        _ATTACH_CACHE.move_to_end(name)
+        return cached[1]
+    # Attaching re-registers the name with the resource tracker, but the
+    # tracker (and its name cache, a set) is shared with the parent, so
+    # that is an idempotent no-op; the parent's unlink after the encode
+    # removes the single entry.  Unregistering here instead would race the
+    # other workers and the parent for that one entry.
+    seg = shared_memory.SharedMemory(name=name)
+    arr = np.ndarray(shape, dtype=np.dtype(dtype), buffer=seg.buf)
+    while len(_ATTACH_CACHE) >= _ATTACH_CACHE_MAX:
+        _, (old_seg, old_arr) = _ATTACH_CACHE.popitem(last=False)
+        del old_arr  # release the exported buffer before closing
+        try:
+            old_seg.close()
+        except (BufferError, OSError):
+            pass
+    _ATTACH_CACHE[name] = (seg, arr)
+    return arr
+
+
+def _encode_plane_task(payload):
+    """Worker entry point for shared-memory plane dispatch.
+
+    Copies the block slice out of the attached plane (so no live view pins
+    the segment buffer) and runs the ordinary Tier-1 encode.
+    """
+    seq, desc, row0, col0, height, width, band, backend = payload
+    plane = _attach_plane(desc)
+    coeffs = np.array(plane[row0 : row0 + height, col0 : col0 + width])
     return seq, os.getpid(), encode_codeblock(coeffs, band, backend=backend)
 
 
@@ -94,6 +228,7 @@ class CodeBlockWorkQueue:
         backend: str | None = None,
         mp_context: str | None = None,
         pool=None,
+        use_shared_memory: bool | None = None,
     ) -> None:
         if pool is not None:
             workers = pool.workers
@@ -108,6 +243,8 @@ class CodeBlockWorkQueue:
         self.backend: str = resolved
         self.mp_context = mp_context
         self.pool = pool
+        #: ``None`` defers to platform/env detection at dispatch time.
+        self.use_shared_memory = use_shared_memory
         self.last_stats: QueueStats | None = None
 
     def encode_all(self, tasks: list[CodeBlockTask]) -> list[CodeBlockResult]:
@@ -131,7 +268,69 @@ class CodeBlockWorkQueue:
                 encode_codeblock(t.coeffs, t.band, backend=self.backend)
                 for t in tasks
             ]
+        stats.dispatch = "pickle"
         payloads = [(t.seq, t.coeffs, t.band, self.backend) for t in tasks]
+        return self._run_payloads(tasks, payloads, _encode_task, stats)
+
+    def encode_plane_blocks(
+        self, planes: list[np.ndarray], tasks: list[PlaneBlockTask]
+    ) -> list[CodeBlockResult]:
+        """Encode plane-described blocks, results in submission order.
+
+        Publishes every plane once via ``multiprocessing.shared_memory``
+        and hands workers ``(seq, plane descriptor, offsets, shape)``
+        tuples; workers slice blocks out of the attached planes locally.
+        Falls back to the pickled-block path when shared memory is
+        unavailable, disabled (``REPRO_SHM_DISPATCH=0``), or the blocks go
+        through an injected pool that does not advertise
+        ``supports_shared_memory``.  Codestreams are byte-identical on
+        every path.
+        """
+        stats = QueueStats(workers=self.workers, blocks=len(tasks))
+        self.last_stats = stats
+        if not tasks:
+            return []
+        if self.pool is None and (
+            self.workers == 1 or len(tasks) < MIN_BLOCKS_FOR_POOL
+        ):
+            pid = os.getpid()
+            stats.blocks_per_worker[pid] = len(tasks)
+            return [
+                encode_codeblock(t.slice_of(planes[t.plane]), t.band,
+                                 backend=self.backend)
+                for t in tasks
+            ]
+        want_shm = (
+            self.use_shared_memory
+            if self.use_shared_memory is not None
+            else shared_memory_available()
+        )
+        pool_ok = self.pool is None or getattr(
+            self.pool, "supports_shared_memory", False
+        )
+        if not (want_shm and pool_ok and shared_memory_available()):
+            stats.dispatch = "pickle"
+            payloads = [
+                (t.seq, t.slice_of(planes[t.plane]), t.band, self.backend)
+                for t in tasks
+            ]
+            return self._run_payloads(tasks, payloads, _encode_task, stats)
+        stats.dispatch = "shared_memory"
+        shared = _SharedPlanes(planes)
+        try:
+            payloads = [
+                (t.seq, shared.descs[t.plane], t.row0, t.col0,
+                 t.height, t.width, t.band, self.backend)
+                for t in tasks
+            ]
+            return self._run_payloads(tasks, payloads, _encode_plane_task, stats)
+        finally:
+            # Unlink on success, error, and KeyboardInterrupt alike: the
+            # segments must never outlive the encode.
+            shared.close()
+
+    def _run_payloads(self, tasks, payloads, task_fn, stats) -> list[CodeBlockResult]:
+        """Drive payloads through the injected or one-shot pool."""
         seq_to_pos = {t.seq: i for i, t in enumerate(tasks)}
         if len(seq_to_pos) != len(tasks):
             raise ValueError("duplicate task sequence numbers")
@@ -155,7 +354,7 @@ class CodeBlockWorkQueue:
             )
             pool = ctx.Pool(processes=self.workers)
             try:
-                _consume(pool.imap_unordered(_encode_task, payloads, chunksize=1))
+                _consume(pool.imap_unordered(task_fn, payloads, chunksize=1))
                 pool.close()
             except BaseException:
                 # KeyboardInterrupt (and any other failure) must not leave

@@ -76,7 +76,40 @@ DWT_BACKENDS = ("auto", "reference", "fused")
 #: aligned and contiguous.
 CACHE_LINE_COLS = 32
 
+#: Below this many input samples (``height * width * components``) the
+#: fused front end ignores ``workers`` and runs its chunk passes serially:
+#: thread submission and chunk-boundary costs only amortize on enough
+#: data, and BENCH_dwt's 1024x1024 case showed parallel *losing* to serial
+#: (scaling 0.69) before this guard existed.
+AUTO_SERIAL_MIN_SAMPLES = 1 << 21
+
+#: Environment override for :data:`AUTO_SERIAL_MIN_SAMPLES` (``0`` disables
+#: the auto-serial clamp entirely — used by tests and benchmarks that need
+#: the parallel path on small inputs).
+AUTO_SERIAL_ENV = "REPRO_DWT_AUTO_SERIAL_SAMPLES"
+
 _UNSET = object()
+
+
+def auto_serial_workers(workers, samples: int):
+    """Clamp the chunk fan-out to serial when the input is too small.
+
+    Returns ``1`` when ``samples`` falls below the (env-overridable)
+    threshold, otherwise ``workers`` unchanged — so fused parallel never
+    loses to fused serial on small images.
+    """
+    threshold = AUTO_SERIAL_MIN_SAMPLES
+    env = os.environ.get(AUTO_SERIAL_ENV, "")
+    if env:
+        try:
+            threshold = int(env)
+        except ValueError:
+            raise ValueError(
+                f"{AUTO_SERIAL_ENV}={env!r} invalid; expected an integer"
+            ) from None
+    if samples < threshold:
+        return 1
+    return workers
 
 
 def resolve_dwt_backend(backend: str | None) -> str:
@@ -409,6 +442,7 @@ def _fused_frontend(
     lossless = params.lossless
     ncomp = len(comps)
     h, w = comps[0].shape
+    workers = auto_serial_workers(workers, h * w * ncomp)
     if lossless:
         # int32 holds one level of 5/3 headroom as long as the running
         # magnitude stays below 2**27; magnitudes roughly double per level,

@@ -26,9 +26,14 @@ from repro.jpeg2000.dwt import synthesis_gain_sq
 from repro.jpeg2000.dwt_fast import StageTimings, run_frontend
 from repro.jpeg2000.params import EncoderParams
 from repro.jpeg2000.quantize import SubbandQuant
-from repro.jpeg2000.rate import BlockRateInfo, choose_truncations
+from repro.jpeg2000.rate import RateModel
 from repro.jpeg2000.tier1 import CodeBlockResult, encode_codeblock
-from repro.jpeg2000.tier2 import BlockContribution, PacketBand, encode_packet
+from repro.jpeg2000.tier2 import (
+    BlockContribution,
+    PacketBand,
+    encode_packet,
+    packet_length,
+)
 
 
 @dataclass
@@ -73,6 +78,9 @@ class WorkloadStats:
     blocks: list[BlockStats] = field(default_factory=list)
     codestream_bytes: int = 0
     raw_bytes: int = 0
+    #: How Tier-1 blocks reached the workers: ``"serial"``, ``"pickle"``,
+    #: or ``"shared_memory"`` (see :class:`repro.core.workpool.QueueStats`).
+    tier1_dispatch: str = "serial"
 
     @property
     def num_pixels(self) -> int:
@@ -111,6 +119,7 @@ def scale_workload(stats: WorkloadStats, factor: int) -> WorkloadStats:
         blocks=[b for b in stats.blocks for _ in range(sq)],
         codestream_bytes=stats.codestream_bytes * sq,
         raw_bytes=stats.raw_bytes * sq,
+        tier1_dispatch=stats.tier1_dispatch,
     )
 
 
@@ -214,9 +223,13 @@ def encode(
 
     # Phase 1: collect the independent Tier-1 work items.  Nothing is
     # encoded yet — the blocks go through the work queue as one batch so
-    # idle workers can steal from any subband.
+    # idle workers can steal from any subband.  Each subband keeps its
+    # quantized plane whole in ``planes``; pending items are (plane index,
+    # block spec) descriptors, so the dispatch layer can publish a plane
+    # once (shared memory) instead of shipping a copy per block.
     planned: list[_PlannedSubband] = []
-    pending: list[tuple[_PlannedSubband, CodeBlockSpec, np.ndarray]] = []
+    planes: list[np.ndarray] = []
+    pending: list[tuple[int, CodeBlockSpec]] = []
     for ci, decomp in enumerate(decomps):
         for sb in decomp.subbands():
             quant = frontend.quants[(sb.band, sb.dlevel)]
@@ -232,10 +245,10 @@ def encode(
             stats.subbands.append(
                 SubbandStats(ci, sb.band, sb.dlevel, sb.shape[0], sb.shape[1])
             )
+            plane_idx = len(planes)
+            planes.append(q)
             for spec in specs:
-                blockdata = q[spec.row0 : spec.row0 + spec.height,
-                              spec.col0 : spec.col0 + spec.width]
-                pending.append((psb, spec, blockdata))
+                pending.append((plane_idx, spec))
             planned.append(psb)
 
     # Phase 2: Tier-1 encode all blocks — serially or through the
@@ -243,11 +256,12 @@ def encode(
     # SPE dynamic queue).  Results come back in submission order, so
     # everything downstream is identical for any worker count.
     t0 = time.perf_counter()
-    results = _encode_pending(pending, params, pool)
+    results = _encode_pending(planned, planes, pending, params, pool, stats)
     timings.tier1 += time.perf_counter() - t0
 
     # Phase 3: reattach results in the original planning order.
-    for (psb, spec, _), res in zip(pending, results):
+    for (plane_idx, spec), res in zip(pending, results):
+        psb = planned[plane_idx]
         quant = psb.quant
         if res.msbs > quant.num_bitplanes:
             raise RuntimeError(
@@ -296,33 +310,52 @@ def encode(
 
 
 def _encode_pending(
-    pending: list[tuple[_PlannedSubband, CodeBlockSpec, np.ndarray]],
+    planned: list[_PlannedSubband],
+    planes: list[np.ndarray],
+    pending: list[tuple[int, CodeBlockSpec]],
     params: EncoderParams,
     pool=None,
+    stats: WorkloadStats | None = None,
 ) -> list[CodeBlockResult]:
     """Tier-1 encode the collected blocks, honouring ``params.workers``.
 
     An injected ``pool`` overrides ``params.workers``: all blocks go
-    through it (the service's persistent pool / scheduler lane).
+    through it (the service's persistent pool / scheduler lane).  The
+    blocks are described as slices of whole subband planes so the work
+    queue can publish each plane once via shared memory and send workers
+    only ``(seq, plane, offsets, shape)`` descriptors.
     """
     workers = params.workers
     if pool is None and (workers == 1 or len(pending) < 2):
+        if stats is not None:
+            stats.tier1_dispatch = "serial"
         return [
-            encode_codeblock(blockdata, psb.band, backend=params.tier1_backend)
-            for psb, _, blockdata in pending
+            encode_codeblock(
+                planes[pi][spec.row0 : spec.row0 + spec.height,
+                           spec.col0 : spec.col0 + spec.width],
+                planned[pi].band,
+                backend=params.tier1_backend,
+            )
+            for pi, spec in pending
         ]
     # Imported lazily: the serial path must not pay the multiprocessing
     # import, and repro.core pulls in the performance-model stack.
-    from repro.core.workpool import CodeBlockTask, CodeBlockWorkQueue
+    from repro.core.workpool import CodeBlockWorkQueue, PlaneBlockTask
 
     queue = CodeBlockWorkQueue(
         workers=workers, backend=params.tier1_backend, pool=pool
     )
     tasks = [
-        CodeBlockTask(seq=i, coeffs=blockdata, band=psb.band)
-        for i, (psb, _, blockdata) in enumerate(pending)
+        PlaneBlockTask(
+            seq=i, plane=pi, row0=spec.row0, col0=spec.col0,
+            height=spec.height, width=spec.width, band=planned[pi].band,
+        )
+        for i, (pi, spec) in enumerate(pending)
     ]
-    return queue.encode_all(tasks)
+    results = queue.encode_plane_blocks(planes, tasks)
+    if stats is not None and queue.last_stats is not None:
+        stats.tier1_dispatch = queue.last_stats.dispatch
+    return results
 
 
 def _qcd_fields(planned: list[_PlannedSubband], ncomp: int) -> list[SubbandQuantField]:
@@ -341,41 +374,53 @@ def _apply_rate_control(
     stats: WorkloadStats,
     info: CodestreamInfo,
 ) -> None:
-    """PCRD-opt truncation to hit ``rate * raw_bytes`` total codestream size."""
+    """PCRD-opt truncation to hit ``rate * raw_bytes`` total codestream size.
+
+    The loop converges on *lengths* alone: truncations come from one
+    reusable :class:`RateModel` (hulls built once, bisection over flat
+    arrays) and each candidate's codestream size is priced exactly by
+    :func:`repro.jpeg2000.tier2.packet_length` without materializing packet
+    bytes.  Only after the loop settles does :func:`_assemble_packets` run —
+    once — so the final codestream is byte-identical to the era that
+    rebuilt every packet per iteration.
+    """
     target_total = params.rate * stats.raw_bytes
     header_len = len(write_main_header(info)) + 14 + 2  # + SOT + SOD + EOC
     all_blocks = [b for psb in planned for b in psb.blocks]
-    rate_infos = []
+    lengths_list = []
+    dists_list = []
     for b in all_blocks:
         weight = b.quant.step**2 * synthesis_gain_sq(
             b.band, max(b.dlevel, 1), reversible=False
         )
-        rate_infos.append(
-            BlockRateInfo(
-                lengths=[float(x) for x in b.result.pass_lengths],
-                dist_reductions=[d * weight for d in b.result.pass_dist],
-            )
-        )
+        lengths_list.append([float(x) for x in b.result.pass_lengths])
+        dists_list.append([d * weight for d in b.result.pass_dist])
+    model = RateModel(lengths_list, dists_list)
     budget = max(0.0, target_total - header_len)
     for _ in range(6):
-        trunc = choose_truncations(rate_infos, budget)
+        trunc = model.choose(budget)
         for b, t in zip(all_blocks, trunc):
-            b.included_passes = t
-        body = _assemble_packets(planned, stats.num_components, info.levels)
-        total = header_len + len(body)
+            b.included_passes = int(t)
+        total = header_len + _packets_length(
+            planned, stats.num_components, info.levels
+        )
         if total <= target_total or budget <= 0:
             break
         budget = max(0.0, budget - (total - target_total))
 
 
-def _assemble_packets(
-    planned: list[_PlannedSubband], ncomp: int, levels: int
-) -> bytes:
-    """Concatenate packets in resolution-major, component-minor order."""
+def _iter_packet_bands(
+    planned: list[_PlannedSubband], ncomp: int, levels: int, with_data: bool
+):
+    """Packets in resolution-major, component-minor order, one band list each.
+
+    ``with_data=False`` builds length-only contributions for the rate
+    loop's pricing; ``with_data=True`` carries the truncated body bytes for
+    the final assembly.  Both describe the identical packet.
+    """
     by_key: dict[tuple[int, str, int], _PlannedSubband] = {
         (p.comp, p.band, p.dlevel): p for p in planned
     }
-    out = bytearray()
     for res in range(levels + 1):
         for ci in range(ncomp):
             if res == 0:
@@ -391,6 +436,7 @@ def _assemble_packets(
                 contribs = []
                 for b in psb.blocks:
                     inc = b.included_passes > 0
+                    length = b.included_length()
                     contribs.append(
                         BlockContribution(
                             grid_row=b.spec.grid_row,
@@ -400,9 +446,36 @@ def _assemble_packets(
                                 b.quant.num_bitplanes - b.result.msbs if inc else 0
                             ),
                             num_passes=b.included_passes,
-                            data=b.result.data[: b.included_length()],
+                            data=b.result.data[:length] if with_data else b"",
+                            length=length,
                         )
                     )
                 bands.append(PacketBand(psb.grid_rows, psb.grid_cols, contribs))
-            out += encode_packet(bands)
+            yield bands
+
+
+def _packets_length(
+    planned: list[_PlannedSubband], ncomp: int, levels: int
+) -> int:
+    """Exact ``len(_assemble_packets(...))`` without building any bytes."""
+    return sum(
+        packet_length(bands)
+        for bands in _iter_packet_bands(planned, ncomp, levels, with_data=False)
+    )
+
+
+def _assemble_packets(
+    planned: list[_PlannedSubband], ncomp: int, levels: int
+) -> bytes:
+    """Concatenate packets in resolution-major, component-minor order."""
+    _assemble_packets.calls += 1
+    out = bytearray()
+    for bands in _iter_packet_bands(planned, ncomp, levels, with_data=True):
+        out += encode_packet(bands)
     return bytes(out)
+
+
+#: Invocation counter (test observability): rate control prices candidate
+#: truncations via :func:`_packets_length`, so a lossy encode assembles
+#: packet bytes exactly once.
+_assemble_packets.calls = 0

@@ -5,11 +5,31 @@ curve, selects a truncation point per block minimizing total distortion
 subject to a byte budget.  This is the sequential "rate control stage" that
 the paper identifies as the lossy pipeline's Amdahl bottleneck ("around 60%
 of the total execution time in 16 SPE + 2 PPE case").
+
+Two implementations live here:
+
+- :class:`RateModel` / :func:`choose_truncations` — the vectorized path.
+  Feasible truncation points and R-D slopes are computed for *all* blocks
+  at once: the convex-hull pruning runs as a lockstep monotone chain over
+  padded ``(blocks, passes)`` matrices, and the Lagrange-multiplier
+  bisection operates on one flat, slope-sorted array via prefix sums and
+  ``searchsorted`` instead of a Python loop per block per iteration.
+- :func:`choose_truncations_reference` — the original per-block scalar
+  code, kept verbatim as the differential-testing oracle and the
+  benchmark baseline.
+
+Bit-for-bit equivalence is load-bearing: the vectorized hull evaluates the
+same cross-multiplied concavity test on the same float64 operands in the
+same per-block order as the scalar monotone chain, cumulative distortions
+use the same sequential accumulation (``np.cumsum`` is ``add.accumulate``,
+not a pairwise reduction), and the bisection trajectory is driven by exact
+integer byte totals — so both paths pick identical truncations and the
+encoder's codestreams are byte-identical to the scalar era.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -21,49 +41,30 @@ class BlockRateInfo:
     ``lengths``: cumulative byte counts after each pass.
     ``dist_reductions``: distortion decrease of each pass, already scaled to
     image-MSE-comparable units (step^2 * synthesis gain).
+
+    Hulls are built lazily (scalar monotone chain) on first access; the
+    vectorized :class:`RateModel` never touches them.
     """
 
     lengths: list[float]
     dist_reductions: list[float]
-    hull_passes: list[int] = field(default_factory=list)
-    hull_slopes: list[float] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if len(self.lengths) != len(self.dist_reductions):
             raise ValueError("lengths and dist_reductions must be parallel")
-        self._build_hull()
+        self._hull: tuple[list[int], list[float]] | None = None
 
-    def _build_hull(self) -> None:
-        """Feasible truncation points on the convex hull of the R-D curve."""
-        points = [(0.0, 0.0)]  # (cumulative rate, cumulative distortion gain)
-        cum_dist = 0.0
-        for ln, dd in zip(self.lengths, self.dist_reductions):
-            cum_dist += float(dd)
-            points.append((float(ln), cum_dist))
-        # Monotone chain for the upper-left hull; pass index == point index.
-        hull = [0]
-        for j in range(1, len(points)):
-            if points[j][1] <= points[hull[-1]][1]:
-                continue  # no distortion gain: never a useful truncation
-            while len(hull) >= 2:
-                a, b = hull[-2], hull[-1]
-                # Pop b when slope(a->b) <= slope(b->j): b is below the hull.
-                lhs = (points[b][1] - points[a][1]) * (points[j][0] - points[b][0])
-                rhs = (points[j][1] - points[b][1]) * (points[b][0] - points[a][0])
-                if lhs <= rhs:
-                    hull.pop()
-                else:
-                    break
-            hull.append(j)
-        self.hull_passes = []
-        self.hull_slopes = []
-        prev = hull[0]
-        for j in hull[1:]:
-            dr = points[j][0] - points[prev][0]
-            dd = points[j][1] - points[prev][1]
-            self.hull_passes.append(j)
-            self.hull_slopes.append(dd / dr if dr > 0 else float("inf"))
-            prev = j
+    @property
+    def hull_passes(self) -> list[int]:
+        if self._hull is None:
+            self._hull = _scalar_hull(self.lengths, self.dist_reductions)
+        return self._hull[0]
+
+    @property
+    def hull_slopes(self) -> list[float]:
+        if self._hull is None:
+            self._hull = _scalar_hull(self.lengths, self.dist_reductions)
+        return self._hull[1]
 
     def truncation_for_slope(self, lam: float) -> int:
         """Largest hull truncation whose marginal slope is >= ``lam``."""
@@ -81,13 +82,258 @@ class BlockRateInfo:
         return float(self.lengths[num_passes - 1])
 
 
+def _scalar_hull(
+    lengths: list[float], dist_reductions: list[float]
+) -> tuple[list[int], list[float]]:
+    """Feasible truncation points on the convex hull of one R-D curve.
+
+    The scalar monotone chain — the oracle the lockstep vectorized hull in
+    :class:`RateModel` is differentially tested against.
+    """
+    points = [(0.0, 0.0)]  # (cumulative rate, cumulative distortion gain)
+    cum_dist = 0.0
+    for ln, dd in zip(lengths, dist_reductions):
+        cum_dist += float(dd)
+        points.append((float(ln), cum_dist))
+    # Monotone chain for the upper-left hull; pass index == point index.
+    hull = [0]
+    for j in range(1, len(points)):
+        if points[j][1] <= points[hull[-1]][1]:
+            continue  # no distortion gain: never a useful truncation
+        while len(hull) >= 2:
+            a, b = hull[-2], hull[-1]
+            # Pop b when slope(a->b) <= slope(b->j): b is below the hull.
+            lhs = (points[b][1] - points[a][1]) * (points[j][0] - points[b][0])
+            rhs = (points[j][1] - points[b][1]) * (points[b][0] - points[a][0])
+            if lhs <= rhs:
+                hull.pop()
+            else:
+                break
+        hull.append(j)
+    hull_passes: list[int] = []
+    hull_slopes: list[float] = []
+    prev = hull[0]
+    for j in hull[1:]:
+        dr = points[j][0] - points[prev][0]
+        dd = points[j][1] - points[prev][1]
+        hull_passes.append(j)
+        hull_slopes.append(dd / dr if dr > 0 else float("inf"))
+        prev = j
+    return hull_passes, hull_slopes
+
+
+#: Bisection iteration count shared by both implementations (the scalar
+#: code's historical constant; enough to drive lo/hi to adjacent floats).
+BISECT_ITERS = 80
+
+
+class RateModel:
+    """All code blocks' R-D hulls as flat NumPy arrays, reusable per encode.
+
+    Construction runs the convex-hull pruning for every block at once: the
+    per-pass curves are padded into ``(B, P+1)`` matrices and the monotone
+    chain advances in lockstep across blocks (vectorized pushes/pops with
+    per-block stack sizes).  Each block sees exactly the scalar algorithm —
+    same comparisons on the same float64 values in the same order — so the
+    hull point sets are identical to :func:`_scalar_hull`.
+
+    :meth:`choose` then bisects the Lagrange multiplier over the single
+    concatenated slope array: total included length for a threshold is a
+    ``searchsorted`` into the slope-sorted prefix sums of per-segment byte
+    deltas (exact — deltas are integer byte counts held in float64).
+    """
+
+    def __init__(
+        self,
+        lengths_list: list[list[float]],
+        dists_list: list[list[float]],
+    ) -> None:
+        if len(lengths_list) != len(dists_list):
+            raise ValueError("need one distortion curve per length curve")
+        for ln, dd in zip(lengths_list, dists_list):
+            if len(ln) != len(dd):
+                raise ValueError("lengths and dist_reductions must be parallel")
+        self.nblocks = B = len(lengths_list)
+        npasses = np.array([len(ln) for ln in lengths_list], dtype=np.intp)
+        P = int(npasses.max()) if B else 0
+        # Padded cumulative-rate / cumulative-distortion matrices; column 0
+        # is the (0, 0) origin, column j is the state after pass j.
+        X = np.zeros((B, P + 1), dtype=np.float64)
+        D = np.zeros((B, P + 1), dtype=np.float64)
+        if B and P:
+            rows = np.repeat(np.arange(B), npasses)
+            offs = np.concatenate(([0], np.cumsum(npasses)[:-1]))
+            cols = np.arange(npasses.sum()) - np.repeat(offs, npasses) + 1
+            X[rows, cols] = np.concatenate(
+                [np.asarray(ln, dtype=np.float64) for ln in lengths_list]
+            )
+            D[rows, cols] = np.concatenate(
+                [np.asarray(dd, dtype=np.float64) for dd in dists_list]
+            )
+        # Sequential accumulation (add.accumulate), bit-identical to the
+        # scalar ``cum_dist += float(dd)`` loop; trailing pad zeros only
+        # repeat the final value.
+        Y = np.cumsum(D, axis=1)
+        stack, ssize = _lockstep_hulls(X, Y, npasses)
+
+        # Flatten the per-block hulls (block-major, hull order) into the
+        # global arrays the bisection operates on.
+        k = np.arange(P + 1)
+        mask = (k[None, :] >= 1) & (k[None, :] < ssize[:, None])
+        bids, ks = np.nonzero(mask)
+        hj = stack[bids, ks]
+        hprev = stack[bids, ks - 1]
+        deltas = X[bids, hj] - X[bids, hprev]
+        dd = Y[bids, hj] - Y[bids, hprev]
+        slopes = np.full(len(bids), np.inf)
+        pos = deltas > 0
+        slopes[pos] = dd[pos] / deltas[pos]
+
+        #: Per-hull-point arrays, block-major / slope-descending per block.
+        self.block_ids = bids
+        self.hull_passes = hj.astype(np.int64)
+        self.slopes = slopes
+        #: Marginal byte cost of each hull segment (exact integers).
+        self.deltas = deltas
+        self.counts = ssize - 1  # hull points per block (excluding origin)
+        self.offsets = np.concatenate(([0], np.cumsum(self.counts)[:-1])) \
+            if B else np.zeros(0, dtype=np.intp)
+        #: Pass count of the last hull point per block (the "keep all"
+        #: truncation); 0 for blocks with an empty hull.
+        if len(self.hull_passes):
+            last = self.offsets + self.counts - 1
+            self.full_passes = np.where(
+                self.counts > 0, self.hull_passes[np.maximum(last, 0)], 0
+            )
+        else:
+            self.full_passes = np.zeros(B, dtype=np.int64)
+
+        # Slope-ascending order with suffix sums of the byte deltas:
+        # total_length(lam) = _suffix[searchsorted(_sorted_slopes, lam)].
+        order = np.argsort(slopes, kind="stable")
+        self._sorted_slopes = slopes[order]
+        self._suffix = np.concatenate(
+            (np.cumsum(self.deltas[order][::-1])[::-1], [0.0])
+        )
+        finite = self._sorted_slopes[np.isfinite(self._sorted_slopes)]
+        self._max_finite_slope = float(finite[-1]) if len(finite) else None
+
+    def total_length(self, lam: float) -> float:
+        """Total included bytes when every slope >= ``lam`` is kept."""
+        idx = int(np.searchsorted(self._sorted_slopes, lam, side="left"))
+        return float(self._suffix[idx])
+
+    def truncations_for_slope(self, lam: float) -> np.ndarray:
+        """Per-block pass counts keeping every hull point with slope >= lam.
+
+        Within a block hull slopes are non-increasing, so the kept points
+        form a prefix of the block's hull and the truncation is the pass
+        count at the last kept point.
+        """
+        incl = self.slopes >= lam
+        cnt = np.bincount(
+            self.block_ids[incl], minlength=self.nblocks
+        ).astype(np.intp) if len(self.slopes) else np.zeros(self.nblocks, np.intp)
+        idx = np.maximum(self.offsets + cnt - 1, 0)
+        return np.where(cnt > 0, self.hull_passes[idx], 0)
+
+    def choose(self, budget_bytes: float) -> np.ndarray:
+        """Per-block pass counts fitting ``budget_bytes`` (0 = dropped).
+
+        Replicates the scalar bisection exactly: same lo/hi seeds, same
+        midpoint arithmetic, same 80 iterations, and exact byte totals on
+        both sides of every comparison.
+        """
+        if budget_bytes < 0:
+            raise ValueError(f"budget must be non-negative, got {budget_bytes}")
+        if self._max_finite_slope is None:
+            return np.zeros(self.nblocks, dtype=np.int64)
+        lo = 0.0                             # most permissive: keep everything
+        hi = self._max_finite_slope * 2.0    # most restrictive: keep ~nothing
+        if self.total_length(lo) <= budget_bytes:
+            return self.full_passes.copy()
+        for _ in range(BISECT_ITERS):
+            mid = 0.5 * (lo + hi)
+            if self.total_length(mid) <= budget_bytes:
+                hi = mid
+            else:
+                lo = mid
+        return self.truncations_for_slope(hi)
+
+
+def _lockstep_hulls(
+    X: np.ndarray, Y: np.ndarray, npasses: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Monotone-chain upper hulls of every row at once.
+
+    ``X``/``Y`` are the padded cumulative (rate, distortion) matrices with
+    the origin in column 0.  Returns ``(stack, ssize)``: per-block stacks of
+    point indices (column 0 always the origin) and their sizes.  Each block
+    undergoes exactly the scalar algorithm's pushes, pops, and skips —
+    lockstep only batches independent per-block work.
+    """
+    B, P1 = X.shape
+    stack = np.zeros((B, P1), dtype=np.intp)
+    ssize = np.ones(B, dtype=np.intp)
+    rows = np.arange(B)
+    for j in range(1, P1):
+        # Skip points with no distortion gain over the current hull top.
+        top = stack[rows, ssize - 1]
+        push = (j <= npasses) & (Y[:, j] > Y[rows, top])
+        popping = push.copy()
+        while True:
+            cand = popping & (ssize >= 2)
+            bidx = np.nonzero(cand)[0]
+            if not len(bidx):
+                break
+            b = stack[bidx, ssize[bidx] - 1]
+            a = stack[bidx, ssize[bidx] - 2]
+            ya = Y[bidx, a]
+            xb, yb = X[bidx, b], Y[bidx, b]
+            # Pop b when slope(a->b) <= slope(b->j): b is below the hull
+            # (cross-multiplied, same float ops as the scalar test).
+            lhs = (yb - ya) * (X[bidx, j] - xb)
+            rhs = (Y[bidx, j] - yb) * (xb - X[bidx, a])
+            pop = lhs <= rhs
+            popped = bidx[pop]
+            if not len(popped):
+                break
+            ssize[popped] -= 1
+            popping = np.zeros(B, dtype=bool)
+            popping[popped] = True
+        bpush = np.nonzero(push)[0]
+        stack[bpush, ssize[bpush]] = j
+        ssize[bpush] += 1
+    return stack, ssize
+
+
 def choose_truncations(
     blocks: list[BlockRateInfo], budget_bytes: float
 ) -> list[int]:
     """Pick per-block pass counts whose total length fits ``budget_bytes``.
 
-    Bisects the Lagrange multiplier over the global slope range; returns the
-    number of passes to keep per block (0 = block dropped entirely).
+    Vectorized: builds a throwaway :class:`RateModel` (hulls for all blocks
+    at once) and runs the flat-array bisection.  Returns the number of
+    passes to keep per block (0 = block dropped entirely) — identical to
+    :func:`choose_truncations_reference` for every input.
+    """
+    if budget_bytes < 0:
+        raise ValueError(f"budget must be non-negative, got {budget_bytes}")
+    if not blocks:
+        return []
+    model = RateModel(
+        [b.lengths for b in blocks], [b.dist_reductions for b in blocks]
+    )
+    return [int(t) for t in model.choose(budget_bytes)]
+
+
+def choose_truncations_reference(
+    blocks: list[BlockRateInfo], budget_bytes: float
+) -> list[int]:
+    """The scalar seed implementation, kept as oracle and benchmark baseline.
+
+    Bisects the Lagrange multiplier over the global slope range with a
+    Python loop per block per iteration.
     """
     if budget_bytes < 0:
         raise ValueError(f"budget must be non-negative, got {budget_bytes}")
@@ -102,7 +348,7 @@ def choose_truncations(
     hi = max(all_slopes) * 2.0     # most restrictive: keep ~nothing
     if total_length(lo) <= budget_bytes:
         return [b.truncation_for_slope(lo) for b in blocks]
-    for _ in range(80):
+    for _ in range(BISECT_ITERS):
         mid = 0.5 * (lo + hi)
         if total_length(mid) <= budget_bytes:
             hi = mid

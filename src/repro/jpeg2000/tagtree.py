@@ -8,6 +8,8 @@ into the packet-header :class:`~repro.utils.bitio.BitWriter` stream.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.utils.bitio import BitReader, BitWriter
 
 
@@ -63,21 +65,50 @@ class TagTreeEncoder(_TagTreeBase):
             raise ValueError(f"tag tree values must be non-negative, got {value}")
         self._value[self._offsets[0] + r * self.cols + c] = value
 
+    def set_values(self, values) -> None:
+        """Set every leaf at once from a ``rows x cols`` array-like.
+
+        The bulk analogue of :meth:`set_value`; Tier-2 packet coding (and
+        the rate-control loop's length pricing, which rebuilds these trees
+        per iteration) fills whole grids, never single leaves.
+        """
+        if self._finalized:
+            raise RuntimeError("tag tree already finalized by an encode call")
+        arr = np.asarray(values)
+        if arr.shape != (self.rows, self.cols):
+            raise ValueError(
+                f"expected a {self.rows}x{self.cols} grid, got shape {arr.shape}"
+            )
+        if arr.size and int(arr.min()) < 0:
+            raise ValueError("tag tree values must be non-negative")
+        base = self._offsets[0]
+        self._value[base : base + self.rows * self.cols] = (
+            int(v) for v in arr.ravel()
+        )
+
     def _finalize(self) -> None:
-        """Fill internal node values with the min of their children."""
+        """Fill internal node values with the min of their children.
+
+        Vectorized: each level is a 2x2 min-reduction of the level below,
+        with out-of-range children padded by a sentinel so ragged edges
+        take the min over the children that exist — exactly the original
+        per-node loop.
+        """
         if self._finalized:
             return
+        sentinel = np.iinfo(np.int64).max
         for lvl in range(1, len(self._dims)):
             pr, pc = self._dims[lvl]
             cr, cc = self._dims[lvl - 1]
-            for r in range(pr):
-                for c in range(pc):
-                    children = [
-                        self._value[self._offsets[lvl - 1] + rr * cc + ccol]
-                        for rr in (2 * r, 2 * r + 1) if rr < cr
-                        for ccol in (2 * c, 2 * c + 1) if ccol < cc
-                    ]
-                    self._value[self._offsets[lvl] + r * pc + c] = min(children)
+            off = self._offsets[lvl - 1]
+            child = np.asarray(
+                self._value[off : off + cr * cc], dtype=np.int64
+            ).reshape(cr, cc)
+            padded = np.full((2 * pr, 2 * pc), sentinel, dtype=np.int64)
+            padded[:cr, :cc] = child
+            parent = padded.reshape(pr, 2, pc, 2).min(axis=(1, 3))
+            off = self._offsets[lvl]
+            self._value[off : off + pr * pc] = parent.ravel().tolist()
         self._finalized = True
 
     def encode(self, r: int, c: int, threshold: int, bw: BitWriter) -> None:

@@ -12,13 +12,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.jpeg2000.tagtree import TagTreeDecoder, TagTreeEncoder
 from repro.utils.bitio import BitReader, BitWriter
 
 
 @dataclass
 class BlockContribution:
-    """What one code block contributes to its packet."""
+    """What one code block contributes to its packet.
+
+    ``length`` may be given without ``data``: the rate-control loop prices
+    packets from lengths alone (:func:`packet_length`) and only the final
+    assembly materializes bytes.  When both are present they must agree.
+    """
 
     grid_row: int
     grid_col: int
@@ -26,10 +33,11 @@ class BlockContribution:
     zero_bitplanes: int = 0   # Mb - msbs
     num_passes: int = 0
     data: bytes = b""
+    length: int | None = None
 
-    @property
-    def length(self) -> int:
-        return len(self.data)
+    def __post_init__(self) -> None:
+        if self.length is None:
+            self.length = len(self.data)
 
 
 @dataclass
@@ -83,8 +91,13 @@ def _floor_log2(n: int) -> int:
     return n.bit_length() - 1
 
 
-def encode_packet(bands: list[PacketBand]) -> bytes:
-    """Build one packet: stuffed header followed by the code block bodies."""
+def encode_packet_header(bands: list[PacketBand]) -> bytes:
+    """Code one packet's stuffed header from inclusion/passes/lengths alone.
+
+    Needs only each contribution's ``length``, never its ``data`` — this is
+    what lets :func:`packet_length` price a packet without materializing
+    body bytes.
+    """
     bw = BitWriter(stuffing=True)
     any_data = any(b.included for band in bands for b in band.blocks)
     if not any_data:
@@ -92,16 +105,20 @@ def encode_packet(bands: list[PacketBand]) -> bytes:
         bw.terminate_stuffed()
         return bw.getvalue()
     bw.write_bit(1)
-    body = bytearray()
     for band in bands:
         if not band.blocks:
             continue
         incl_tree = TagTreeEncoder(band.grid_rows, band.grid_cols)
         zbp_tree = TagTreeEncoder(band.grid_rows, band.grid_cols)
+        incl_vals = np.zeros((band.grid_rows, band.grid_cols), dtype=np.int64)
+        zbp_vals = np.zeros((band.grid_rows, band.grid_cols), dtype=np.int64)
         for blk in band.blocks:
-            incl_tree.set_value(blk.grid_row, blk.grid_col, 0 if blk.included else 1)
-            zbp_tree.set_value(blk.grid_row, blk.grid_col,
-                               blk.zero_bitplanes if blk.included else 0)
+            incl_vals[blk.grid_row, blk.grid_col] = 0 if blk.included else 1
+            zbp_vals[blk.grid_row, blk.grid_col] = (
+                blk.zero_bitplanes if blk.included else 0
+            )
+        incl_tree.set_values(incl_vals)
+        zbp_tree.set_values(zbp_vals)
         for blk in band.blocks:
             incl_tree.encode(blk.grid_row, blk.grid_col, 1, bw)
             if not blk.included:
@@ -119,9 +136,40 @@ def encode_packet(bands: list[PacketBand]) -> bytes:
             bw.write_bit(0)
             lblock += k
             bw.write_bits(blk.length, lblock + base)
-            body.extend(blk.data)
     bw.terminate_stuffed()
-    return bw.getvalue() + bytes(body)
+    return bw.getvalue()
+
+
+def packet_length(bands: list[PacketBand]) -> int:
+    """Exact byte length of :func:`encode_packet` without building bytes.
+
+    The header is still bit-coded (tag trees, pass-count codewords, length
+    fields, and the 0xFF bit-stuffing rule make its size value-dependent),
+    but the body — the dominant cost — is priced as a sum of lengths.
+    """
+    total = len(encode_packet_header(bands))
+    for band in bands:
+        for blk in band.blocks:
+            if blk.included:
+                total += blk.length
+    return total
+
+
+def encode_packet(bands: list[PacketBand]) -> bytes:
+    """Build one packet: stuffed header followed by the code block bodies."""
+    header = encode_packet_header(bands)
+    body = bytearray()
+    for band in bands:
+        for blk in band.blocks:
+            if not blk.included:
+                continue
+            if len(blk.data) != blk.length:
+                raise ValueError(
+                    f"block ({blk.grid_row}, {blk.grid_col}) carries "
+                    f"{len(blk.data)} body bytes but signals {blk.length}"
+                )
+            body.extend(blk.data)
+    return header + bytes(body)
 
 
 @dataclass

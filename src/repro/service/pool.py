@@ -83,6 +83,11 @@ class PersistentWorkerPool:
         so the first real request does not pay process start-up latency.
     """
 
+    #: This pool's workers run :func:`repro.core.workpool._encode_task` on
+    #: pickled ``(seq, coeffs, band, backend)`` payloads; they do not attach
+    #: shared-memory planes, so plane dispatch must fall back to pickling.
+    supports_shared_memory = False
+
     def __init__(
         self,
         workers: int | None = None,

@@ -16,10 +16,13 @@ import pytest
 from repro.image.synthetic import watch_face_image
 from repro.jpeg2000 import dwt
 from repro.jpeg2000.dwt_fast import (
+    AUTO_SERIAL_ENV,
+    AUTO_SERIAL_MIN_SAMPLES,
     CACHE_LINE_COLS,
     DWT_BACKENDS,
     FrontendResult,
     StageTimings,
+    auto_serial_workers,
     lift_53,
     lift_97,
     resolve_chunk,
@@ -30,6 +33,18 @@ from repro.jpeg2000.encoder import encode
 from repro.jpeg2000.params import EncoderParams
 
 RNG = np.random.default_rng(20080612)
+
+
+@pytest.fixture(autouse=True)
+def _disable_auto_serial(monkeypatch):
+    """Keep the worker-parametrized differential tests genuinely parallel.
+
+    The auto-serial clamp (PR 4) would otherwise turn every small-image
+    ``workers > 1`` case into a serial run and the chunk fan-out would go
+    untested.  Clamp-specific tests re-set the variable themselves — the
+    monkeypatch instance is shared, so their ``setenv`` wins.
+    """
+    monkeypatch.setenv(AUTO_SERIAL_ENV, "0")
 
 
 def _frontends(comps, depth, params, **fused_kw):
@@ -231,3 +246,60 @@ class TestStageTimings:
         assert "dwt 0.25s" in s and "tier1 12.5s" in s
         assert "rate" not in s  # zero rate-control stage is omitted
         assert "rate" in StageTimings(rate_control=0.1).summary()
+
+
+class TestAutoSerial:
+    """Small images skip the thread fan-out (PR 4 scaling fix)."""
+
+    def test_small_image_clamps_to_serial(self, monkeypatch):
+        monkeypatch.delenv(AUTO_SERIAL_ENV, raising=False)
+        assert auto_serial_workers(4, AUTO_SERIAL_MIN_SAMPLES - 1) == 1
+        assert auto_serial_workers(8, 1024 * 1024) == 1  # 1Mpx gray
+
+    def test_large_image_keeps_workers(self, monkeypatch):
+        monkeypatch.delenv(AUTO_SERIAL_ENV, raising=False)
+        assert auto_serial_workers(4, AUTO_SERIAL_MIN_SAMPLES) == 4
+        assert auto_serial_workers(2, 2048 * 2048 * 3) == 2
+
+    def test_serial_request_untouched(self, monkeypatch):
+        monkeypatch.delenv(AUTO_SERIAL_ENV, raising=False)
+        assert auto_serial_workers(1, 10) == 1
+
+    def test_env_zero_disables_clamp(self, monkeypatch):
+        monkeypatch.setenv(AUTO_SERIAL_ENV, "0")
+        assert auto_serial_workers(4, 10) == 4
+
+    def test_env_overrides_threshold(self, monkeypatch):
+        monkeypatch.setenv(AUTO_SERIAL_ENV, "50")
+        assert auto_serial_workers(4, 49) == 1
+        assert auto_serial_workers(4, 50) == 4
+
+    def test_env_invalid_rejected(self, monkeypatch):
+        monkeypatch.setenv(AUTO_SERIAL_ENV, "lots")
+        with pytest.raises(ValueError):
+            auto_serial_workers(4, 10)
+
+    def test_frontend_applies_clamp(self, monkeypatch):
+        # With the clamp active a small multi-worker run must equal the
+        # serial one *and* hand the chunk queue a single worker.
+        monkeypatch.delenv(AUTO_SERIAL_ENV, raising=False)
+        from repro.jpeg2000 import dwt_fast
+
+        calls = []
+        real = dwt_fast.ChunkWorkQueue
+
+        class Spy(real):
+            def __init__(self, *a, **kw):
+                calls.append((a, kw))
+                super().__init__(*a, **kw)
+
+        monkeypatch.setattr(dwt_fast, "ChunkWorkQueue", Spy)
+        img = watch_face_image(40, 56, channels=1)
+        comps, depth = __import__(
+            "repro.jpeg2000.encoder", fromlist=["_normalize_image"]
+        )._normalize_image(img)
+        params = EncoderParams(lossless=True, levels=3)
+        ref, fused = _frontends(comps, depth, params, workers=4)
+        _assert_identical(ref, fused)
+        # Every queue the front end built was clamped down to one worker.
+        assert calls and all(a == (1,) and not kw for a, kw in calls)

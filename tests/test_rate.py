@@ -122,3 +122,161 @@ class TestChooseTruncations:
         assert total <= budget
         for b, t in zip(blocks, trunc):
             assert 0 <= t <= len(b.lengths)
+
+
+# ---------------------------------------------------------------------------
+# Vectorized PCRD-opt (PR 4): differential against the scalar oracle,
+# golden-codestream regression, and end-to-end byte identity.
+# ---------------------------------------------------------------------------
+
+import hashlib
+
+from repro.core.workpool import shared_memory_available
+from repro.image.synthetic import watch_face_image
+from repro.jpeg2000 import encoder as encoder_mod
+from repro.jpeg2000.decoder import decode
+from repro.jpeg2000.encoder import encode
+from repro.jpeg2000.params import EncoderParams
+from repro.jpeg2000.rate import RateModel, choose_truncations_reference
+
+
+def _random_blocks(rng, max_blocks=20):
+    blocks = []
+    for _ in range(int(rng.integers(1, max_blocks))):
+        n = int(rng.integers(1, 14))
+        lengths = np.cumsum(rng.integers(1, 90, n)).tolist()
+        dists = rng.uniform(0, 120, n)
+        dists[rng.uniform(size=n) < 0.15] = 0.0  # dead passes
+        blocks.append(block(lengths, [float(d) for d in dists]))
+    return blocks
+
+
+class TestVectorizedMatchesReference:
+    """choose_truncations must replicate the scalar oracle bit for bit."""
+
+    @given(st.integers(0, 2**31), st.floats(0.0, 5000.0))
+    @settings(max_examples=80, deadline=None)
+    def test_differential_property(self, seed, budget):
+        rng = np.random.default_rng(seed)
+        blocks = _random_blocks(rng)
+        ref = choose_truncations_reference(
+            [block(b.lengths, b.dist_reductions) for b in blocks], budget
+        )
+        vec = choose_truncations(blocks, budget)
+        assert vec == ref
+
+    def test_empty_block_list(self):
+        assert choose_truncations([], 100.0) == []
+        assert choose_truncations_reference([], 100.0) == []
+
+    def test_model_choose_matches_per_call(self):
+        # One RateModel reused across shrinking budgets (the encoder's
+        # convergence loop) must equal fresh scalar runs at each budget.
+        rng = np.random.default_rng(7)
+        blocks = _random_blocks(rng, max_blocks=30)
+        model = RateModel(
+            [b.lengths for b in blocks],
+            [b.dist_reductions for b in blocks],
+        )
+        for budget in (0.0, 37.0, 150.0, 600.0, 1e9):
+            ref = choose_truncations_reference(
+                [block(b.lengths, b.dist_reductions) for b in blocks], budget
+            )
+            assert list(model.choose(budget)) == ref
+
+    def test_single_pass_blocks(self):
+        blocks = [block([5], [10.0]), block([7], [0.0]), block([3], [50.0])]
+        for budget in (0.0, 3.0, 8.0, 100.0):
+            ref = choose_truncations_reference(
+                [block(b.lengths, b.dist_reductions) for b in blocks], budget
+            )
+            assert choose_truncations(blocks, budget) == ref
+
+
+#: sha256 of lossy codestreams captured at the pre-PR encoder (PR 3 HEAD).
+#: Any drift here is a byte-compatibility break, not a tuning change.
+GOLDEN_LOSSY_SHA256 = {
+    (64, 64, 3, 0.05, 3): "63007c2d4678d3010b936b4826211c39e1d1abbb8705e9ff7a1fbf60244656da",
+    (64, 64, 3, 0.1, 3): "9f5ccd0bbdca81d76d6f5a392b205f814a7bfb065019267e0d926d28ca411562",
+    (64, 64, 3, 0.3, 3): "3c8c6b5e46e764809ef4481fbe769e7952b64a04154261f5b82e06bc93a641be",
+    (96, 96, 1, 0.05, 3): "18188e68f9e93b9be102fb94a8f687af33cad0dce8a225f8b9fdaae5fbfa21de",
+    (96, 96, 1, 0.1, 3): "bd40deca7d31f4af976bc8f8f6b39afa9e24b877d81a6d6f1407ed36636d626d",
+    (96, 96, 1, 0.3, 3): "ddcce9f3154bcd78e1669403e83c370c207355264023a3251f9091a04e1e5e35",
+    (96, 96, 3, 0.05, 3): "617e7240d740ccf06ffb74c27fb916df8b852ce7935320023bb470657a7f7839",
+    (96, 96, 3, 0.1, 3): "c670a3c3b05a7a8486e57558f8f87eeb15be6b8c42881b92d80f6b7b4b651ac8",
+    (96, 96, 3, 0.3, 3): "2c8ce6c2b8c5c00997a1196e932dc1ddf10c5a1fd9dafb28f97579e59dabf013",
+    (70, 50, 1, 0.2, 5): "4075a005d83ab031a181dca99f6de3695d5c901012e99fc8cafb4338032111d3",
+    (81, 33, 3, 0.15, 2): "03566df226992a23b20dbf4d46d5ce483430dae392e0b12132c43c16eb030b87",
+    (64, 64, 1, 1.0, 3): "e86b96d14d4beb29ffbf8bdd7460a4eae296a5ec6f598a776491c27834368310",
+}
+
+
+class TestGoldenCodestreams:
+    """Byte-identity with the pre-PR encoder, single Tier-2 assembly."""
+
+    @pytest.mark.parametrize("key", sorted(GOLDEN_LOSSY_SHA256))
+    def test_codestream_sha256(self, key):
+        h, w, channels, rate, levels = key
+        img = watch_face_image(h, w, channels=channels)
+        before = encoder_mod._assemble_packets.calls
+        res = encode(img, EncoderParams(lossless=False, rate=rate, levels=levels))
+        after = encoder_mod._assemble_packets.calls
+        digest = hashlib.sha256(res.codestream).hexdigest()
+        assert digest == GOLDEN_LOSSY_SHA256[key], key
+        assert after - before == 1, "Tier-2 packets must assemble exactly once"
+
+
+class TestByteIdentityAcrossDispatch:
+    """Same codestream for every worker count x Tier-1 backend x rate."""
+
+    @pytest.mark.parametrize("backend", ["reference", "vectorized"])
+    @pytest.mark.parametrize("rate", [0.1, 0.3])
+    def test_workers_and_backends(self, backend, rate):
+        img = watch_face_image(64, 64, channels=3)
+        streams = {}
+        for workers in (1, 2, 4):
+            params = EncoderParams(
+                lossless=False, rate=rate, levels=3,
+                workers=workers, tier1_backend=backend,
+            )
+            res = encode(img, params)
+            streams[workers] = res.codestream
+            if workers == 1:
+                assert res.stats.tier1_dispatch == "serial"
+            elif shared_memory_available():
+                assert res.stats.tier1_dispatch == "shared_memory"
+        assert streams[2] == streams[1]
+        assert streams[4] == streams[1]
+
+    def test_pickle_fallback_is_identical(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM_DISPATCH", "0")
+        img = watch_face_image(64, 64, channels=3)
+        serial = encode(img, EncoderParams(lossless=False, rate=0.2, levels=3))
+        pooled = encode(
+            img, EncoderParams(lossless=False, rate=0.2, levels=3, workers=2)
+        )
+        assert pooled.codestream == serial.codestream
+        assert pooled.stats.tier1_dispatch == "pickle"
+
+
+class TestTruncatedStreamsDecode:
+    """Rate-controlled codestreams must still parse and reconstruct."""
+
+    @pytest.mark.parametrize("rate", [0.05, 0.15, 0.5])
+    def test_round_trip(self, rate):
+        img = watch_face_image(96, 96, channels=3)
+        res = encode(img, EncoderParams(lossless=False, rate=rate, levels=3))
+        out = decode(res.codestream)
+        assert out.shape == img.shape
+        assert out.dtype == img.dtype
+        # Truncation loses detail, not the picture: demand a sane PSNR.
+        mse = np.mean((out.astype(np.float64) - img.astype(np.float64)) ** 2)
+        psnr = float("inf") if mse == 0 else 10 * np.log10(255.0**2 / mse)
+        assert psnr > 20.0
+
+    def test_rate_budget_respected_end_to_end(self):
+        img = watch_face_image(96, 96, channels=3)
+        rate = 0.1
+        res = encode(img, EncoderParams(lossless=False, rate=rate, levels=3))
+        budget = rate * img.size  # bytes: rate is per source byte at 8 bpp
+        assert len(res.codestream) <= budget * 1.02  # header slack only

@@ -139,3 +139,70 @@ class TestPacketRoundTrip:
         pkt = encode_packet([PacketBand(1, 1, [blk])])
         with pytest.raises(ValueError):
             parse_packet(pkt[:-3], 0, [(1, 1, 1)])
+
+
+# ---------------------------------------------------------------------------
+# Incremental length model (PR 4): packets are priced without being built.
+# ---------------------------------------------------------------------------
+
+from repro.jpeg2000.tier2 import encode_packet_header, packet_length  # noqa: E402
+
+
+class TestPacketLength:
+    def test_empty_packet(self):
+        bands = [PacketBand(1, 1, [BlockContribution(0, 0, False)])]
+        assert packet_length(bands) == len(encode_packet(bands)) == 1
+
+    def test_single_block(self):
+        blk = BlockContribution(0, 0, True, zero_bitplanes=3, num_passes=7,
+                                data=b"\x01\x02\x03")
+        bands = [PacketBand(1, 1, [blk])]
+        assert packet_length(bands) == len(encode_packet(bands))
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=120, deadline=None)
+    def test_length_matches_bytes_property(self, seed):
+        rng = random.Random(seed)
+        bands, _ = _random_packet(rng, nbands=rng.randint(1, 3))
+        assert packet_length(bands) == len(encode_packet(bands))
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_header_identical_without_body_bytes(self, seed):
+        # Pricing uses contributions that carry only `length`; the header
+        # they produce must equal the one produced with real body bytes.
+        rng = random.Random(seed)
+        bands, _ = _random_packet(rng, nbands=rng.randint(1, 2))
+        priced = [
+            PacketBand(b.grid_rows, b.grid_cols, [
+                BlockContribution(
+                    c.grid_row, c.grid_col, c.included,
+                    zero_bitplanes=c.zero_bitplanes,
+                    num_passes=c.num_passes,
+                    data=b"", length=len(c.data),
+                )
+                for c in b.blocks
+            ])
+            for b in bands
+        ]
+        assert encode_packet_header(priced) == encode_packet_header(bands)
+        assert packet_length(priced) == len(encode_packet(bands))
+
+    def test_default_length_is_data_length(self):
+        blk = BlockContribution(0, 0, True, zero_bitplanes=0, num_passes=1,
+                                data=b"abcd")
+        assert blk.length == 4
+
+    def test_encode_packet_rejects_length_mismatch(self):
+        blk = BlockContribution(0, 0, True, zero_bitplanes=0, num_passes=1,
+                                data=b"abcd", length=9)
+        with pytest.raises(ValueError):
+            encode_packet([PacketBand(1, 1, [blk])])
+
+    def test_lblock_growth_priced_exactly(self):
+        # 5000-byte contribution forces Lblock growth signalling in the
+        # header; the price must track the extra bits exactly.
+        blk = BlockContribution(0, 0, True, zero_bitplanes=1, num_passes=1,
+                                data=bytes(5000))
+        bands = [PacketBand(1, 1, [blk])]
+        assert packet_length(bands) == len(encode_packet(bands))

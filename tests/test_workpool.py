@@ -147,3 +147,148 @@ class TestEncoderIntegration:
         base = encode(watch_gray_64, EncoderParams(levels=3))
         assert pr.codestream == base.codestream
         assert pr.encode_result.params.workers == 2
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory plane dispatch (PR 4).
+# ---------------------------------------------------------------------------
+
+from repro.core.workpool import (  # noqa: E402
+    PlaneBlockTask,
+    _SharedPlanes,
+    shared_memory_available,
+)
+
+
+def _planes_and_tasks(seed=3):
+    """Two oddly shaped planes tiled into 16x16 (and ragged-edge) tasks."""
+    rng = np.random.default_rng(seed)
+    planes = [
+        rng.integers(-300, 300, size=(40, 56)).astype(np.int32),
+        rng.integers(-60, 60, size=(33, 17)).astype(np.int32),
+    ]
+    bands = ("LL", "HL", "LH", "HH")
+    tasks = []
+    for pi, plane in enumerate(planes):
+        for r0 in range(0, plane.shape[0], 16):
+            for c0 in range(0, plane.shape[1], 16):
+                tasks.append(PlaneBlockTask(
+                    seq=len(tasks), plane=pi, row0=r0, col0=c0,
+                    height=min(16, plane.shape[0] - r0),
+                    width=min(16, plane.shape[1] - c0),
+                    band=bands[len(tasks) % 4],
+                ))
+    return planes, tasks
+
+
+def _serial_oracle(planes, tasks, backend="vectorized"):
+    return [
+        encode_codeblock(t.slice_of(planes[t.plane]), t.band, backend=backend)
+        for t in tasks
+    ]
+
+
+def _same_results(a, b) -> bool:
+    return all(
+        x.data == y.data and x.pass_lengths == y.pass_lengths
+        and x.num_passes == y.num_passes
+        for x, y in zip(a, b)
+    )
+
+
+class TestPlaneBlockTask:
+    def test_slice_of(self):
+        plane = np.arange(12 * 10, dtype=np.int32).reshape(12, 10)
+        t = PlaneBlockTask(seq=0, plane=0, row0=4, col0=2,
+                           height=3, width=5, band="HL")
+        assert np.array_equal(t.slice_of(plane), plane[4:7, 2:7])
+
+
+class TestPlaneDispatch:
+    def test_serial_path_and_stats(self):
+        planes, tasks = _planes_and_tasks()
+        queue = CodeBlockWorkQueue(workers=1)
+        res = queue.encode_plane_blocks(planes, tasks)
+        assert _same_results(res, _serial_oracle(planes, tasks))
+        assert queue.last_stats.dispatch == "serial"
+
+    @pytest.mark.skipif(not shared_memory_available(),
+                        reason="shared memory unavailable")
+    def test_shared_memory_matches_serial(self):
+        planes, tasks = _planes_and_tasks()
+        queue = CodeBlockWorkQueue(workers=2, use_shared_memory=True)
+        res = queue.encode_plane_blocks(planes, tasks)
+        assert _same_results(res, _serial_oracle(planes, tasks))
+        assert queue.last_stats.dispatch == "shared_memory"
+        assert sum(queue.last_stats.blocks_per_worker.values()) == len(tasks)
+
+    def test_pickle_path_matches_serial(self):
+        planes, tasks = _planes_and_tasks()
+        queue = CodeBlockWorkQueue(workers=2, use_shared_memory=False)
+        res = queue.encode_plane_blocks(planes, tasks)
+        assert _same_results(res, _serial_oracle(planes, tasks))
+        assert queue.last_stats.dispatch == "pickle"
+
+    def test_env_kill_switch_forces_pickle(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM_DISPATCH", "0")
+        assert not shared_memory_available()
+        planes, tasks = _planes_and_tasks()
+        queue = CodeBlockWorkQueue(workers=2)  # use_shared_memory=None
+        res = queue.encode_plane_blocks(planes, tasks)
+        assert _same_results(res, _serial_oracle(planes, tasks))
+        assert queue.last_stats.dispatch == "pickle"
+
+    def test_injected_pool_without_support_falls_back(self):
+        class FakePool:
+            """Duck-typed pool that only understands pickled payloads."""
+            workers = 2
+            # no supports_shared_memory attribute at all
+
+            def imap_unordered(self, payloads):
+                from repro.core.workpool import _encode_task
+                for p in payloads:
+                    yield _encode_task(p)
+
+        planes, tasks = _planes_and_tasks()
+        queue = CodeBlockWorkQueue(pool=FakePool())
+        res = queue.encode_plane_blocks(planes, tasks)
+        assert _same_results(res, _serial_oracle(planes, tasks))
+        assert queue.last_stats.dispatch == "pickle"
+
+    def test_backend_forwarded_through_shm(self):
+        planes, tasks = _planes_and_tasks(seed=9)
+        serial = _serial_oracle(planes, tasks, backend="reference")
+        queue = CodeBlockWorkQueue(workers=2, backend="reference",
+                                   use_shared_memory=True)
+        res = queue.encode_plane_blocks(planes, tasks)
+        assert _same_results(res, serial)
+
+    def test_empty_tasks(self):
+        assert CodeBlockWorkQueue(workers=2).encode_plane_blocks([], []) == []
+
+
+class TestSharedPlanesLifecycle:
+    @pytest.mark.skipif(not shared_memory_available(),
+                        reason="shared memory unavailable")
+    def test_segments_unlinked_after_close(self):
+        from multiprocessing import shared_memory
+
+        planes = [np.arange(64, dtype=np.int32).reshape(8, 8)]
+        shared = _SharedPlanes(planes)
+        name, shape, dtype = shared.descs[0]
+        seg = shared_memory.SharedMemory(name=name)  # attachable while open
+        view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=seg.buf)
+        assert np.array_equal(view, planes[0])
+        del view
+        seg.close()
+        shared.close()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    @pytest.mark.skipif(not shared_memory_available(),
+                        reason="shared memory unavailable")
+    def test_close_is_idempotent(self):
+        shared = _SharedPlanes([np.zeros((4, 4), dtype=np.int32)])
+        shared.close()
+        shared.close()  # second close must be a silent no-op
+        assert shared.segments == []
