@@ -1,4 +1,4 @@
-"""Command-line interface: encode / decode / simulate / serve.
+"""Command-line interface: encode / decode / simulate / serve / verify / fuzz.
 
     python -m repro encode  input.bmp output.j2c [--lossy] [--rate 0.1]
     python -m repro decode  input.j2c output.bmp
@@ -6,12 +6,19 @@
                               [--chips 1] [--lossy] [--rate 0.1] [--estimate]
     python -m repro serve   [--port 8000] [--workers auto] [--cache-mb 64]
                               [--max-queue 32] [--admission reject|block]
+    python -m repro verify  [--quick] [--rates 0.1,0.25,1.0] [--workers 1,2]
+    python -m repro fuzz    [--cases 10000] [--seed 2008] [--artifacts DIR]
 
 ``simulate`` prints the per-stage Cell/B.E. timeline for encoding the
 image; ``--estimate`` uses the fast Tier-1 workload estimator instead of
 the exact coder (recommended above ~512x512).  ``serve`` runs the
 long-running encode service (persistent worker pool + HTTP front end);
-see the README "Serving" section.
+see the README "Serving" section.  ``verify`` and ``fuzz`` run the
+round-trip and decoder-robustness gates (README "Verification").
+
+Operational failures — malformed input files, undecodable codestreams,
+failed verification — exit 1 with a one-line ``error:`` message, never a
+traceback.
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ from repro.image.bmp import read_bmp, write_bmp
 from repro.image.pnm import read_pnm, write_pnm
 from repro.jpeg2000.decoder import decode
 from repro.jpeg2000.encoder import encode
+from repro.jpeg2000.errors import CodestreamError
 from repro.jpeg2000.params import EncoderParams
 from repro.jpeg2000.tier1_stats import estimate_workload
 
@@ -64,7 +72,8 @@ def _params(args) -> EncoderParams:
     common = dict(levels=args.levels, codeblock_size=args.codeblock,
                   tier1_backend=args.tier1_backend, workers=args.workers,
                   dwt_backend=args.dwt_backend,
-                  dwt_chunk_cols=args.dwt_chunk)
+                  dwt_chunk_cols=args.dwt_chunk,
+                  self_check=args.self_check)
     if args.lossy or args.rate is not None:
         return EncoderParams(lossless=False, rate=args.rate, **common)
     return EncoderParams(lossless=True, **common)
@@ -92,6 +101,10 @@ def _add_coding_options(p: argparse.ArgumentParser) -> None:
     p.add_argument("--dwt-chunk", type=int, default=None, metavar="COLS",
                    help="fused front-end chunk width in samples (rounded up "
                         "to a multiple of 32); default: automatic")
+    p.add_argument("--self-check", action="store_true",
+                   help="decode the output before writing it and verify the "
+                        "round trip (bit-exact lossless / PSNR-floored lossy); "
+                        "roughly doubles encode time")
 
 
 def cmd_encode(args) -> int:
@@ -153,6 +166,48 @@ def cmd_serve(args) -> int:
         admission_policy=args.admission,
     )
     return run_server(config, host=args.host, port=args.port, quiet=args.quiet)
+
+
+def cmd_verify(args) -> int:
+    # Imported lazily: repro.verify pulls in the decoder and corpus stack.
+    from repro.verify.roundtrip import run_corpus
+
+    rates = tuple(float(r) for r in args.rates.split(","))
+    workers = tuple(int(w) for w in args.workers.split(","))
+    backends = tuple(args.backends.split(","))
+    report = run_corpus(
+        rates=rates, backends=backends, workers=workers,
+        quick=args.quick, progress=None if args.quiet else print,
+    )
+    print(report.summary())
+    if not report.ok:
+        for check in report.failures:
+            print(f"FAIL {check.name}: {check.detail}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_fuzz(args) -> int:
+    from repro.verify.fuzz import run_fuzz
+
+    report = run_fuzz(
+        cases=args.cases, seed=args.seed,
+        progress=None if args.quiet else print,
+    )
+    print(report.summary())
+    if not report.ok:
+        if args.artifacts:
+            for path in report.write_artifacts(args.artifacts):
+                print(f"wrote {path}", file=sys.stderr)
+        for crash in report.crashes:
+            print(
+                f"CRASH case {crash.case} (base {crash.base_name}, "
+                f"mutators {'+'.join(crash.mutators)}): "
+                f"{crash.exc_type}: {crash.message}",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
 
 
 def _package_version() -> str:
@@ -222,12 +277,68 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-request access logs")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "verify",
+        help="round-trip gate: every corpus encode must decode back",
+        description="Encodes the verification corpus and a per-rate sweep, "
+                    "decodes everything, and checks bit-exactness (lossless), "
+                    "PSNR floors + monotonicity (lossy), and byte identity "
+                    "across Tier-1 backends and worker counts.  Exits 1 on "
+                    "any failed check.",
+    )
+    p.add_argument("--rates", default="0.1,0.25,1.0",
+                   help="comma-separated lossy rates to sweep")
+    p.add_argument("--workers", default="1,2",
+                   help="comma-separated worker counts for byte identity")
+    p.add_argument("--backends", default="vectorized,reference",
+                   help="comma-separated Tier-1 backends for byte identity")
+    p.add_argument("--quick", action="store_true",
+                   help="trim the backend x workers sweep to one combination")
+    p.add_argument("--quiet", action="store_true",
+                   help="print only the final summary")
+    p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="mutation-fuzz the decoder; typed errors only",
+        description="Mutates corpus codestreams (bit flips, truncations, "
+                    "length-field corruption, marker reordering, packet "
+                    "garbage) and decodes each case: decode() must succeed "
+                    "or raise a CodestreamError subclass.  Deterministic in "
+                    "--seed; exits 1 and writes --artifacts on any other "
+                    "exception.",
+    )
+    p.add_argument("--cases", type=int, default=1000,
+                   help="number of mutated inputs to decode (CI runs 10000)")
+    p.add_argument("--seed", type=int, default=2008,
+                   help="base seed; case N reproduces from (seed, N) alone")
+    p.add_argument("--artifacts", default=None, metavar="DIR",
+                   help="directory for crashing inputs (original + minimized "
+                        "+ index.json), written only on failure")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress progress lines")
+    p.set_defaults(func=cmd_fuzz)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (CodestreamError, OSError, ValueError) as exc:
+        # Operational failures (bad input file, malformed codestream,
+        # invalid parameter combination) are user errors, not bugs: one
+        # line on stderr, exit 1, no traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except Exception as exc:
+        from repro.verify.roundtrip import VerificationError
+
+        if isinstance(exc, VerificationError):
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        raise
 
 
 if __name__ == "__main__":

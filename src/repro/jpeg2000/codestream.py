@@ -11,6 +11,26 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass, field
 
+from repro.jpeg2000.errors import (
+    DEFAULT_LIMITS,
+    CodestreamError,
+    DecodeLimits,
+    HeaderFieldError,
+    LimitExceededError,
+    MarkerError,
+    TruncatedCodestreamError,
+)
+
+__all__ = [
+    "CodestreamError",
+    "CodestreamInfo",
+    "DecodeLimits",
+    "SubbandQuantField",
+    "parse_codestream",
+    "write_codestream",
+    "write_main_header",
+]
+
 MARKER_SOC = 0xFF4F
 MARKER_SIZ = 0xFF51
 MARKER_COD = 0xFF52
@@ -112,35 +132,55 @@ def write_codestream(info: CodestreamInfo) -> bytes:
     )
 
 
-class CodestreamError(ValueError):
-    """Raised on malformed codestreams."""
+def parse_codestream(
+    data: bytes, limits: DecodeLimits | None = None
+) -> CodestreamInfo:
+    """Parse a codestream produced by :func:`write_codestream`.
 
-
-def parse_codestream(data: bytes) -> CodestreamInfo:
-    """Parse a codestream produced by :func:`write_codestream`."""
+    Every field that later sizes an allocation or a loop is validated
+    against ``limits`` *here*, before the decoder touches it; malformed
+    input raises a :class:`CodestreamError` subclass carrying the byte
+    offset at which the problem was detected.
+    """
+    if limits is None:
+        limits = DEFAULT_LIMITS
     pos = 0
 
     def read_marker() -> int:
         nonlocal pos
         if pos + 2 > len(data):
-            raise CodestreamError("truncated codestream: no marker")
+            raise TruncatedCodestreamError(
+                "truncated codestream: no marker", offset=pos
+            )
         (code,) = struct.unpack_from(">H", data, pos)
+        if code >> 8 != 0xFF:
+            raise MarkerError(f"invalid marker 0x{code:04X}", offset=pos)
         pos += 2
         return code
 
-    def read_segment() -> bytes:
+    def read_segment() -> tuple[bytes, int]:
+        """Read one marker-segment payload; returns (payload, its offset)."""
         nonlocal pos
         if pos + 2 > len(data):
-            raise CodestreamError("truncated marker segment")
+            raise TruncatedCodestreamError("truncated marker segment", offset=pos)
         (length,) = struct.unpack_from(">H", data, pos)
+        if length < 2:
+            raise HeaderFieldError(
+                f"marker segment length {length} smaller than its own "
+                "length field", offset=pos,
+            )
         if pos + length > len(data):
-            raise CodestreamError("marker segment overruns codestream")
+            raise TruncatedCodestreamError(
+                f"marker segment of {length} bytes overruns codestream",
+                offset=pos,
+            )
         payload = data[pos + 2 : pos + length]
+        seg_offset = pos + 2
         pos += length
-        return payload
+        return payload, seg_offset
 
     if read_marker() != MARKER_SOC:
-        raise CodestreamError("missing SOC marker")
+        raise MarkerError("missing SOC marker", offset=0)
 
     info: CodestreamInfo | None = None
     cod_seen = qcd_seen = False
@@ -149,26 +189,107 @@ def parse_codestream(data: bytes) -> CodestreamInfo:
     guard_bits = 0
 
     while True:
+        marker_offset = pos
         code = read_marker()
         if code == MARKER_SIZ:
-            seg = read_segment()
-            (_rsiz, w, h, _xo, _yo, _tw, _th, _txo, _tyo, ncomp) = struct.unpack_from(
+            seg, off = read_segment()
+            if info is not None:
+                raise MarkerError("duplicate SIZ marker", offset=marker_offset)
+            if len(seg) < 38:
+                raise TruncatedCodestreamError(
+                    f"SIZ segment needs >= 38 bytes, got {len(seg)}", offset=off
+                )
+            (_rsiz, w, h, xo, yo, _tw, _th, _txo, _tyo, ncomp) = struct.unpack_from(
                 ">HIIIIIIIIH", seg, 0
             )
-            ssiz, _xr, _yr = struct.unpack_from(">BBB", seg, 36)
+            if ncomp < 1 or ncomp > limits.max_components:
+                raise (
+                    LimitExceededError if ncomp > limits.max_components
+                    else HeaderFieldError
+                )(f"component count {ncomp} outside [1, {limits.max_components}]",
+                  offset=off)
+            if len(seg) < 36 + 3 * ncomp:
+                raise TruncatedCodestreamError(
+                    f"SIZ segment truncated: {ncomp} components need "
+                    f"{36 + 3 * ncomp} bytes, got {len(seg)}", offset=off,
+                )
+            if w < 1 or h < 1:
+                raise HeaderFieldError(
+                    f"image dimensions must be positive, got {w}x{h}", offset=off
+                )
+            if xo or yo:
+                raise HeaderFieldError(
+                    f"nonzero image offset ({xo}, {yo}) unsupported", offset=off
+                )
+            if w > limits.max_dimension or h > limits.max_dimension:
+                raise LimitExceededError(
+                    f"declared dimensions {w}x{h} exceed the "
+                    f"{limits.max_dimension} cap", offset=off,
+                )
+            if w * h * ncomp > limits.max_samples:
+                raise LimitExceededError(
+                    f"declared size {w}x{h}x{ncomp} exceeds the "
+                    f"{limits.max_samples}-sample cap", offset=off,
+                )
+            ssiz, xr, yr = struct.unpack_from(">BBB", seg, 36)
+            for c in range(1, ncomp):
+                if struct.unpack_from(">BBB", seg, 36 + 3 * c) != (ssiz, xr, yr):
+                    raise HeaderFieldError(
+                        "per-component SIZ fields must match component 0",
+                        offset=off,
+                    )
+            if (xr, yr) != (1, 1):
+                raise HeaderFieldError(
+                    f"component subsampling {xr}x{yr} unsupported", offset=off
+                )
+            bit_depth = (ssiz & 0x7F) + 1
+            if bit_depth > limits.max_bit_depth:
+                raise LimitExceededError(
+                    f"bit depth {bit_depth} exceeds the "
+                    f"{limits.max_bit_depth}-bit cap", offset=off,
+                )
             info = CodestreamInfo(
                 width=w, height=h, num_components=ncomp,
-                bit_depth=(ssiz & 0x7F) + 1, signed=bool(ssiz & 0x80),
+                bit_depth=bit_depth, signed=bool(ssiz & 0x80),
                 levels=0, codeblock_size=64, reversible=True,
                 use_mct=False, num_layers=1, guard_bits=0,
             )
         elif code == MARKER_COD:
-            seg = read_segment()
-            (_scod, _prog, layers, mct, levels, cbw, _cbh, _style, transform) = (
+            seg, off = read_segment()
+            if info is None:
+                raise MarkerError("COD before SIZ", offset=marker_offset)
+            if len(seg) < 10:
+                raise TruncatedCodestreamError(
+                    f"COD segment needs >= 10 bytes, got {len(seg)}", offset=off
+                )
+            (scod, prog, layers, mct, levels, cbw, cbh, style, transform) = (
                 struct.unpack_from(">BBHBBBBBB", seg, 0)
             )
-            if info is None:
-                raise CodestreamError("COD before SIZ")
+            if scod != 0 or prog != 0 or style != 0:
+                raise HeaderFieldError(
+                    f"unsupported COD options (Scod={scod}, progression="
+                    f"{prog}, style={style}); this codec writes all-default "
+                    "LRCP", offset=off,
+                )
+            if layers != 1:
+                raise HeaderFieldError(
+                    f"unsupported layer count {layers}; this codec writes a "
+                    "single quality layer", offset=off,
+                )
+            if levels > limits.max_levels:
+                raise LimitExceededError(
+                    f"declared {levels} DWT levels exceed the "
+                    f"{limits.max_levels} cap", offset=off,
+                )
+            if cbw != cbh or not (0 <= cbw <= 4):
+                raise HeaderFieldError(
+                    f"code block exponents ({cbw}, {cbh}) outside the square "
+                    "4..64 range this codec writes", offset=off,
+                )
+            if transform not in (0, 1):
+                raise HeaderFieldError(
+                    f"unknown wavelet transform {transform}", offset=off
+                )
             info.num_layers = layers
             info.use_mct = bool(mct)
             info.levels = levels
@@ -177,7 +298,9 @@ def parse_codestream(data: bytes) -> CodestreamInfo:
             info.reversible = reversible
             cod_seen = True
         elif code == MARKER_QCD:
-            seg = read_segment()
+            seg, off = read_segment()
+            if not seg:
+                raise TruncatedCodestreamError("empty QCD segment", offset=off)
             sqcd = seg[0]
             guard_bits = sqcd >> 5
             style = sqcd & 0x1F
@@ -186,31 +309,56 @@ def parse_codestream(data: bytes) -> CodestreamInfo:
             if style == _QUANT_NONE:
                 quant_fields = [SubbandQuantField(b >> 3, 0) for b in body]
             elif style == _QUANT_EXPOUNDED:
+                if len(body) % 2:
+                    raise TruncatedCodestreamError(
+                        "expounded QCD body has an odd byte count", offset=off
+                    )
                 for i in range(0, len(body), 2):
                     (v,) = struct.unpack_from(">H", body, i)
                     quant_fields.append(SubbandQuantField(v >> 11, v & 0x7FF))
             else:
-                raise CodestreamError(f"unsupported quantization style {style}")
+                raise HeaderFieldError(
+                    f"unsupported quantization style {style}", offset=off
+                )
+            max_fields = 1 + 3 * limits.max_levels
+            if len(quant_fields) > max_fields:
+                raise LimitExceededError(
+                    f"QCD signals {len(quant_fields)} subbands, more than "
+                    f"{limits.max_levels} levels allow", offset=off,
+                )
             qcd_seen = True
         elif code == MARKER_SOT:
-            seg = read_segment()
+            seg, off = read_segment()
+            if len(seg) < 8:
+                raise TruncatedCodestreamError(
+                    f"SOT segment needs >= 8 bytes, got {len(seg)}", offset=off
+                )
             (_tile, psot, _tpsot, _tnsot) = struct.unpack_from(">HIBB", seg, 0)
             if read_marker() != MARKER_SOD:
-                raise CodestreamError("expected SOD after SOT")
+                raise MarkerError("expected SOD after SOT", offset=pos - 2)
             data_len = psot - 12 - 2
+            if data_len < 0:
+                raise HeaderFieldError(
+                    f"SOT Psot {psot} smaller than its own headers", offset=off
+                )
             if pos + data_len > len(data):
-                raise CodestreamError("tile data overruns codestream")
+                raise TruncatedCodestreamError(
+                    f"tile data of {data_len} bytes overruns codestream",
+                    offset=pos,
+                )
             if info is None or not (cod_seen and qcd_seen):
-                raise CodestreamError("tile before complete main header")
+                raise MarkerError(
+                    "tile before complete main header", offset=marker_offset
+                )
             info.tile_data = data[pos : pos + data_len]
             pos += data_len
         elif code == MARKER_EOC:
             break
         else:
-            raise CodestreamError(f"unexpected marker 0x{code:04X}")
+            raise MarkerError(f"unexpected marker 0x{code:04X}", offset=marker_offset)
 
     if info is None or not cod_seen or not qcd_seen:
-        raise CodestreamError("incomplete main header")
+        raise MarkerError("incomplete main header", offset=pos)
     info.guard_bits = guard_bits
     info.quant_fields = quant_fields
     return info

@@ -15,9 +15,20 @@ from repro.jpeg2000 import mct
 from repro.jpeg2000.codeblocks import partition_subband
 from repro.jpeg2000.codestream import CodestreamInfo, parse_codestream
 from repro.jpeg2000.dwt import Decomposition, inverse_dwt2d
+from repro.jpeg2000.errors import (
+    CodestreamError,
+    DecodeLimits,
+    HeaderFieldError,
+    PacketError,
+)
 from repro.jpeg2000.quantize import dequantize, exponent_mantissa_to_step, nominal_range_bits
 from repro.jpeg2000.tier1 import decode_codeblock
 from repro.jpeg2000.tier2 import parse_packet
+
+#: Largest ``exponent + guard_bits - 1`` bit-plane count a QCD field may
+#: imply (5-bit exponent + 3-bit guard bits keeps well under this; anything
+#: larger is a corrupt header, not a deep image).
+_MAX_BITPLANES = 38
 
 
 @dataclass
@@ -54,19 +65,45 @@ def _subband_layouts(info: CodestreamInfo) -> list[_SubbandLayout]:
             bh, bw = shapes[i][band]
             layouts.append(_SubbandLayout(band, dl, bh, bw, 0, 0))
     if len(info.quant_fields) != len(layouts):
-        raise ValueError(
+        raise HeaderFieldError(
             f"QCD signals {len(info.quant_fields)} subbands, geometry implies "
             f"{len(layouts)}"
         )
     for lay, qf in zip(layouts, info.quant_fields):
+        num_bitplanes = qf.exponent + info.guard_bits - 1
+        if not (0 <= num_bitplanes <= _MAX_BITPLANES):
+            raise HeaderFieldError(
+                f"subband {lay.band}{lay.dlevel} implies {num_bitplanes} "
+                f"bit planes, outside [0, {_MAX_BITPLANES}]"
+            )
         lay.exponent = qf.exponent
         lay.mantissa = qf.mantissa
     return layouts
 
 
-def decode(codestream: bytes) -> np.ndarray:
-    """Decode a codestream produced by :func:`repro.jpeg2000.encoder.encode`."""
-    info = parse_codestream(codestream)
+def decode(
+    codestream: bytes, limits: DecodeLimits | None = None
+) -> np.ndarray:
+    """Decode a codestream produced by :func:`repro.jpeg2000.encoder.encode`.
+
+    ``limits`` caps every size a corrupt header could declare (see
+    :class:`repro.jpeg2000.errors.DecodeLimits`).  Malformed input of any
+    kind raises a :class:`repro.jpeg2000.errors.CodestreamError` subclass;
+    no bare ``IndexError``/``struct.error``/``EOFError`` escapes, and no
+    allocation is sized by an unvalidated field.
+    """
+    info = parse_codestream(codestream, limits=limits)
+    try:
+        return _decode_parsed(info)
+    except CodestreamError:
+        raise
+    except (ValueError, ArithmeticError, IndexError, KeyError, EOFError) as exc:
+        # Defensive net: anything the typed checks above did not classify
+        # still surfaces as a CodestreamError, never a raw traceback type.
+        raise CodestreamError(f"malformed codestream content: {exc}") from exc
+
+
+def _decode_parsed(info: CodestreamInfo) -> np.ndarray:
     layouts = _subband_layouts(info)
     chroma_expanded = info.reversible and info.use_mct
 
@@ -113,6 +150,19 @@ def decode(codestream: bytes) -> np.ndarray:
                     if not blk.included:
                         continue
                     msbs = num_bitplanes - blk.zero_bitplanes
+                    if msbs < 0:
+                        raise PacketError(
+                            f"block ({blk.grid_row}, {blk.grid_col}) signals "
+                            f"{blk.zero_bitplanes} missing bit planes but the "
+                            f"subband codes only {num_bitplanes}"
+                        )
+                    max_passes = 1 + 3 * (msbs - 1) if msbs else 0
+                    if blk.num_passes > max_passes:
+                        raise PacketError(
+                            f"block ({blk.grid_row}, {blk.grid_col}) signals "
+                            f"{blk.num_passes} coding passes but {msbs} bit "
+                            f"planes allow at most {max_passes}"
+                        )
                     vals = decode_codeblock(
                         blk.data, spec.height, spec.width, lay.band,
                         msbs, blk.num_passes,

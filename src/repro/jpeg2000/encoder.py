@@ -304,9 +304,15 @@ def encode(
     timings.tier2 += time.perf_counter() - t0
     timings.total = time.perf_counter() - t_start
     stats.codestream_bytes = len(codestream)
-    return EncodeResult(
+    result = EncodeResult(
         codestream=codestream, params=params, stats=stats, timings=timings
     )
+    if params.self_check:
+        # Lazy import: repro.verify depends on this module.
+        from repro.verify.roundtrip import verify_encode
+
+        verify_encode(image, result)
+    return result
 
 
 def _encode_pending(

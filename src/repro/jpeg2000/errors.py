@@ -1,0 +1,98 @@
+"""Typed error taxonomy for codestream parsing and decoding.
+
+Decoding untrusted bytes must fail *predictably*: every malformed,
+truncated, or adversarial codestream raises a :class:`CodestreamError`
+subclass — never a bare ``IndexError``/``struct.error`` escaping from some
+parsing layer, and never a ``MemoryError`` from allocating whatever a
+corrupt SIZ header declares.  The service maps these onto structured HTTP
+errors and the fuzz harness (:mod:`repro.verify.fuzz`) enforces the
+contract over tens of thousands of mutated codestreams.
+
+Taxonomy
+--------
+``CodestreamError``
+    Base class (a ``ValueError``, so legacy ``except ValueError`` callers
+    keep working).  Carries an optional byte ``offset`` for context.
+``TruncatedCodestreamError``
+    The stream ends before a marker, segment, or packet completes.
+``MarkerError``
+    A marker is missing, unknown, or appears out of order.
+``HeaderFieldError``
+    A marker segment parses but its fields are invalid or mutually
+    inconsistent (zero dimensions, unsupported transform, QCD subband
+    count not matching the geometry, ...).
+``LimitExceededError``
+    A declared quantity (image dimensions, components, decomposition
+    levels) exceeds the :class:`DecodeLimits` cap — raised *before* any
+    allocation sized by the untrusted value.
+``PacketError``
+    A Tier-2 packet header or body is malformed (tag-tree garbage,
+    impossible pass counts, truncated block bodies, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class CodestreamError(ValueError):
+    """Raised on malformed codestreams.
+
+    ``offset`` (when known) is the byte position in the input at which the
+    problem was detected; it is appended to the message for context.
+    """
+
+    def __init__(self, message: str, offset: int | None = None) -> None:
+        self.offset = offset
+        if offset is not None:
+            message = f"{message} (at byte offset {offset})"
+        super().__init__(message)
+
+
+class TruncatedCodestreamError(CodestreamError):
+    """The codestream ends mid-marker, mid-segment, or mid-packet."""
+
+
+class MarkerError(CodestreamError):
+    """A marker is missing, unknown, or out of order."""
+
+
+class HeaderFieldError(CodestreamError):
+    """A marker segment carries invalid or inconsistent field values."""
+
+
+class LimitExceededError(CodestreamError):
+    """A declared size exceeds the decoder's :class:`DecodeLimits` caps."""
+
+
+class PacketError(CodestreamError):
+    """A Tier-2 packet header or body is malformed."""
+
+
+@dataclass(frozen=True)
+class DecodeLimits:
+    """Caps applied to *declared* sizes before anything is allocated.
+
+    A corrupt SIZ marker can declare a 4-billion-pixel image in 10 bytes;
+    without caps the decoder would faithfully attempt a multi-GiB
+    allocation (a denial of service, not a decode).  These limits bound
+    every quantity that sizes an allocation or a loop.  The defaults
+    comfortably cover the paper's 3072x3072x3 test image; the fuzz harness
+    runs with much tighter limits so mutated headers fail fast.
+    """
+
+    #: Largest accepted width or height.
+    max_dimension: int = 1 << 20
+    #: Largest accepted ``width * height * components`` total.
+    max_samples: int = 1 << 26
+    #: Largest accepted component count (this reproduction encodes 1 or 3).
+    max_components: int = 16
+    #: Largest accepted DWT decomposition level count (matches params.py).
+    max_levels: int = 32
+    #: Largest accepted sample bit depth (the codec emits uint8/uint16).
+    max_bit_depth: int = 16
+
+
+#: Default limits used by :func:`repro.jpeg2000.codestream.parse_codestream`
+#: and :func:`repro.jpeg2000.decoder.decode` when none are passed.
+DEFAULT_LIMITS = DecodeLimits()

@@ -54,6 +54,13 @@ class EncoderParams:
         multiple of the 32-sample cache line.  ``None`` (default) picks
         automatically: whole-plane when serial, about two chunks per
         worker otherwise.
+    self_check:
+        When True, :func:`repro.jpeg2000.encoder.encode` decodes its own
+        output before returning and verifies the round trip — bit-exact
+        reconstruction for lossless, a per-rate PSNR floor for lossy (see
+        :mod:`repro.verify.roundtrip`).  A failed check raises
+        :class:`repro.verify.VerificationError` instead of returning a
+        bad codestream.  Off by default: it roughly doubles encode cost.
     """
 
     lossless: bool = True
@@ -66,6 +73,7 @@ class EncoderParams:
     workers: int | None = 1
     dwt_backend: str = "auto"
     dwt_chunk_cols: int | None = None
+    self_check: bool = False
 
     def __post_init__(self) -> None:
         if self.levels < 0 or self.levels > 32:
@@ -77,7 +85,10 @@ class EncoderParams:
             )
         if self.rate is not None:
             if self.lossless:
-                raise ValueError("rate control is only supported in lossy mode")
+                raise ValueError(
+                    "lossless=True cannot be combined with rate control "
+                    f"(rate={self.rate}); use lossless=False or rate=None"
+                )
             if not (0.0 < self.rate <= 1.0):
                 raise ValueError(f"rate must be in (0, 1], got {self.rate}")
         if not (0 <= self.guard_bits <= 7):

@@ -157,3 +157,24 @@ class TagTreeDecoder(_TagTreeBase):
         if not self._known[leaf]:
             raise RuntimeError(f"leaf ({r}, {c}) value not yet determined")
         return self._low[leaf]
+
+    def decode_value(self, r: int, c: int, br: BitReader, max_value: int) -> int:
+        """Decode leaf (r, c) exactly by raising the threshold until it pins.
+
+        This is how packet headers recover missing-bit-plane counts.  On a
+        well-formed stream the loop ends quickly; on adversarial input it
+        would otherwise climb one threshold per round until the bit stream
+        runs dry, so ``max_value`` bounds the climb — a value past the cap
+        raises ``ValueError`` (callers translate it into their typed
+        error).
+        """
+        if max_value < 0:
+            raise ValueError(f"max_value must be non-negative, got {max_value}")
+        threshold = 1
+        while not self.decode(r, c, threshold, br):
+            threshold += 1
+            if threshold > max_value + 1:
+                raise ValueError(
+                    f"tag tree value at ({r}, {c}) exceeds the cap {max_value}"
+                )
+        return self.value(r, c)

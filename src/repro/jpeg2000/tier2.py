@@ -14,8 +14,19 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.jpeg2000.errors import PacketError
 from repro.jpeg2000.tagtree import TagTreeDecoder, TagTreeEncoder
 from repro.utils.bitio import BitReader, BitWriter
+
+#: Largest missing-bit-plane count a packet header may signal.  The encoder
+#: never exceeds ``exponent + guard_bits - 1 <= 37``; the decode-side cap
+#: bounds the tag-tree threshold climb on adversarial headers.
+MAX_ZERO_BITPLANES = 255
+
+#: Largest Lblock a packet header may grow to.  Lblock only ever needs to
+#: reach ``bit_length(length) - floor_log2(passes)``; a 32-bit length is
+#: far beyond any real packet, so higher values mean a corrupt header.
+MAX_LBLOCK = 32
 
 
 @dataclass
@@ -193,7 +204,28 @@ def parse_packet(
     ``band_grids`` holds ``(grid_rows, grid_cols, num_blocks)`` per subband
     in packet order.  Returns the per-band parsed blocks and the offset just
     past the packet.
+
+    Malformed input — a header that runs past the end of ``data``,
+    impossible tag-tree values, or block bodies the stream cannot hold —
+    raises :class:`repro.jpeg2000.errors.PacketError` with the packet's
+    byte offset; no other exception type escapes this parser.
     """
+    if offset > len(data):
+        raise PacketError("packet starts past the end of the stream",
+                          offset=offset)
+    try:
+        return _parse_packet_checked(data, offset, band_grids)
+    except PacketError:
+        raise
+    except (EOFError, ValueError) as exc:
+        # BitReader exhaustion and tag-tree cap violations surface here.
+        raise PacketError(f"malformed packet header: {exc}",
+                          offset=offset) from exc
+
+
+def _parse_packet_checked(
+    data: bytes, offset: int, band_grids: list[tuple[int, int, int]]
+) -> tuple[list[list[ParsedBlock]], int]:
     br = BitReader(data[offset:], stuffing=True)
     per_band: list[list[ParsedBlock]] = []
     if not br.read_bit():
@@ -208,6 +240,11 @@ def parse_packet(
     for rows, cols, nblocks in band_grids:
         parsed: list[ParsedBlock] = []
         if nblocks:
+            if nblocks > rows * cols:
+                raise PacketError(
+                    f"band declares {nblocks} blocks for a {rows}x{cols} grid",
+                    offset=offset,
+                )
             incl_tree = TagTreeDecoder(rows, cols)
             zbp_tree = TagTreeDecoder(rows, cols)
             for i in range(nblocks):
@@ -215,14 +252,18 @@ def parse_packet(
                 included = incl_tree.decode(gr, gc, 1, br)
                 blk = ParsedBlock(gr, gc, included)
                 if included:
-                    t = 1
-                    while not zbp_tree.decode(gr, gc, t, br):
-                        t += 1
-                    blk.zero_bitplanes = zbp_tree.value(gr, gc)
+                    blk.zero_bitplanes = zbp_tree.decode_value(
+                        gr, gc, br, MAX_ZERO_BITPLANES
+                    )
                     blk.num_passes = _read_num_passes(br)
                     lblock = _LBLOCK_INIT
                     while br.read_bit():
                         lblock += 1
+                        if lblock > MAX_LBLOCK:
+                            raise PacketError(
+                                f"packet header grows Lblock past {MAX_LBLOCK}",
+                                offset=offset,
+                            )
                     nbits = lblock + _floor_log2(blk.num_passes)
                     blk.length = br.read_bits(nbits)
                 parsed.append(blk)
@@ -233,8 +274,11 @@ def parse_packet(
         for blk in parsed:
             if blk.included:
                 ln = blk.length
+                if pos + ln > len(data):
+                    raise PacketError(
+                        f"packet body of {ln} bytes overruns the stream",
+                        offset=pos,
+                    )
                 blk.data = data[pos : pos + ln]
-                if len(blk.data) != ln:
-                    raise ValueError("packet body truncated")
                 pos += ln
     return header_blocks, pos

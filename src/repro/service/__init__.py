@@ -98,6 +98,12 @@ class EncodeService:
         )
         self._rejected = m.counter("rejected_total", "requests shed by admission")
         self._errors = m.counter("errors_total", "requests failed with an error")
+        self._verified = m.counter(
+            "verified_total", "served codestreams round-trip verified"
+        )
+        self._verify_failures = m.counter(
+            "verify_failures_total", "round-trip verifications that failed"
+        )
         self._inflight_gauge = m.gauge("inflight_jobs", "admitted unfinished jobs")
         self._queue_wait = m.histogram("queue_wait_seconds", "admission wait")
         self._encode_time = m.histogram("encode_seconds", "pool encode time")
@@ -124,12 +130,19 @@ class EncodeService:
         image: np.ndarray,
         params: EncoderParams | None = None,
         priority: int = 0,
+        verify: bool = False,
     ) -> EncodeResponse:
         """Encode one image through the shared pool (or the cache).
 
         Identical concurrent requests are coalesced (single-flight): one
         leader encodes while the rest wait and return the cached bytes, so
         a burst of duplicates costs one pool trip instead of N.
+
+        ``verify`` round-trips the served bytes (cached or fresh) through
+        the decoder before returning (see
+        :func:`repro.verify.roundtrip.verify_roundtrip`); a failed check
+        raises :class:`repro.verify.VerificationError` — the HTTP layer
+        maps it to 422.
 
         Raises :class:`QueueFullError` when admission sheds the request and
         :class:`SchedulerClosed` if the service is shutting down.
@@ -152,6 +165,8 @@ class EncodeService:
                 first_probe = False
                 if cached is not None:
                     self._cache_hits.inc()
+                    if verify:
+                        self._verify_codestream(image, cached, params)
                     self._request_time.observe(time.perf_counter() - t_start)
                     return EncodeResponse(
                         codestream=cached, cache_hit=True,
@@ -190,6 +205,8 @@ class EncodeService:
             finally:
                 self._inflight_gauge.dec()
                 self.admission.release()
+            if verify:
+                self._verify_codestream(image, result.codestream, params)
             t_done = time.perf_counter()
             self._encoded.inc()
             self._encode_time.observe(t_done - t_admitted)
@@ -209,6 +226,18 @@ class EncodeService:
                     pending = self._singleflight.pop(leader_key, None)
                 if pending is not None:
                     pending.set()
+
+    def _verify_codestream(self, image, codestream: bytes, params) -> None:
+        """Round-trip the bytes about to be served; raises on failure."""
+        # Lazy import: only ?verify=1 requests pay for the decoder stack.
+        from repro.verify.roundtrip import VerificationError, verify_roundtrip
+
+        try:
+            verify_roundtrip(image, codestream, params)
+        except VerificationError:
+            self._verify_failures.inc()
+            raise
+        self._verified.inc()
 
     # -- observability -----------------------------------------------------
 

@@ -7,7 +7,9 @@
 
 Coding parameters ride on the ``/encode`` query string and mirror the CLI
 flags: ``lossy=1``, ``rate=0.1``, ``levels=5``, ``codeblock=64``,
-``dwt_backend=fused``, ``dwt_chunk=64``, ``priority=5``.  Each connection is handled on its own thread
+``dwt_backend=fused``, ``dwt_chunk=64``, ``priority=5``.  ``verify=1``
+round-trips the served bytes through the decoder first; a failed check
+returns 422 with a structured JSON body instead of bad bytes.  Each connection is handled on its own thread
 (``ThreadingHTTPServer``); actual Tier-1 work is interleaved block-by-block
 onto the shared persistent pool by the scheduler, so one huge upload
 cannot starve small ones.
@@ -31,6 +33,7 @@ from repro.jpeg2000.params import EncoderParams
 from repro.service import EncodeService, ServiceConfig
 from repro.service.admission import QueueFullError
 from repro.service.scheduler import SchedulerClosed
+from repro.verify.roundtrip import VerificationError
 
 #: Largest accepted upload; a 3072x3072x3 BMP (the paper's image) is ~28 MB.
 MAX_BODY_BYTES = 128 * 2**20
@@ -41,7 +44,7 @@ def params_from_query(query: str) -> tuple[EncoderParams, int]:
     q = {k: v[-1] for k, v in parse_qs(query).items()}
     unknown = set(q) - {
         "lossy", "rate", "levels", "codeblock", "priority",
-        "dwt_backend", "dwt_chunk",
+        "dwt_backend", "dwt_chunk", "verify",
     }
     if unknown:
         raise ValueError(f"unknown query parameters: {sorted(unknown)}")
@@ -141,17 +144,26 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         body = self.rfile.read(length)
         try:
             params, priority = params_from_query(parsed.query)
+            q = {k: v[-1] for k, v in parse_qs(parsed.query).items()}
+            verify = q.get("verify", "0").lower() in ("1", "true", "yes")
             image = parse_image(body)
         except ValueError as exc:
             self._error(400, str(exc))
             return
         try:
-            response = service.encode_image(image, params, priority=priority)
+            response = service.encode_image(
+                image, params, priority=priority, verify=verify
+            )
         except QueueFullError as exc:
             self._error(503, str(exc), {"Retry-After": "1"})
             return
         except SchedulerClosed:
             self._error(503, "service is shutting down")
+            return
+        except VerificationError as exc:
+            # The encode ran but its bytes failed the round-trip check:
+            # the request was well-formed, the entity is not servable.
+            self._json(422, {"error": str(exc), "verify": exc.details})
             return
         except ValueError as exc:
             self._error(400, str(exc))
@@ -159,13 +171,15 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         except Exception as exc:  # pragma: no cover - defensive
             self._error(500, f"encode failed: {exc!r}")
             return
+        headers = {
+            "X-Cache": "HIT" if response.cache_hit else "MISS",
+            "X-Queue-Wait-Seconds": f"{response.queue_wait_s:.6f}",
+            "X-Encode-Seconds": f"{response.encode_s:.6f}",
+        }
+        if verify:
+            headers["X-Verified"] = "roundtrip"
         self._respond(
-            200, response.codestream, "image/x-jpeg2000-codestream",
-            {
-                "X-Cache": "HIT" if response.cache_hit else "MISS",
-                "X-Queue-Wait-Seconds": f"{response.queue_wait_s:.6f}",
-                "X-Encode-Seconds": f"{response.encode_s:.6f}",
-            },
+            200, response.codestream, "image/x-jpeg2000-codestream", headers
         )
 
 

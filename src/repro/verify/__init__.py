@@ -1,0 +1,62 @@
+"""Verification subsystem: round-trip checking and codestream fuzzing.
+
+Two halves, one contract:
+
+* :mod:`repro.verify.roundtrip` proves every encode decodes back —
+  bit-exact for lossless, above per-rate PSNR floors for lossy;
+* :mod:`repro.verify.fuzz` proves the decoder rejects malformed input
+  with typed :class:`repro.jpeg2000.errors.CodestreamError`\\ s instead
+  of crashing or over-allocating.
+
+``python -m repro verify`` and ``python -m repro fuzz`` run both as CI
+gates; ``EncoderParams(self_check=True)`` and ``POST /encode?verify=1``
+apply the round-trip check inline.
+"""
+
+from repro.verify.corpus import CorpusEntry, base_codestreams, base_corpus
+from repro.verify.fuzz import (
+    FUZZ_LIMITS,
+    FuzzCrash,
+    FuzzReport,
+    MUTATORS,
+    minimize,
+    mutate,
+    run_fuzz,
+)
+from repro.verify.roundtrip import (
+    CorpusCheck,
+    CorpusReport,
+    LOSSY_DEFAULT_FLOOR,
+    PSNR_RATE_FLOORS,
+    RoundTripReport,
+    VerificationError,
+    psnr,
+    psnr_floor,
+    run_corpus,
+    verify_encode,
+    verify_roundtrip,
+)
+
+__all__ = [
+    "CorpusCheck",
+    "CorpusEntry",
+    "CorpusReport",
+    "FUZZ_LIMITS",
+    "FuzzCrash",
+    "FuzzReport",
+    "LOSSY_DEFAULT_FLOOR",
+    "MUTATORS",
+    "PSNR_RATE_FLOORS",
+    "RoundTripReport",
+    "VerificationError",
+    "base_codestreams",
+    "base_corpus",
+    "minimize",
+    "mutate",
+    "psnr",
+    "psnr_floor",
+    "run_corpus",
+    "run_fuzz",
+    "verify_encode",
+    "verify_roundtrip",
+]

@@ -1,0 +1,95 @@
+"""The synthetic verification corpus: small, diverse, deterministic.
+
+Every entry pairs an image with coding parameters chosen to exercise a
+different slice of the pipeline: gray vs. RGB (MCT on/off), lossless vs.
+lossy, odd and non-square dimensions (ragged code-block grids and DWT
+boundary handling), small code blocks (more packets, deeper tag trees),
+and an incompressible noise image (rate control under stress).  The
+round-trip gate (:mod:`repro.verify.roundtrip`) decodes every entry's
+encode; the fuzzer (:mod:`repro.verify.fuzz`) mutates the entries'
+codestreams as its base corpus.
+
+Everything here is deterministic — same entries, same pixels, same
+codestream bytes on every run — so CI failures reproduce locally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.image.synthetic import gradient_image, noise_image, watch_face_image
+from repro.jpeg2000.params import EncoderParams
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One verification case: an image plus its coding parameters.
+
+    ``psnr_floor`` overrides the default per-rate floor for lossy entries
+    whose content is atypical (pure noise compresses far worse than the
+    photographic default floors assume).
+    """
+
+    name: str
+    image: np.ndarray
+    params: EncoderParams
+    psnr_floor: float | None = None
+
+
+def base_corpus() -> list[CorpusEntry]:
+    """The corpus the round-trip gate and the fuzzer build on (6 entries)."""
+    return list(_build_corpus())
+
+
+@lru_cache(maxsize=1)
+def _build_corpus() -> tuple[CorpusEntry, ...]:
+    return (
+        CorpusEntry(
+            name="watch-gray-64-lossless",
+            image=watch_face_image(64, 64, channels=1),
+            params=EncoderParams(lossless=True, levels=3),
+        ),
+        CorpusEntry(
+            name="watch-rgb-48-lossless",
+            image=watch_face_image(48, 48, channels=3),
+            params=EncoderParams(lossless=True, levels=2),
+        ),
+        CorpusEntry(
+            name="gradient-rgb-40x56-lossless",
+            image=gradient_image(40, 56, channels=3),
+            params=EncoderParams(lossless=True, levels=2),
+        ),
+        CorpusEntry(
+            name="watch-gray-64-lossy-rate",
+            image=watch_face_image(64, 64, channels=1),
+            params=EncoderParams(lossless=False, rate=0.25, levels=3),
+            # 0.25 of a 4 KiB raw image is a ~1 KiB budget; measured
+            # 28.6 dB, far under the photographic per-rate floor.
+            psnr_floor=22.0,
+        ),
+        CorpusEntry(
+            name="noise-gray-33x47-lossy",
+            image=noise_image(33, 47, channels=1, seed=5),
+            params=EncoderParams(lossless=False, rate=0.5, levels=2),
+            psnr_floor=20.0,  # incompressible content; measured 26.2 dB
+        ),
+        CorpusEntry(
+            name="watch-rgb-32-lossy-cb16",
+            image=watch_face_image(32, 32, channels=3),
+            params=EncoderParams(lossless=False, levels=1, codeblock_size=16),
+        ),
+    )
+
+
+@lru_cache(maxsize=1)
+def base_codestreams() -> tuple[tuple[str, bytes], ...]:
+    """Encode every corpus entry once; the fuzzer's mutation bases."""
+    from repro.jpeg2000.encoder import encode
+
+    return tuple(
+        (entry.name, encode(entry.image, entry.params).codestream)
+        for entry in base_corpus()
+    )

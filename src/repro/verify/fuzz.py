@@ -1,0 +1,360 @@
+"""Deterministic, seed-driven codestream mutation fuzzer.
+
+The service north star — heavy traffic from untrusted clients — makes
+malformed codestreams a certainty, and the decoder's contract under them
+is exact: :func:`repro.jpeg2000.decoder.decode` either succeeds or raises
+a :class:`repro.jpeg2000.errors.CodestreamError` subclass.  Anything else
+(a raw ``IndexError``, a ``struct.error``, a multi-GiB allocation from a
+corrupt SIZ field, an unbounded parse loop) is a bug.  This fuzzer hunts
+exactly those: it mutates valid encodes of the verification corpus with
+the corruption classes real traffic produces — bit flips, truncations,
+length-field corruption, marker reordering, packet-header garbage — and
+classifies every decode outcome.
+
+Everything is derived from ``(seed, case_index)``, so any failure
+reproduces from its case number alone, and the bundled reducer shrinks a
+crashing input before it is reported or written as an artifact.
+
+Run it as ``python -m repro fuzz --cases 10000`` (the CI job) or via
+:func:`run_fuzz` directly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from dataclasses import dataclass, field
+
+from repro.jpeg2000.errors import CodestreamError, DecodeLimits
+
+#: Limits applied while fuzzing: tight enough that a mutated header can
+#: never make the decoder do noticeable work, roomy enough that every
+#: corpus codestream still decodes.
+FUZZ_LIMITS = DecodeLimits(
+    max_dimension=4096,
+    max_samples=1 << 18,
+    max_components=8,
+    max_levels=16,
+)
+
+#: Known markers whose 16-bit length fields the length-corruption mutator
+#: targets (SIZ, COD, QCD, SOT).
+_SEGMENT_MARKERS = (b"\xff\x51", b"\xff\x52", b"\xff\x5c", b"\xff\x90")
+
+
+# ---------------------------------------------------------------------------
+# Mutators.  Each takes (bytearray, random.Random) and returns bytes.
+# ---------------------------------------------------------------------------
+
+def _mut_bitflip(b: bytearray, rng: random.Random) -> bytes:
+    """Flip 1-8 random bits anywhere in the stream."""
+    for _ in range(rng.randint(1, 8)):
+        i = rng.randrange(len(b))
+        b[i] ^= 1 << rng.randrange(8)
+    return bytes(b)
+
+
+def _mut_byteset(b: bytearray, rng: random.Random) -> bytes:
+    """Overwrite 1-4 random bytes with random values."""
+    for _ in range(rng.randint(1, 4)):
+        b[rng.randrange(len(b))] = rng.randrange(256)
+    return bytes(b)
+
+
+def _mut_truncate(b: bytearray, rng: random.Random) -> bytes:
+    """Cut the stream at a random point (network truncation)."""
+    return bytes(b[: rng.randrange(len(b))])
+
+
+def _mut_extend(b: bytearray, rng: random.Random) -> bytes:
+    """Append or insert random garbage."""
+    garbage = bytes(rng.randrange(256) for _ in range(rng.randint(1, 16)))
+    i = rng.randrange(len(b) + 1)
+    b[i:i] = garbage
+    return bytes(b)
+
+
+def _mut_length_field(b: bytearray, rng: random.Random) -> bytes:
+    """Corrupt a marker segment's 16-bit length (or a random 16-bit word)."""
+    positions = []
+    for marker in _SEGMENT_MARKERS:
+        start = 0
+        while True:
+            i = bytes(b).find(marker, start)
+            if i < 0 or i + 4 > len(b):
+                break
+            positions.append(i + 2)
+            start = i + 2
+    if positions and rng.random() < 0.8:
+        i = rng.choice(positions)
+    else:
+        i = rng.randrange(max(1, len(b) - 1))
+    value = rng.choice((0, 1, 2, 3, 0xFFFF, rng.randrange(65536)))
+    b[i : i + 2] = value.to_bytes(2, "big")
+    return bytes(b)
+
+
+def _mut_marker_shuffle(b: bytearray, rng: random.Random) -> bytes:
+    """Reorder, duplicate, or delete whole marker segments."""
+    segments = _split_segments(bytes(b))
+    if len(segments) < 3:
+        return _mut_byteset(b, rng)
+    op = rng.randrange(3)
+    i = rng.randrange(1, len(segments) - 1)  # keep SOC at the front
+    if op == 0:                              # swap two interior segments
+        j = rng.randrange(1, len(segments) - 1)
+        segments[i], segments[j] = segments[j], segments[i]
+    elif op == 1:                            # duplicate one
+        segments.insert(i, segments[i])
+    else:                                    # delete one
+        del segments[i]
+    return b"".join(segments)
+
+
+def _mut_tile_garbage(b: bytearray, rng: random.Random) -> bytes:
+    """Overwrite a window inside the tile data (packet headers/bodies)."""
+    sod = bytes(b).find(b"\xff\x93")
+    lo = sod + 2 if 0 <= sod < len(b) - 3 else 0
+    i = rng.randrange(lo, len(b))
+    n = rng.randint(1, min(24, len(b) - i))
+    fill = rng.choice((0x00, 0xFF, None))
+    for k in range(n):
+        b[i + k] = rng.randrange(256) if fill is None else fill
+    return bytes(b)
+
+
+def _mut_splice(b: bytearray, rng: random.Random) -> bytes:
+    """Copy one region of the stream over another (tag-tree garbage)."""
+    n = rng.randint(1, min(16, len(b)))
+    src = rng.randrange(len(b) - n + 1)
+    dst = rng.randrange(len(b) - n + 1)
+    b[dst : dst + n] = b[src : src + n]
+    return bytes(b)
+
+
+#: All mutation strategies, by name (the crash report records which ran).
+MUTATORS: tuple[tuple[str, object], ...] = (
+    ("bitflip", _mut_bitflip),
+    ("byteset", _mut_byteset),
+    ("truncate", _mut_truncate),
+    ("extend", _mut_extend),
+    ("length_field", _mut_length_field),
+    ("marker_shuffle", _mut_marker_shuffle),
+    ("tile_garbage", _mut_tile_garbage),
+    ("splice", _mut_splice),
+)
+
+
+def _split_segments(data: bytes) -> list[bytes]:
+    """Best-effort split into marker segments (no validation, fuzzing aid)."""
+    segments = []
+    pos = 0
+    while pos + 2 <= len(data):
+        code = int.from_bytes(data[pos : pos + 2], "big")
+        if code >> 8 != 0xFF:
+            break
+        if code in (0xFF4F, 0xFF93, 0xFFD9):  # SOC / SOD / EOC: no length
+            segments.append(data[pos : pos + 2])
+            pos += 2
+            if code == 0xFF93:   # everything after SOD is tile data
+                break
+        else:
+            if pos + 4 > len(data):
+                break
+            length = int.from_bytes(data[pos + 2 : pos + 4], "big")
+            end = min(len(data), pos + 2 + max(2, length))
+            segments.append(data[pos:end])
+            pos = end
+    if pos < len(data):
+        segments.append(data[pos:])
+    return segments
+
+
+def case_rng(seed: int, case: int) -> random.Random:
+    """The case's deterministic RNG; integers only (hash-stable)."""
+    return random.Random(seed * 1_000_003 + case)
+
+
+def mutate(base: bytes, rng: random.Random) -> tuple[bytes, tuple[str, ...]]:
+    """Apply 1-3 random mutators; returns (mutated, mutator names)."""
+    if not base:
+        raise ValueError("cannot mutate an empty codestream")
+    data = base
+    names = []
+    for _ in range(rng.randint(1, 3)):
+        name, fn = MUTATORS[rng.randrange(len(MUTATORS))]
+        if len(data) < 4:
+            break
+        data = fn(bytearray(data), rng)
+        names.append(name)
+        if not data:
+            break
+    return data, tuple(names)
+
+
+# ---------------------------------------------------------------------------
+# Outcome classification and reporting.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FuzzCrash:
+    """One input that broke the typed-error contract."""
+
+    case: int
+    base_name: str
+    mutators: tuple[str, ...]
+    exc_type: str
+    message: str
+    data: bytes
+    minimized: bytes
+
+
+@dataclass
+class FuzzReport:
+    """Outcome histogram plus every (minimized) contract violation."""
+
+    cases: int
+    seed: int
+    outcomes: dict[str, int] = field(default_factory=dict)
+    crashes: list[FuzzCrash] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.crashes
+
+    def summary(self) -> str:
+        parts = [f"{self.cases} cases (seed {self.seed})"]
+        for name in sorted(self.outcomes):
+            parts.append(f"{name}={self.outcomes[name]}")
+        parts.append(f"crashes={len(self.crashes)}")
+        return ", ".join(parts)
+
+    def write_artifacts(self, directory: str) -> list[str]:
+        """Write each crashing input (original + minimized) plus an index."""
+        os.makedirs(directory, exist_ok=True)
+        written = []
+        index = []
+        for crash in self.crashes:
+            stem = f"crash_{crash.case:06d}_{crash.exc_type}"
+            for suffix, blob in (
+                (".j2c", crash.minimized), (".orig.j2c", crash.data)
+            ):
+                path = os.path.join(directory, stem + suffix)
+                with open(path, "wb") as fh:
+                    fh.write(blob)
+                written.append(path)
+            index.append({
+                "case": crash.case, "base": crash.base_name,
+                "mutators": list(crash.mutators),
+                "exception": crash.exc_type, "message": crash.message,
+                "bytes": len(crash.data), "minimized_bytes": len(crash.minimized),
+            })
+        path = os.path.join(directory, "index.json")
+        with open(path, "w") as fh:
+            json.dump({"seed": self.seed, "cases": self.cases,
+                       "crashes": index}, fh, indent=2, sort_keys=True)
+        written.append(path)
+        return written
+
+
+def classify(data: bytes, limits: DecodeLimits | None = None) -> tuple[str, Exception | None]:
+    """Decode ``data`` and classify: ("decoded"|error class name, exception).
+
+    The exception is returned only for contract violations (non-typed
+    errors); typed :class:`CodestreamError` raises are the expected
+    rejection path.
+    """
+    from repro.jpeg2000.decoder import decode
+
+    try:
+        decode(data, limits=limits or FUZZ_LIMITS)
+        return "decoded", None
+    except CodestreamError as exc:
+        return type(exc).__name__, None
+    except Exception as exc:  # noqa: BLE001 - the whole point of the fuzzer
+        return type(exc).__name__, exc
+
+
+def minimize(
+    data: bytes, predicate, max_steps: int = 600
+) -> bytes:
+    """Shrink ``data`` while ``predicate`` (e.g. "still crashes") holds.
+
+    ddmin-style: repeatedly try removing chunks of halving sizes, keeping
+    any removal that preserves the predicate, bounded by ``max_steps``
+    predicate evaluations.  Deterministic.
+    """
+    best = bytes(data)
+    if not predicate(best):
+        return best
+    steps = 0
+    improved = True
+    while improved and steps < max_steps:
+        improved = False
+        size = max(1, len(best) // 2)
+        while size >= 1 and steps < max_steps:
+            i = 0
+            while i < len(best) and steps < max_steps:
+                candidate = best[:i] + best[i + size:]
+                steps += 1
+                if len(candidate) < len(best) and predicate(candidate):
+                    best = candidate
+                    improved = True
+                else:
+                    i += size
+            if size == 1:
+                break
+            size //= 2
+    return best
+
+
+def run_fuzz(
+    cases: int = 1000,
+    seed: int = 2008,
+    bases: list[tuple[str, bytes]] | None = None,
+    limits: DecodeLimits | None = None,
+    minimize_crashes: bool = True,
+    progress=None,
+    progress_every: int = 2000,
+) -> FuzzReport:
+    """Fuzz ``decode()`` with ``cases`` seeded mutations of ``bases``.
+
+    ``bases`` defaults to the verification corpus' encodes (>= 5 diverse
+    codestreams).  Returns a :class:`FuzzReport`; ``report.ok`` is False
+    iff any input produced a non-:class:`CodestreamError` exception.
+    """
+    if bases is None:
+        from repro.verify.corpus import base_codestreams
+
+        bases = list(base_codestreams())
+    if not bases:
+        raise ValueError("need at least one base codestream")
+    limits = limits or FUZZ_LIMITS
+    report = FuzzReport(cases=cases, seed=seed)
+    for case in range(cases):
+        rng = case_rng(seed, case)
+        base_name, base = bases[case % len(bases)]
+        mutated, mutators = mutate(base, rng)
+        outcome, exc = classify(mutated, limits)
+        report.outcomes[outcome] = report.outcomes.get(outcome, 0) + 1
+        if exc is not None:
+            exc_type = type(exc).__name__
+            small = mutated
+            if minimize_crashes:
+                small = minimize(
+                    mutated,
+                    lambda d: type(classify(d, limits)[1]).__name__ == exc_type,
+                )
+            report.crashes.append(FuzzCrash(
+                case=case, base_name=base_name, mutators=mutators,
+                exc_type=exc_type, message=str(exc),
+                data=mutated, minimized=small,
+            ))
+            if progress is not None:
+                progress(f"CRASH case {case} [{'+'.join(mutators)}] "
+                         f"{exc_type}: {exc}")
+        if progress is not None and (case + 1) % progress_every == 0:
+            progress(f"{case + 1}/{cases} cases, "
+                     f"{len(report.crashes)} crashes")
+    return report

@@ -88,6 +88,95 @@ class TestVersionAndSummary:
         assert args.admission == "block"
 
 
+class TestErrorExits:
+    """Operational failures: exit 1, one ``error:`` line, no traceback."""
+
+    def test_malformed_codestream_decode(self, tmp_path, capsys):
+        bad = tmp_path / "bad.j2c"
+        bad.write_bytes(b"\x00" * 64)
+        assert main(["decode", str(bad), str(tmp_path / "o.bmp")]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1
+        assert "Traceback" not in err
+
+    def test_truncated_codestream_decode(self, bmp_path, tmp_path, capsys):
+        j2c = tmp_path / "t.j2c"
+        assert main(["encode", bmp_path, str(j2c), "--levels", "2"]) == 0
+        j2c.write_bytes(j2c.read_bytes()[:40])
+        assert main(["decode", str(j2c), str(tmp_path / "o.bmp")]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "byte offset" in err
+
+    def test_malformed_bmp_encode(self, tmp_path, capsys):
+        bad = tmp_path / "bad.bmp"
+        bad.write_bytes(b"BMnot really a bitmap")
+        assert main(["encode", str(bad), str(tmp_path / "o.j2c")]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_missing_input_still_exits_nonzero(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["encode", str(tmp_path / "none.bmp"),
+                  str(tmp_path / "o.j2c")])
+
+
+class TestSelfCheckFlag:
+    def test_self_check_encode_passes(self, bmp_path, tmp_path):
+        assert main(["encode", bmp_path, str(tmp_path / "o.j2c"),
+                     "--levels", "2", "--self-check"]) == 0
+
+    def test_self_check_failure_exits_one(self, bmp_path, tmp_path,
+                                          capsys, monkeypatch):
+        from repro.verify.roundtrip import VerificationError
+
+        def boom(image, result):
+            raise VerificationError("forced self-check failure")
+
+        monkeypatch.setattr("repro.verify.roundtrip.verify_encode", boom)
+        assert main(["encode", bmp_path, str(tmp_path / "o.j2c"),
+                     "--levels", "2", "--self-check"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: forced self-check failure")
+
+
+class TestVerifyAndFuzzCommands:
+    def test_verify_quick(self, capsys):
+        assert main(["verify", "--quick", "--rates", "0.25",
+                     "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "round-trip checks: OK" in out
+
+    def test_fuzz_small_run(self, capsys):
+        assert main(["fuzz", "--cases", "30", "--seed", "11",
+                     "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "30 cases (seed 11)" in out
+        assert "crashes=0" in out
+
+    def test_fuzz_writes_artifacts_on_crash(self, tmp_path, capsys,
+                                            monkeypatch):
+        # Force a contract violation to exercise the failure path
+        # end-to-end: nonzero exit, artifact files, index.json.
+        import repro.verify.fuzz as fuzz_mod
+
+        def bad_classify(data, limits=None):
+            return "RuntimeError", RuntimeError("forced crash")
+
+        monkeypatch.setattr(fuzz_mod, "classify", bad_classify)
+        art = tmp_path / "crashes"
+        assert main(["fuzz", "--cases", "2", "--seed", "3", "--quiet",
+                     "--artifacts", str(art)]) == 1
+        err = capsys.readouterr().err
+        assert "CRASH case 0" in err
+        import json
+        index = json.loads((art / "index.json").read_text())
+        assert len(index["crashes"]) == 2
+        assert index["crashes"][0]["exception"] == "RuntimeError"
+
+
 class TestDwtBackendFlag:
     def test_stage_timings_line(self, bmp_path, tmp_path, capsys):
         assert main(["encode", bmp_path, str(tmp_path / "o.j2c"),

@@ -6,6 +6,10 @@ import pytest
 from repro.jpeg2000.codestream import CodestreamError
 from repro.jpeg2000.decoder import decode
 from repro.jpeg2000.encoder import encode
+from repro.jpeg2000.errors import (
+    MarkerError,
+    TruncatedCodestreamError,
+)
 from repro.jpeg2000.params import EncoderParams
 from repro.image.synthetic import watch_face_image
 
@@ -39,6 +43,52 @@ class TestMalformedStreams:
         _, cs = valid_stream
         with pytest.raises(CodestreamError):
             decode(b"\xff\xd8" + cs[2:])  # JPEG SOI instead of SOC
+
+
+class TestTypedErrors:
+    """Every malformed stream raises a CodestreamError with offset context."""
+
+    def test_truncation_is_typed_with_offset(self, valid_stream):
+        _, cs = valid_stream
+        with pytest.raises(TruncatedCodestreamError) as err:
+            decode(cs[:30])
+        assert err.value.offset is not None
+        assert "byte offset" in str(err.value)
+
+    def test_every_prefix_is_typed(self, valid_stream):
+        """Truncation at any byte: decode succeeds or raises typed."""
+        _, cs = valid_stream
+        for n in range(0, len(cs), 7):  # stride keeps the sweep quick
+            try:
+                decode(cs[:n])
+            except CodestreamError:
+                pass
+
+    def test_marker_reorder_is_typed(self, valid_stream):
+        _, cs = valid_stream
+        # Swap SIZ and COD segments wholesale: COD-before-SIZ must be a
+        # MarkerError, not a KeyError or AttributeError downstream.
+        siz = cs.find(b"\xff\x51")
+        cod = cs.find(b"\xff\x52")
+        qcd = cs.find(b"\xff\x5c")
+        assert 0 < siz < cod < qcd
+        reordered = cs[:siz] + cs[cod:qcd] + cs[siz:cod] + cs[qcd:]
+        with pytest.raises(MarkerError):
+            decode(reordered)
+
+    def test_duplicate_siz_is_typed(self, valid_stream):
+        _, cs = valid_stream
+        siz = cs.find(b"\xff\x51")
+        cod = cs.find(b"\xff\x52")
+        doubled = cs[:cod] + cs[siz:cod] + cs[cod:]
+        with pytest.raises(MarkerError, match="duplicate SIZ"):
+            decode(doubled)
+
+    def test_codestream_error_is_valueerror(self, valid_stream):
+        """The taxonomy roots in ValueError so old callers keep working."""
+        _, cs = valid_stream
+        with pytest.raises(ValueError):
+            decode(cs[:10])
 
 
 class TestRoundTripStability:

@@ -1,0 +1,130 @@
+"""Fuzzer contract: typed errors only, deterministic cases, working reducer."""
+
+import pytest
+
+from repro.jpeg2000.decoder import decode
+from repro.jpeg2000.errors import CodestreamError, LimitExceededError
+from repro.verify import base_codestreams, minimize, mutate, run_fuzz
+from repro.verify.fuzz import FUZZ_LIMITS, case_rng
+
+
+@pytest.fixture(scope="module")
+def bases():
+    return base_codestreams()
+
+
+class TestDeterminism:
+    def test_same_seed_same_mutation(self, bases):
+        _, base = bases[0]
+        a = mutate(base, case_rng(2008, 17))
+        b = mutate(base, case_rng(2008, 17))
+        assert a == b
+
+    def test_different_cases_differ(self, bases):
+        _, base = bases[0]
+        outs = {mutate(base, case_rng(2008, c))[0] for c in range(8)}
+        assert len(outs) > 1
+
+    def test_same_run_same_report(self):
+        a = run_fuzz(cases=40, seed=123)
+        b = run_fuzz(cases=40, seed=123)
+        assert a.outcomes == b.outcomes
+        assert a.summary() == b.summary()
+
+
+class TestTypedErrorContract:
+    def test_small_run_has_zero_crashes(self):
+        report = run_fuzz(cases=400, seed=2008)
+        assert report.ok, report.summary()
+        assert report.crashes == []
+        # The mutation mix must actually exercise both sides of the
+        # contract: some inputs still decode, some are rejected typed.
+        assert report.outcomes.get("decoded", 0) > 0
+        typed = sum(v for k, v in report.outcomes.items() if k != "decoded")
+        assert typed > 0
+
+    def test_report_summary_mentions_crash_count(self):
+        report = run_fuzz(cases=20, seed=7)
+        assert "crashes=" in report.summary()
+        assert f"{report.cases} cases" in report.summary()
+
+    def test_bases_are_diverse(self, bases):
+        assert len(bases) >= 5
+        assert len({cs for _, cs in bases}) == len(bases)
+
+
+class TestAllocationCaps:
+    """Corrupt headers must be rejected *before* they size an allocation."""
+
+    def _valid(self, bases):
+        return bases[0][1]
+
+    def test_huge_declared_dimensions(self, bases):
+        cs = bytearray(self._valid(bases))
+        # SIZ payload starts at byte 6 (SOC + marker + length); Rsiz is
+        # payload bytes 0..1, Xsiz is payload bytes 2..5.
+        cs[8:12] = (1 << 30).to_bytes(4, "big")
+        with pytest.raises(LimitExceededError):
+            decode(bytes(cs))
+
+    def test_huge_declared_samples(self, bases):
+        cs = bytearray(self._valid(bases))
+        big = FUZZ_LIMITS.max_dimension  # per-axis legal, product is not
+        cs[8:12] = big.to_bytes(4, "big")    # Xsiz
+        cs[12:16] = big.to_bytes(4, "big")   # Ysiz
+        with pytest.raises(LimitExceededError):
+            decode(bytes(cs), limits=FUZZ_LIMITS)
+
+    def test_excessive_levels(self, bases):
+        cs = bytearray(self._valid(bases))
+        cod = bytes(cs).find(b"\xff\x52")
+        assert cod > 0
+        cs[cod + 9] = 200  # COD payload byte 5: decomposition levels
+        with pytest.raises(LimitExceededError):
+            decode(bytes(cs))
+
+    def test_all_prefixes_are_typed(self, bases):
+        """Every truncation point decodes or raises CodestreamError."""
+        cs = self._valid(bases)
+        for n in range(len(cs)):
+            try:
+                decode(cs[:n], limits=FUZZ_LIMITS)
+            except CodestreamError:
+                pass
+
+    def test_length_field_sweep_is_typed(self, bases):
+        cs = self._valid(bases)
+        for marker in (b"\xff\x51", b"\xff\x52", b"\xff\x5c", b"\xff\x90"):
+            i = cs.find(marker)
+            assert i >= 0
+            for value in (0, 1, 2, 3, 0xFFFF):
+                m = bytearray(cs)
+                m[i + 2 : i + 4] = value.to_bytes(2, "big")
+                try:
+                    decode(bytes(m), limits=FUZZ_LIMITS)
+                except CodestreamError as exc:
+                    assert isinstance(exc, ValueError)  # taxonomy root
+
+    def test_errors_carry_offsets(self, bases):
+        cs = self._valid(bases)
+        with pytest.raises(CodestreamError) as err:
+            decode(cs[:5])
+        assert err.value.offset is not None
+        assert "byte offset" in str(err.value)
+
+
+class TestMinimize:
+    def test_reduces_to_the_essential_byte(self):
+        data = b"A" * 100 + b"X" + b"B" * 100
+        small = minimize(data, lambda d: b"X" in d)
+        assert small == b"X"
+
+    def test_predicate_false_returns_input(self):
+        data = b"hello"
+        assert minimize(data, lambda d: False) == data
+
+    def test_minimized_crash_is_deterministic(self):
+        data = bytes(range(256))
+        a = minimize(data, lambda d: len(d) >= 3 and d[0] < d[-1])
+        b = minimize(data, lambda d: len(d) >= 3 and d[0] < d[-1])
+        assert a == b

@@ -132,6 +132,66 @@ class TestEncodeEndpoint:
         assert err.value.code == 404
 
 
+class TestVerifyParam:
+    def test_verified_encode_succeeds(self, base_url, pgm_bytes):
+        with _post(f"{base_url}/encode?levels=2&verify=1", pgm_bytes) as resp:
+            assert resp.status == 200
+            assert resp.headers["X-Verified"] == "roundtrip"
+            body = resp.read()
+        img = watch_face_image(48, 48, channels=1)
+        assert np.array_equal(decode(body), img)
+
+    def test_verify_counts_in_metrics(self, base_url, pgm_bytes):
+        with _post(f"{base_url}/encode?levels=2&verify=1", pgm_bytes):
+            pass
+        with urllib.request.urlopen(f"{base_url}/metrics", timeout=30) as resp:
+            metrics = json.load(resp)
+        assert metrics["verified_total"]["value"] >= 1
+        assert metrics["verify_failures_total"]["value"] == 0
+
+    def test_verified_cache_hit_still_verifies(self, base_url, pgm_bytes):
+        with _post(f"{base_url}/encode?levels=2&verify=1", pgm_bytes):
+            pass
+        with _post(f"{base_url}/encode?levels=2&verify=1", pgm_bytes) as resp:
+            assert resp.headers["X-Cache"] == "HIT"
+            assert resp.headers["X-Verified"] == "roundtrip"
+
+    def test_unverified_requests_have_no_header(self, base_url, pgm_bytes):
+        with _post(f"{base_url}/encode?levels=2", pgm_bytes) as resp:
+            assert resp.headers.get("X-Verified") is None
+
+    def test_failed_verification_is_422(self, base_url, pgm_bytes,
+                                        monkeypatch):
+        from repro.verify.roundtrip import VerificationError
+
+        def boom(image, codestream, params=None, floor=None):
+            raise VerificationError(
+                "forced failure", {"kind": "lossy", "psnr_db": 1.0}
+            )
+
+        monkeypatch.setattr("repro.verify.roundtrip.verify_roundtrip", boom)
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(f"{base_url}/encode?levels=2&verify=1", pgm_bytes)
+        assert err.value.code == 422
+        payload = json.load(err.value)
+        assert "forced failure" in payload["error"]
+        assert payload["verify"]["kind"] == "lossy"
+
+    def test_verify_failure_metric_increments(self, base_url, pgm_bytes,
+                                              monkeypatch):
+        from repro.verify.roundtrip import VerificationError
+
+        def boom(image, codestream, params=None, floor=None):
+            raise VerificationError("forced", {})
+
+        monkeypatch.setattr("repro.verify.roundtrip.verify_roundtrip", boom)
+        with pytest.raises(urllib.error.HTTPError):
+            _post(f"{base_url}/encode?levels=2&verify=1", pgm_bytes)
+        with urllib.request.urlopen(f"{base_url}/metrics", timeout=30) as resp:
+            metrics = json.load(resp)
+        assert metrics["verify_failures_total"]["value"] >= 1
+
+
 class TestObservabilityEndpoints:
     def test_healthz(self, base_url):
         with urllib.request.urlopen(f"{base_url}/healthz", timeout=30) as resp:
@@ -175,3 +235,7 @@ class TestQueryParsing:
     def test_unknown_key_raises(self):
         with pytest.raises(ValueError, match="unknown query"):
             params_from_query("speed=11")
+
+    def test_verify_key_is_accepted(self):
+        params, priority = params_from_query("verify=1&levels=3")
+        assert params.levels == 3 and priority == 0
