@@ -5,6 +5,9 @@ Measures the two tentpole optimizations and records the numbers to
 
 * ``encode_codeblock`` on a dense 64x64 block, ``reference`` vs.
   ``vectorized`` backend (the paper's "EBCOT Tier-1 dominates" kernel);
+* a many-small-blocks image (16x16 code blocks), per-block ``vectorized``
+  vs. whole-image ``batched`` at one worker — the batched backend's
+  target regime, where per-block NumPy overhead dominates;
 * full-image encode at worker counts {1, 2, 4, 8} through the real
   multiprocessing work queue (the executable analogue of the paper's
   SPE scaling study, Figures 4/5).
@@ -13,6 +16,8 @@ Usage::
 
     PYTHONPATH=src python benchmarks/bench_tier1_hotpath.py           # full
     PYTHONPATH=src python benchmarks/bench_tier1_hotpath.py --smoke   # CI
+    PYTHONPATH=src python benchmarks/bench_tier1_hotpath.py \
+        --gate-batched    # quick CI gate: batched >= 1.5x on small blocks
 
 ``--smoke`` shrinks repetitions and the image so the whole thing runs in
 well under a minute on a single-core CI runner.  Worker scaling is
@@ -38,6 +43,10 @@ from repro.jpeg2000.tier1 import encode_codeblock
 
 WORKER_COUNTS = (1, 2, 4, 8)
 
+#: Acceptance floor for the batched backend on the many-small-blocks
+#: image at one worker (``--gate-batched``).
+BATCHED_MIN_SPEEDUP = 1.5
+
 
 def bench_codeblock(repeats: int) -> dict:
     """Dense 64x64 block, both backends (issue acceptance: >= 5x)."""
@@ -50,6 +59,36 @@ def bench_codeblock(repeats: int) -> dict:
         )
     ref, vec = out["reference"]["median_s"], out["vectorized"]["median_s"]
     out["speedup"] = ref / vec if vec > 0 else float("inf")
+    return out
+
+
+def bench_batched_small_blocks(size: int, repeats: int) -> dict:
+    """Many 16x16 blocks: per-block vectorized vs. whole-image batched.
+
+    This is the regime the batched backend exists for — hundreds of tiny
+    blocks where the fixed NumPy overhead per pass per block dominates.
+    Acceptance (ISSUE 6): batched >= 1.5x vectorized at one worker.
+    """
+    img = watch_face_image(size, size, channels=3)
+    out = {"image": f"{size}x{size}x3", "codeblock_size": 16, "backends": {}}
+    streams = {}
+    for backend in ("vectorized", "batched"):
+        params = EncoderParams(
+            levels=3, codeblock_size=16, tier1_backend=backend, workers=1
+        )
+        out["backends"][backend] = time_fn(
+            lambda p=params: encode(img, p), repeats
+        )
+        result = encode(img, params)
+        streams[backend] = result.codestream
+        if backend == "batched":
+            out["batch_groups"] = result.stats.tier1_batch_groups
+            out["batch_blocks"] = result.stats.tier1_batch_blocks
+            out["batch_occupancy"] = result.stats.tier1_batch_occupancy
+    vec = out["backends"]["vectorized"]["median_s"]
+    bat = out["backends"]["batched"]["median_s"]
+    out["speedup"] = vec / bat if bat > 0 else float("inf")
+    out["codestreams_identical"] = streams["vectorized"] == streams["batched"]
     return out
 
 
@@ -78,6 +117,10 @@ def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--smoke", action="store_true",
                     help="tiny image + few repeats (CI)")
+    ap.add_argument("--gate-batched", action="store_true",
+                    help="run only the many-small-blocks comparison and "
+                         f"fail unless batched >= {BATCHED_MIN_SPEEDUP}x "
+                         "vectorized at 1 worker (CI quick gate)")
     ap.add_argument("--output", default=None,
                     help="JSON path (default: BENCH_tier1.json at repo root)")
     add_repeats_flag(ap)
@@ -87,6 +130,18 @@ def main(argv=None) -> int:
     block_repeats = max(repeats, 3 if args.smoke else 9)
     image_size = 96 if args.smoke else 192
     image_repeats = repeats
+
+    if args.gate_batched:
+        sb = bench_batched_small_blocks(96, max(repeats, 3))
+        print(f"{sb['image']} codeblock=16: "
+              f"vectorized {sb['backends']['vectorized']['median_s']:.3f} s"
+              f"  batched {sb['backends']['batched']['median_s']:.3f} s"
+              f"  speedup {sb['speedup']:.2f}x"
+              f"  (floor {BATCHED_MIN_SPEEDUP}x, "
+              f"identical={sb['codestreams_identical']})")
+        ok = sb["codestreams_identical"] and sb["speedup"] >= BATCHED_MIN_SPEEDUP
+        print("gate-batched:", "PASS" if ok else "FAIL")
+        return 0 if ok else 1
 
     from repro.jpeg2000 import _mq_native
 
@@ -101,14 +156,23 @@ def main(argv=None) -> int:
             "mq_native_kernel": _mq_native.native_encode_run is not None,
         },
         "codeblock_64x64_dense": bench_codeblock(block_repeats),
+        "batched_small_blocks": bench_batched_small_blocks(
+            image_size, image_repeats
+        ),
         "full_image_encode": bench_full_image(image_size, image_repeats),
     }
 
     cb = report["codeblock_64x64_dense"]
+    sb = report["batched_small_blocks"]
     fi = report["full_image_encode"]
     print(f"dense 64x64 block : reference {cb['reference']['median_s']*1e3:8.1f} ms"
           f"  vectorized {cb['vectorized']['median_s']*1e3:8.1f} ms"
           f"  speedup {cb['speedup']:.1f}x")
+    print(f"{sb['image']} codeblock=16 ({sb['batch_blocks']} blocks, "
+          f"{sb['batch_groups']} groups): "
+          f"vectorized {sb['backends']['vectorized']['median_s']:.3f} s"
+          f"  batched {sb['backends']['batched']['median_s']:.3f} s"
+          f"  speedup {sb['speedup']:.2f}x")
     for w in WORKER_COUNTS:
         r = fi["workers"][str(w)]
         print(f"{fi['image']} encode, {w} worker(s): {r['median_s']:8.2f} s"
@@ -125,7 +189,7 @@ def main(argv=None) -> int:
         fh.write("\n")
     print(f"wrote {out_path}")
 
-    if not fi["codestreams_identical"]:
+    if not fi["codestreams_identical"] or not sb["codestreams_identical"]:
         return 1  # determinism is an acceptance criterion, fail loudly
     return 0
 

@@ -91,8 +91,10 @@ def _add_coding_options(p: argparse.ArgumentParser) -> None:
                    help="Tier-1 worker processes; 'auto' = one per core "
                         "(codestream is identical for any value)")
     p.add_argument("--tier1-backend", default="auto",
-                   choices=("auto", "reference", "vectorized"),
-                   help="Tier-1 coder implementation (all are bit-exact)")
+                   choices=("auto", "reference", "vectorized", "batched"),
+                   help="Tier-1 coder implementation (all are bit-exact); "
+                        "'batched' stacks same-geometry code blocks and "
+                        "codes them per image")
     p.add_argument("--dwt-backend", default="auto",
                    choices=("auto", "reference", "fused"),
                    help="front-end (MCT+DWT+quantize) implementation; "
@@ -265,7 +267,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=_workers, default=None, metavar="N",
                    help="pool worker processes; 'auto' (default) = one per core")
     p.add_argument("--tier1-backend", default="auto",
-                   choices=("auto", "reference", "vectorized"))
+                   choices=("auto", "reference", "vectorized", "batched"))
     p.add_argument("--cache-mb", type=int, default=64,
                    help="result-cache byte budget in MiB (0 disables)")
     p.add_argument("--max-queue", type=int, default=32,
@@ -291,7 +293,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated lossy rates to sweep")
     p.add_argument("--workers", default="1,2",
                    help="comma-separated worker counts for byte identity")
-    p.add_argument("--backends", default="vectorized,reference",
+    p.add_argument("--backends", default="vectorized,reference,batched",
                    help="comma-separated Tier-1 backends for byte identity")
     p.add_argument("--quick", action="store_true",
                    help="trim the backend x workers sweep to one combination")

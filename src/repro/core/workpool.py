@@ -37,6 +37,49 @@ MIN_BLOCKS_FOR_POOL = 2
 #: ``multiprocessing.shared_memory`` is available.
 SHM_ENV = "REPRO_SHM_DISPATCH"
 
+#: Below this many code blocks the Tier-1 pool cannot win: process
+#: start-up plus per-block pickling costs more than the blocks themselves
+#: (BENCH_tier1 measured 0.70-0.76x *slowdowns* at workers>1 on a 1-core
+#: machine before this clamp existed).  Mirrors
+#: :data:`repro.jpeg2000.dwt_fast.AUTO_SERIAL_MIN_SAMPLES`.
+TIER1_AUTO_SERIAL_MIN_BLOCKS = 24
+
+#: Environment override for the Tier-1 auto-serial clamp.  ``"0"`` disables
+#: the clamp entirely (tests/benchmarks that need the parallel path on
+#: small inputs or single-core machines); any other integer replaces the
+#: block-count threshold.
+TIER1_AUTO_SERIAL_ENV = "REPRO_TIER1_AUTO_SERIAL"
+
+
+def tier1_auto_workers(workers: int | None, blocks: int) -> int:
+    """Clamp Tier-1 dispatch to serial where a pool cannot win.
+
+    Returns ``1`` when the machine has a single core or ``blocks`` falls
+    below the (env-overridable) threshold, otherwise ``workers`` resolved
+    (``None`` means one per core).  ``REPRO_TIER1_AUTO_SERIAL=0`` disables
+    the clamp; any other integer replaces the block threshold.
+    """
+    if workers is None:
+        workers = default_workers()
+    if workers <= 1:
+        return 1
+    threshold = TIER1_AUTO_SERIAL_MIN_BLOCKS
+    env = os.environ.get(TIER1_AUTO_SERIAL_ENV, "")
+    if env:
+        try:
+            threshold = int(env)
+        except ValueError:
+            raise ValueError(
+                f"{TIER1_AUTO_SERIAL_ENV}={env!r} invalid; expected an integer"
+            ) from None
+        if threshold == 0:
+            return workers
+    if (os.cpu_count() or 1) <= 1:
+        return 1
+    if blocks < threshold:
+        return 1
+    return workers
+
 
 @dataclass(frozen=True)
 class CodeBlockTask:
@@ -69,6 +112,22 @@ class PlaneBlockTask:
     def slice_of(self, plane: np.ndarray) -> np.ndarray:
         return plane[self.row0 : self.row0 + self.height,
                      self.col0 : self.col0 + self.width]
+
+
+@dataclass(frozen=True)
+class PlaneGroupTask:
+    """A *group* of plane-described blocks dispatched as one work item.
+
+    The batched Tier-1 backend amortizes NumPy overhead across blocks, so
+    sharding per block would throw that away — the unit of parallel work
+    is a geometry group (or a shard of a large one).  ``seqs[i]`` is the
+    submission sequence number of ``blocks[i]``; each block is
+    ``(plane, row0, col0, height, width, band)`` in the same plane-index
+    convention as :class:`PlaneBlockTask`.
+    """
+
+    seqs: tuple[int, ...]
+    blocks: tuple[tuple[int, int, int, int, int, str], ...]
 
 
 @dataclass
@@ -192,6 +251,32 @@ def _encode_plane_task(payload):
     plane = _attach_plane(desc)
     coeffs = np.array(plane[row0 : row0 + height, col0 : col0 + width])
     return seq, os.getpid(), encode_codeblock(coeffs, band, backend=backend)
+
+
+def _encode_plane_group_task(payload):
+    """Worker entry point for shared-memory *group* dispatch.
+
+    Slices every block of the group out of the attached planes and runs
+    the batched stack coder over them in one call.
+    """
+    from repro.jpeg2000.tier1_batch import encode_codeblocks_batched
+
+    seqs, blocks = payload
+    items = []
+    for desc, row0, col0, height, width, band in blocks:
+        plane = _attach_plane(desc)
+        items.append(
+            (np.array(plane[row0 : row0 + height, col0 : col0 + width]), band)
+        )
+    return seqs, os.getpid(), encode_codeblocks_batched(items)
+
+
+def _encode_block_group_task(payload):
+    """Pickled-coefficients fallback of :func:`_encode_plane_group_task`."""
+    from repro.jpeg2000.tier1_batch import encode_codeblocks_batched
+
+    seqs, items = payload
+    return seqs, os.getpid(), encode_codeblocks_batched(list(items))
 
 
 def default_workers() -> int:
@@ -328,6 +413,102 @@ class CodeBlockWorkQueue:
             # Unlink on success, error, and KeyboardInterrupt alike: the
             # segments must never outlive the encode.
             shared.close()
+
+    def encode_plane_groups(
+        self, planes: list[np.ndarray], tasks: list[PlaneGroupTask]
+    ) -> list[CodeBlockResult]:
+        """Encode geometry groups via the batched backend, one per task.
+
+        Results come back indexed by each block's sequence number (which
+        must form ``0..n-1`` across the groups), so the returned list is
+        in submission order regardless of completion order.  Planes are
+        published once over shared memory exactly like
+        :meth:`encode_plane_blocks`; the pickled fallback ships each
+        group's coefficient slices instead.  Injected pools are per-block
+        executors and cannot run group payloads — callers route around
+        them (see :func:`repro.jpeg2000.encoder._encode_pending`).
+        """
+        if self.pool is not None:
+            raise ValueError(
+                "group dispatch requires a one-shot pool; injected pools "
+                "are per-block executors"
+            )
+        nblocks = sum(len(t.seqs) for t in tasks)
+        stats = QueueStats(workers=self.workers, blocks=nblocks)
+        self.last_stats = stats
+        if not tasks:
+            return []
+        all_seqs = [s for t in tasks for s in t.seqs]
+        if sorted(all_seqs) != list(range(nblocks)):
+            raise ValueError("group task seqs must cover 0..n-1 exactly once")
+        results: list[CodeBlockResult | None] = [None] * nblocks
+
+        def _consume(iterator) -> None:
+            for seqs, pid, group_results in iterator:
+                for s, r in zip(seqs, group_results):
+                    results[s] = r
+                stats.blocks_per_worker[pid] = (
+                    stats.blocks_per_worker.get(pid, 0) + len(seqs)
+                )
+
+        want_shm = (
+            self.use_shared_memory
+            if self.use_shared_memory is not None
+            else shared_memory_available()
+        )
+        if not (want_shm and shared_memory_available()):
+            stats.dispatch = "pickle"
+            payloads = [
+                (
+                    t.seqs,
+                    tuple(
+                        (
+                            np.array(planes[p][r0 : r0 + ht, c0 : c0 + wd]),
+                            band,
+                        )
+                        for p, r0, c0, ht, wd, band in t.blocks
+                    ),
+                )
+                for t in tasks
+            ]
+            task_fn = _encode_block_group_task
+            shared = None
+        else:
+            stats.dispatch = "shared_memory"
+            shared = _SharedPlanes(planes)
+            payloads = [
+                (
+                    t.seqs,
+                    tuple(
+                        (shared.descs[p], r0, c0, ht, wd, band)
+                        for p, r0, c0, ht, wd, band in t.blocks
+                    ),
+                )
+                for t in tasks
+            ]
+            task_fn = _encode_plane_group_task
+        try:
+            ctx = (
+                multiprocessing.get_context(self.mp_context)
+                if self.mp_context
+                else multiprocessing.get_context()
+            )
+            pool = ctx.Pool(processes=self.workers)
+            try:
+                _consume(pool.imap_unordered(task_fn, payloads, chunksize=1))
+                pool.close()
+            except BaseException:
+                pool.terminate()
+                raise
+            finally:
+                pool.join()
+        finally:
+            if shared is not None:
+                shared.close()
+        missing = sum(r is None for r in results)
+        if missing:
+            raise RuntimeError(f"work queue lost {missing} block results")
+        return results  # type: ignore[return-value]
 
     def _run_payloads(self, tasks, payloads, task_fn, stats) -> list[CodeBlockResult]:
         """Drive payloads through the injected or one-shot pool."""

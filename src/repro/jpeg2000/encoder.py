@@ -79,12 +79,26 @@ class WorkloadStats:
     codestream_bytes: int = 0
     raw_bytes: int = 0
     #: How Tier-1 blocks reached the workers: ``"serial"``, ``"pickle"``,
-    #: or ``"shared_memory"`` (see :class:`repro.core.workpool.QueueStats`).
+    #: ``"shared_memory"`` (per-block paths; see
+    #: :class:`repro.core.workpool.QueueStats`), ``"batched"`` (whole-image
+    #: in-process stacks), or ``"batched_shared_memory"``/
+    #: ``"batched_pickle"`` (geometry groups sharded across workers).
     tier1_dispatch: str = "serial"
+    #: Batched-backend occupancy: distinct geometry groups stacked and
+    #: code blocks batched into them (0 when the batched path did not run).
+    tier1_batch_groups: int = 0
+    tier1_batch_blocks: int = 0
 
     @property
     def num_pixels(self) -> int:
         return self.height * self.width
+
+    @property
+    def tier1_batch_occupancy(self) -> float:
+        """Mean code blocks per stacked geometry group (0 when unbatched)."""
+        if not self.tier1_batch_groups:
+            return 0.0
+        return self.tier1_batch_blocks / self.tier1_batch_groups
 
 
 def scale_workload(stats: WorkloadStats, factor: int) -> WorkloadStats:
@@ -120,6 +134,8 @@ def scale_workload(stats: WorkloadStats, factor: int) -> WorkloadStats:
         codestream_bytes=stats.codestream_bytes * sq,
         raw_bytes=stats.raw_bytes * sq,
         tier1_dispatch=stats.tier1_dispatch,
+        tier1_batch_groups=stats.tier1_batch_groups,
+        tier1_batch_blocks=stats.tier1_batch_blocks * sq,
     )
 
 
@@ -331,8 +347,69 @@ def _encode_pending(
     queue can publish each plane once via shared memory and send workers
     only ``(seq, plane, offsets, shape)`` descriptors.
     """
+    from repro.jpeg2000.tier1 import resolve_backend
+
+    backend = resolve_backend(params.tier1_backend)
+    nblocks = len(pending)
+    # "auto" batches whole images: with more than one block in hand, the
+    # stacked coder always beats per-block vectorized dispatch and is
+    # byte-identical.  Explicit per-block backends are honoured verbatim.
+    batched = backend == "batched" or (backend == "auto" and nblocks >= 2)
+
+    def run_batched_inprocess() -> list[CodeBlockResult]:
+        from repro.jpeg2000.tier1_batch import (
+            BatchOccupancy,
+            encode_codeblocks_batched,
+        )
+
+        occ = BatchOccupancy()
+        results = encode_codeblocks_batched(
+            [
+                (
+                    planes[pi][spec.row0 : spec.row0 + spec.height,
+                               spec.col0 : spec.col0 + spec.width],
+                    planned[pi].band,
+                )
+                for pi, spec in pending
+            ],
+            occ,
+        )
+        if stats is not None:
+            stats.tier1_dispatch = "batched"
+            stats.tier1_batch_groups = occ.groups
+            stats.tier1_batch_blocks = occ.blocks
+        return results
+
+    if pool is not None:
+        # Injected pool (the service's persistent workers / scheduler
+        # lane).  An explicitly batched backend still runs in-process for
+        # small images — the pool cannot amortize per-block pickling there
+        # — and degrades to byte-identical per-block coding through the
+        # pool above the threshold.
+        if backend == "batched":
+            from repro.core.workpool import TIER1_AUTO_SERIAL_MIN_BLOCKS
+
+            if nblocks < TIER1_AUTO_SERIAL_MIN_BLOCKS:
+                return run_batched_inprocess()
+        return _encode_pending_queue(planned, planes, pending, params, pool,
+                                     stats, params.workers)
+
     workers = params.workers
-    if pool is None and (workers == 1 or len(pending) < 2):
+    if workers == 1 or nblocks < 2:
+        eff_workers = 1
+    else:
+        # Lazily imported like the queue below: the serial path must not
+        # pay the multiprocessing import.
+        from repro.core.workpool import tier1_auto_workers
+
+        eff_workers = tier1_auto_workers(workers, nblocks)
+
+    if batched:
+        if eff_workers == 1:
+            return run_batched_inprocess()
+        return _encode_pending_groups(planned, planes, pending, params,
+                                      stats, eff_workers)
+    if eff_workers == 1:
         if stats is not None:
             stats.tier1_dispatch = "serial"
         return [
@@ -340,12 +417,18 @@ def _encode_pending(
                 planes[pi][spec.row0 : spec.row0 + spec.height,
                            spec.col0 : spec.col0 + spec.width],
                 planned[pi].band,
-                backend=params.tier1_backend,
+                backend=backend,
             )
             for pi, spec in pending
         ]
-    # Imported lazily: the serial path must not pay the multiprocessing
-    # import, and repro.core pulls in the performance-model stack.
+    return _encode_pending_queue(planned, planes, pending, params, None,
+                                 stats, eff_workers)
+
+
+def _encode_pending_queue(
+    planned, planes, pending, params, pool, stats, workers
+) -> list[CodeBlockResult]:
+    """Per-block dispatch through :class:`CodeBlockWorkQueue`."""
     from repro.core.workpool import CodeBlockWorkQueue, PlaneBlockTask
 
     queue = CodeBlockWorkQueue(
@@ -361,6 +444,55 @@ def _encode_pending(
     results = queue.encode_plane_blocks(planes, tasks)
     if stats is not None and queue.last_stats is not None:
         stats.tier1_dispatch = queue.last_stats.dispatch
+    return results
+
+
+def _encode_pending_groups(
+    planned, planes, pending, params, stats, workers
+) -> list[CodeBlockResult]:
+    """Batched dispatch: shard geometry *groups* across workers.
+
+    Blocks are grouped by ``(height, width)`` and large groups split into
+    roughly ``2 * workers`` shards, so every worker amortizes its NumPy
+    overhead over a stack while the dynamic queue still balances load.
+    """
+    from repro.core.workpool import CodeBlockWorkQueue, PlaneGroupTask
+
+    groups: dict[tuple[int, int], list[int]] = {}
+    for i, (pi, spec) in enumerate(pending):
+        groups.setdefault((spec.height, spec.width), []).append(i)
+    nblocks = len(pending)
+    shard = max(1, -(-nblocks // (2 * workers)))  # ceil division
+    tasks = []
+    for idxs in groups.values():
+        for o in range(0, len(idxs), shard):
+            part = idxs[o : o + shard]
+            tasks.append(
+                PlaneGroupTask(
+                    seqs=tuple(part),
+                    blocks=tuple(
+                        (
+                            pending[i][0],
+                            pending[i][1].row0,
+                            pending[i][1].col0,
+                            pending[i][1].height,
+                            pending[i][1].width,
+                            planned[pending[i][0]].band,
+                        )
+                        for i in part
+                    ),
+                )
+            )
+    queue = CodeBlockWorkQueue(workers=workers, backend="batched")
+    results = queue.encode_plane_groups(planes, tasks)
+    if stats is not None:
+        dispatch = (
+            queue.last_stats.dispatch if queue.last_stats is not None
+            else "shared_memory"
+        )
+        stats.tier1_dispatch = f"batched_{dispatch}"
+        stats.tier1_batch_groups = len(groups)
+        stats.tier1_batch_blocks = nblocks
     return results
 
 

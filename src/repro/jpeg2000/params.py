@@ -32,9 +32,12 @@ class EncoderParams:
     tier1_backend:
         Tier-1 coder implementation: ``"reference"`` (scalar, the
         differential-testing oracle), ``"vectorized"`` (NumPy-batched hot
-        path), or ``"auto"`` (default; also honours the
-        ``REPRO_TIER1_BACKEND`` environment variable).  All backends
-        produce byte-identical codestreams.
+        path, one block at a time), ``"batched"`` (whole-image stacks of
+        same-geometry blocks, :mod:`repro.jpeg2000.tier1_batch`), or
+        ``"auto"`` (default; also honours the ``REPRO_TIER1_BACKEND``
+        environment variable — picks the batched coder for whole-image
+        encodes and the vectorized coder per block).  All backends produce
+        byte-identical codestreams.
     workers:
         Worker parallelism — the executable analogue of the paper's SPE
         count.  Controls both the Tier-1 code-block process pool and the

@@ -18,18 +18,19 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from functools import lru_cache
 
 import numpy as np
 
+from repro.jpeg2000 import tier1_geom
 from repro.jpeg2000.mq import MQDecoder, MQEncoder
 
 #: Environment variable consulted when ``backend="auto"`` (see
-#: :func:`encode_codeblock`).  Values: ``"reference"``, ``"vectorized"``.
+#: :func:`encode_codeblock`).  Values: ``"reference"``, ``"vectorized"``,
+#: ``"batched"``.
 BACKEND_ENV_VAR = "REPRO_TIER1_BACKEND"
 
 #: Valid Tier-1 encoder backend names.
-BACKENDS = ("auto", "reference", "vectorized")
+BACKENDS = ("auto", "reference", "vectorized", "batched")
 
 #: Below this many samples the NumPy batching overhead of the vectorized
 #: backend exceeds its win and ``"auto"`` picks the scalar coder instead.
@@ -52,102 +53,23 @@ PASS_REF = "MRP"
 PASS_CLEAN = "CUP"
 
 
-def _build_sig_luts():
-    """Significance context LUTs indexed by ``h*15 + v*5 + d``.
-
-    ``h``/``v`` are the counts of significant horizontal/vertical neighbours
-    (0-2) and ``d`` of diagonal neighbours (0-4).  Returns (ll_lh, hl, hh)
-    flat tuples of 45 entries each (T.800 Table D.1).
-    """
-    ll = [0] * 45
-    hh = [0] * 45
-    for h in range(3):
-        for v in range(3):
-            for d in range(5):
-                if h == 2:
-                    c = 8
-                elif h == 1:
-                    c = 7 if v >= 1 else (6 if d >= 1 else 5)
-                elif v == 2:
-                    c = 4
-                elif v == 1:
-                    c = 3
-                else:
-                    c = 2 if d >= 2 else (1 if d == 1 else 0)
-                ll[h * 15 + v * 5 + d] = c
-                hv = h + v
-                if d >= 3:
-                    c = 8
-                elif d == 2:
-                    c = 7 if hv >= 1 else 6
-                elif d == 1:
-                    c = 5 if hv >= 2 else (4 if hv == 1 else 3)
-                else:
-                    c = 2 if hv >= 2 else (1 if hv == 1 else 0)
-                hh[h * 15 + v * 5 + d] = c
-    # HL swaps the roles of horizontal and vertical neighbours.
-    hl = [0] * 45
-    for h in range(3):
-        for v in range(3):
-            for d in range(5):
-                hl[h * 15 + v * 5 + d] = ll[v * 15 + h * 5 + d]
-    return tuple(ll), tuple(hl), tuple(hh)
+# Significance/sign LUTs now live in the shared per-geometry cache module
+# (tier1_geom); the old private names are kept as aliases because the other
+# backends import them from here.
+_sig_lut_for_band = tier1_geom.sig_lut_for_band
+_SIGN_LUT = tier1_geom.SIGN_LUT
 
 
-_SIG_LL, _SIG_HL, _SIG_HH = _build_sig_luts()
-
-
-def _sig_lut_for_band(band: str):
-    if band in ("LL", "LH"):
-        return _SIG_LL
-    if band == "HL":
-        return _SIG_HL
-    if band == "HH":
-        return _SIG_HH
-    raise ValueError(f"unknown band {band!r}")
-
-
-def _build_sign_lut():
-    """Sign context and XOR bit from clipped (H, V) contributions (D.3)."""
-    table = {}
-    for hc in (-1, 0, 1):
-        for vc in (-1, 0, 1):
-            if hc == 1:
-                ctx, xor = {1: (13, 0), 0: (12, 0), -1: (11, 0)}[vc]
-            elif hc == 0:
-                ctx, xor = {1: (10, 0), 0: (9, 0), -1: (10, 1)}[vc]
-            else:
-                ctx, xor = {1: (11, 1), 0: (12, 1), -1: (13, 1)}[vc]
-            table[(hc + 1) * 3 + (vc + 1)] = (ctx, xor)
-    return tuple(table[k] for k in range(9))
-
-
-_SIGN_LUT = _build_sign_lut()
-
-
-@lru_cache(maxsize=64)
 def _neighbour_indices(h: int, w: int) -> np.ndarray:
     """Flat neighbour indices (W, E, N, S, NW, NE, SW, SE) per sample.
 
     Returns a read-only ``(h*w, 8)`` int32 array; out-of-block neighbours
     point at a sentinel slot ``h*w`` that always holds "insignificant".
-    Marking the cached array immutable keeps ``lru_cache`` sharing safe
-    (the previous list-of-tuples form handed every caller the same mutable
-    object).
+    The array is shared through the process-wide geometry cache
+    (:func:`repro.jpeg2000.tier1_geom.geometry`): repeated calls return the
+    same immutable object.
     """
-    n = h * w
-    sentinel = n
-    idx = np.arange(n, dtype=np.int32).reshape(h, w)
-    padded = np.full((h + 2, w + 2), sentinel, dtype=np.int32)
-    padded[1:-1, 1:-1] = idx
-    # (dr, dc) per column: W, E, N, S, NW, NE, SW, SE
-    offsets = ((0, -1), (0, 1), (-1, 0), (1, 0),
-               (-1, -1), (-1, 1), (1, -1), (1, 1))
-    out = np.empty((n, 8), dtype=np.int32)
-    for k, (dr, dc) in enumerate(offsets):
-        out[:, k] = padded[1 + dr:1 + dr + h, 1 + dc:1 + dc + w].ravel()
-    out.setflags(write=False)
-    return out
+    return tier1_geom.geometry(h, w).nbr
 
 
 @dataclass
@@ -209,9 +131,12 @@ def encode_codeblock(
     per-sample coder below (the differential-testing oracle),
     ``"vectorized"`` is the NumPy-batched coder in
     :mod:`repro.jpeg2000.tier1_vec` (byte-identical output, much faster),
-    and ``"auto"`` (default, also via the ``REPRO_TIER1_BACKEND``
-    environment variable) picks the vectorized coder for all but tiny
-    blocks.
+    ``"batched"`` is the whole-image stacked coder in
+    :mod:`repro.jpeg2000.tier1_batch` (called here with a single-block
+    batch; its real win comes from the encoder handing it every code block
+    of an image at once), and ``"auto"`` (default, also via the
+    ``REPRO_TIER1_BACKEND`` environment variable) picks the vectorized
+    coder for all but tiny blocks.
     """
     backend = resolve_backend(backend)
     if backend == "auto":
@@ -224,6 +149,10 @@ def encode_codeblock(
         from repro.jpeg2000.tier1_vec import encode_codeblock_vectorized
 
         return encode_codeblock_vectorized(coeffs, band)
+    if backend == "batched":
+        from repro.jpeg2000.tier1_batch import encode_codeblocks_batched
+
+        return encode_codeblocks_batched([(coeffs, band)])[0]
     return encode_codeblock_reference(coeffs, band)
 
 

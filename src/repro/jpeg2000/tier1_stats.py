@@ -40,6 +40,20 @@ from repro.jpeg2000.quantize import derive_quant, quantize
 BITS_PER_SYMBOL = 0.55
 
 
+def geometry_cache_stats() -> dict:
+    """Hit/miss counters of the shared Tier-1 geometry cache.
+
+    All three Tier-1 backends resolve scan order, neighbour tables, and
+    context LUTs through :func:`repro.jpeg2000.tier1_geom.geometry`; this
+    re-exports its counters (``hits``, ``misses``, ``entries``,
+    ``hit_rate``) for workload reporting and the service ``/stats``
+    rollup.
+    """
+    from repro.jpeg2000 import tier1_geom
+
+    return tier1_geom.cache_stats()
+
+
 def _dilate8(mask: np.ndarray) -> np.ndarray:
     """8-neighbourhood binary dilation via shifts (no SciPy needed)."""
     out = mask.copy()

@@ -38,10 +38,9 @@ approximately.
 
 from __future__ import annotations
 
-from functools import lru_cache
-
 import numpy as np
 
+from repro.jpeg2000 import tier1_geom
 from repro.jpeg2000.mq import MQEncoder
 from repro.jpeg2000.tier1 import (
     CTX_RUNLEN,
@@ -52,60 +51,27 @@ from repro.jpeg2000.tier1 import (
     PASS_REF,
     PASS_SIG,
     CodeBlockResult,
-    _SIGN_LUT,
-    _sig_lut_for_band,
     _validate_block,
 )
 
 #: Neighbour offsets in (dr, dc) form: W, E, N, S, NW, NE, SW, SE.
-_OFFSETS = ((0, -1), (0, 1), (-1, 0), (1, 0),
-            (-1, -1), (-1, 1), (1, -1), (1, 1))
+_OFFSETS = tier1_geom.NEIGHBOUR_OFFSETS
 
-_SIGN_CTX = np.asarray([c for c, _ in _SIGN_LUT], dtype=np.uint8)
-_SIGN_XOR = np.asarray([x for _, x in _SIGN_LUT], dtype=np.uint8)
+_SIGN_CTX = tier1_geom.SIGN_CTX
+_SIGN_XOR = tier1_geom.SIGN_XOR
 
-
-@lru_cache(maxsize=8)
-def _sig_lut_array(band: str) -> np.ndarray:
-    return np.asarray(_sig_lut_for_band(band), dtype=np.uint8)
+_sig_lut_array = tier1_geom.sig_lut_array
 
 
-@lru_cache(maxsize=64)
 def _geometry(h: int, w: int):
     """Static scan geometry for an ``h x w`` block.
 
-    Returns ``(order, earlier_self, earlier_top)``:
-
-    * ``order`` — flat sample indices in T.800 scan order (4-row stripes,
-      column-major within a stripe);
-    * ``earlier_self[d]`` — bool grid: neighbour ``d`` of each sample is
-      inside the block and scanned strictly before the sample itself;
-    * ``earlier_top[d]`` — same, but "before the sample's stripe-column
-      start" (where the cleanup pass evaluates run-length eligibility).
+    Thin wrapper over the shared per-geometry cache
+    (:func:`repro.jpeg2000.tier1_geom.geometry`); returns
+    ``(order, earlier_self, earlier_top)`` as this module's passes expect.
     """
-    n = h * w
-    idx = np.arange(n, dtype=np.int64).reshape(h, w)
-    parts = []
-    for top in range(0, h, 4):
-        parts.append(idx[top:top + 4].T.ravel())
-    order = np.concatenate(parts)
-    scanpos = np.empty(n, dtype=np.int64)
-    scanpos[order] = np.arange(n, dtype=np.int64)
-    scanpos = scanpos.reshape(h, w)
-    toprows = (np.arange(h) // 4) * 4
-    tpos = scanpos[toprows, :]
-    padded = np.full((h + 2, w + 2), n + 1, dtype=np.int64)
-    padded[1:-1, 1:-1] = scanpos
-    earlier_self = []
-    earlier_top = []
-    for dr, dc in _OFFSETS:
-        nb = padded[1 + dr:1 + dr + h, 1 + dc:1 + dc + w]
-        earlier_self.append(nb < scanpos)
-        earlier_top.append(nb < tpos)
-    order.setflags(write=False)
-    for a in earlier_self + earlier_top:
-        a.setflags(write=False)
-    return order, tuple(earlier_self), tuple(earlier_top)
+    geo = tier1_geom.geometry(h, w)
+    return geo.order, geo.earlier_self, geo.earlier_top
 
 
 def _pad(arr: np.ndarray) -> np.ndarray:

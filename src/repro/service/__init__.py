@@ -253,7 +253,16 @@ class EncodeService:
             "scheduler": self.scheduler.snapshot(),
             "cache": self.cache.snapshot(),
             "admission": self.admission.snapshot(),
+            "tier1_geometry_cache": self._geometry_cache_stats(),
         }
+
+    @staticmethod
+    def _geometry_cache_stats() -> dict:
+        # Lazy import: the service front end must not pay for the Tier-1
+        # stack until an encode (or stats probe) actually needs it.
+        from repro.jpeg2000.tier1_stats import geometry_cache_stats
+
+        return geometry_cache_stats()
 
     # -- lifecycle ---------------------------------------------------------
 

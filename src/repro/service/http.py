@@ -7,7 +7,8 @@
 
 Coding parameters ride on the ``/encode`` query string and mirror the CLI
 flags: ``lossy=1``, ``rate=0.1``, ``levels=5``, ``codeblock=64``,
-``dwt_backend=fused``, ``dwt_chunk=64``, ``priority=5``.  ``verify=1``
+``tier1_backend=batched``, ``dwt_backend=fused``, ``dwt_chunk=64``,
+``priority=5``.  ``verify=1``
 round-trips the served bytes through the decoder first; a failed check
 returns 422 with a structured JSON body instead of bad bytes.  Each connection is handled on its own thread
 (``ThreadingHTTPServer``); actual Tier-1 work is interleaved block-by-block
@@ -44,7 +45,7 @@ def params_from_query(query: str) -> tuple[EncoderParams, int]:
     q = {k: v[-1] for k, v in parse_qs(query).items()}
     unknown = set(q) - {
         "lossy", "rate", "levels", "codeblock", "priority",
-        "dwt_backend", "dwt_chunk", "verify",
+        "tier1_backend", "dwt_backend", "dwt_chunk", "verify",
     }
     if unknown:
         raise ValueError(f"unknown query parameters: {sorted(unknown)}")
@@ -56,6 +57,7 @@ def params_from_query(query: str) -> tuple[EncoderParams, int]:
             rate=rate,
             levels=int(q.get("levels", 5)),
             codeblock_size=int(q.get("codeblock", 64)),
+            tier1_backend=q.get("tier1_backend", "auto"),
             dwt_backend=q.get("dwt_backend", "auto"),
             dwt_chunk_cols=int(q["dwt_chunk"]) if "dwt_chunk" in q else None,
         )

@@ -216,7 +216,7 @@ def verify_encode(image: np.ndarray, result) -> RoundTripReport:
 
 def run_corpus(
     rates: tuple[float, ...] = (0.1, 0.25, 1.0),
-    backends: tuple[str, ...] = ("vectorized", "reference"),
+    backends: tuple[str, ...] = ("vectorized", "reference", "batched"),
     workers: tuple[int, ...] = (1, 2),
     quick: bool = False,
     progress=None,

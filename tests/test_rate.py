@@ -231,7 +231,10 @@ class TestByteIdentityAcrossDispatch:
 
     @pytest.mark.parametrize("backend", ["reference", "vectorized"])
     @pytest.mark.parametrize("rate", [0.1, 0.3])
-    def test_workers_and_backends(self, backend, rate):
+    def test_workers_and_backends(self, backend, rate, monkeypatch):
+        # Disable the low-core auto-serial clamp so the pool path actually
+        # runs even on single-core CI machines.
+        monkeypatch.setenv("REPRO_TIER1_AUTO_SERIAL", "0")
         img = watch_face_image(64, 64, channels=3)
         streams = {}
         for workers in (1, 2, 4):
@@ -248,15 +251,30 @@ class TestByteIdentityAcrossDispatch:
         assert streams[2] == streams[1]
         assert streams[4] == streams[1]
 
-    def test_pickle_fallback_is_identical(self, monkeypatch):
-        monkeypatch.setenv("REPRO_SHM_DISPATCH", "0")
+    def test_auto_serial_clamp_stays_serial_below_threshold(self, monkeypatch):
+        # Default clamp: a 30-block encode under the env-raised threshold
+        # stays in-process (no pool) yet remains byte-identical.
+        monkeypatch.setenv("REPRO_TIER1_AUTO_SERIAL", "1000")
         img = watch_face_image(64, 64, channels=3)
         serial = encode(img, EncoderParams(lossless=False, rate=0.2, levels=3))
         pooled = encode(
             img, EncoderParams(lossless=False, rate=0.2, levels=3, workers=2)
         )
         assert pooled.codestream == serial.codestream
-        assert pooled.stats.tier1_dispatch == "pickle"
+        assert pooled.stats.tier1_dispatch == "batched"
+
+    def test_pickle_fallback_is_identical(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM_DISPATCH", "0")
+        monkeypatch.setenv("REPRO_TIER1_AUTO_SERIAL", "0")
+        img = watch_face_image(64, 64, channels=3)
+        serial = encode(img, EncoderParams(lossless=False, rate=0.2, levels=3))
+        pooled = encode(
+            img, EncoderParams(lossless=False, rate=0.2, levels=3, workers=2)
+        )
+        assert pooled.codestream == serial.codestream
+        # Default backend is auto -> whole-image batched; without shared
+        # memory the geometry groups ship pickled.
+        assert pooled.stats.tier1_dispatch == "batched_pickle"
 
 
 class TestTruncatedStreamsDecode:
