@@ -6,6 +6,8 @@
                               [--chips 1] [--lossy] [--rate 0.1] [--estimate]
     python -m repro serve   [--port 8000] [--workers auto] [--cache-mb 64]
                               [--max-queue 32] [--admission reject|block]
+                              [--shards N] [--batch-window off|auto|SECONDS]
+                              [--shed-target-p95 SECONDS]
     python -m repro verify  [--quick] [--rates 0.1,0.25,1.0] [--workers 1,2]
     python -m repro fuzz    [--cases 10000] [--seed 2008] [--artifacts DIR]
 
@@ -160,13 +162,45 @@ def cmd_serve(args) -> int:
     from repro.service import ServiceConfig
     from repro.service.http import run_server
 
+    batch_window: str | float | None
+    if args.batch_window == "off":
+        batch_window = None
+    elif args.batch_window == "auto":
+        batch_window = "auto"
+    else:
+        batch_window = float(args.batch_window)
+
+    workers = args.workers
+    if args.shards > 1 and workers is None:
+        # Split the cores between the shards instead of letting every
+        # shard's pool claim all of them.
+        import os
+
+        workers = max(1, (os.cpu_count() or 1) // args.shards)
+
     config = ServiceConfig(
-        workers=args.workers,
+        workers=workers,
         backend=args.tier1_backend,
         cache_bytes=args.cache_mb * 2**20,
         max_queue=args.max_queue,
         admission_policy=args.admission,
+        shed_target_p95_s=args.shed_target_p95,
+        batch_window=batch_window,
+        batch_max=args.batch_max,
     )
+    if args.shards > 1:
+        from repro.service.sharding import ShardClusterConfig, run_sharded_server
+
+        cluster = ShardClusterConfig(
+            shards=args.shards,
+            host=args.host,
+            port=args.port,
+            service=config,
+            quiet=args.quiet,
+            listener=args.listener,
+            bus_cache_bytes=args.bus_cache_mb * 2**20,
+        )
+        return run_sharded_server(cluster)
     return run_server(config, host=args.host, port=args.port, quiet=args.quiet)
 
 
@@ -260,7 +294,9 @@ def build_parser() -> argparse.ArgumentParser:
         description="Persistent-pool encode server: POST /encode with a "
                     "BMP/PGM/PPM body returns the .j2c codestream; "
                     "GET /healthz, /metrics, /stats observe it.  "
-                    "SIGTERM drains gracefully.",
+                    "SIGTERM drains gracefully.  --shards N pre-forks N "
+                    "shard processes accepting on one port with a "
+                    "cross-shard result cache (README 'Scaling out').",
     )
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8000)
@@ -276,6 +312,26 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("reject", "block"),
                    help="policy when the queue is full: fail fast (503) "
                         "or make the client wait")
+    p.add_argument("--shards", type=int, default=1, metavar="N",
+                   help="shard processes accepting on one port; 1 (default) "
+                        "runs the single-process server")
+    p.add_argument("--listener", default="auto",
+                   choices=("auto", "reuseport", "inherit"),
+                   help="how shards share the port: SO_REUSEPORT or an "
+                        "inherited listening socket (auto picks per kernel)")
+    p.add_argument("--bus-cache-mb", type=int, default=64,
+                   help="cross-shard result-cache budget in MiB "
+                        "(sharded mode only)")
+    p.add_argument("--shed-target-p95", type=float, default=None,
+                   metavar="SECONDS",
+                   help="p95 latency objective; above it uncached requests "
+                        "are shed with 503 + Retry-After (default: off)")
+    p.add_argument("--batch-window", default="off", metavar="off|auto|SECONDS",
+                   help="micro-batch sub-threshold encodes into one pool "
+                        "dispatch per window; 'auto' sizes the window from "
+                        "live encode latency (default: off)")
+    p.add_argument("--batch-max", type=int, default=8,
+                   help="flush a micro-batch early at this many requests")
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-request access logs")
     p.set_defaults(func=cmd_serve)

@@ -207,6 +207,44 @@ class _SharedPlanes:
                 pass
 
 
+def publish_shared_bytes(data: bytes):
+    """Publish ``data`` as one shared-memory segment; returns (segment, desc).
+
+    The generic single-blob sibling of :class:`_SharedPlanes`: the cache
+    bus (:mod:`repro.service.sharding.cachebus`) publishes codestream
+    values this way so a hit on any shard is served to every shard
+    without re-sending the bytes through a socket.  The caller owns the
+    returned segment and must ``close()`` + ``unlink()`` it (eviction or
+    shutdown); ``desc`` is the picklable ``(name, size)`` readers use.
+    """
+    from multiprocessing import shared_memory
+
+    seg = shared_memory.SharedMemory(create=True, size=max(1, len(data)))
+    seg.buf[: len(data)] = data
+    return seg, (seg.name, len(data))
+
+
+def read_shared_bytes(desc) -> bytes | None:
+    """Copy a published blob out of its segment; ``None`` if it vanished.
+
+    Attach-copy-close, mirroring :func:`_encode_plane_task`'s discipline
+    of never keeping a live view pinned to the segment buffer.  A
+    concurrently evicted (unlinked) segment reads as ``None`` — callers
+    treat that as a cache miss.
+    """
+    from multiprocessing import shared_memory
+
+    name, size = desc
+    try:
+        seg = shared_memory.SharedMemory(name=name)
+    except (FileNotFoundError, OSError):
+        return None
+    try:
+        return bytes(seg.buf[:size])
+    finally:
+        seg.close()
+
+
 #: Worker-side cache of attached segments, keyed by segment name.  Bounded
 #: (LRU) so a long-lived worker serving many encodes cannot accumulate
 #: stale maps; one encode's planes comfortably fit.

@@ -27,7 +27,12 @@ import numpy as np
 from repro.jpeg2000.dwt_fast import StageTimings
 from repro.jpeg2000.encoder import EncodeResult, encode
 from repro.jpeg2000.params import EncoderParams
-from repro.service.admission import AdmissionController, QueueFullError
+from repro.service.admission import (
+    AdmissionController,
+    LoadShedder,
+    QueueFullError,
+    ShedError,
+)
 from repro.service.cache import ResultCache, cache_key
 from repro.service.metrics import MetricsRegistry
 from repro.service.pool import PersistentWorkerPool
@@ -38,12 +43,14 @@ __all__ = [
     "EncodeResponse",
     "EncodeScheduler",
     "EncodeService",
+    "LoadShedder",
     "MetricsRegistry",
     "PersistentWorkerPool",
     "QueueFullError",
     "ResultCache",
     "SchedulerClosed",
     "ServiceConfig",
+    "ShedError",
     "cache_key",
 ]
 
@@ -59,6 +66,17 @@ class ServiceConfig:
     admission_policy: str = "reject"
     #: Blocks in flight inside the pool; None = 2 * workers (see scheduler).
     max_inflight_blocks: int | None = None
+    #: Identity of this service inside a shard cluster; None = unsharded.
+    shard_id: int | None = None
+    #: Unix-socket path of the cross-shard cache bus; None = no bus.
+    bus_path: str | None = None
+    #: p95 latency objective for load shedding; None disables the shedder.
+    shed_target_p95_s: float | None = None
+    #: Micro-batch window: None = off, "auto" = size from live encode
+    #: latency, or a fixed window in seconds.
+    batch_window: str | float | None = None
+    #: Flush a micro-batch early once this many requests are waiting.
+    batch_max: int = 8
 
 
 @dataclass
@@ -71,6 +89,10 @@ class EncodeResponse:
     encode_s: float
     params: EncoderParams
     result: EncodeResult | None = field(default=None, repr=False)
+    #: Where a hit came from: "local", "remote" (cross-shard bus), or None.
+    cache_source: str | None = None
+    #: True when the encode rode a micro-batch dispatch.
+    batched: bool = False
 
 
 class EncodeService:
@@ -104,6 +126,19 @@ class EncodeService:
         self._verify_failures = m.counter(
             "verify_failures_total", "round-trip verifications that failed"
         )
+        self._remote_hits = m.counter(
+            "remote_cache_hits_total", "requests served from the cross-shard bus"
+        )
+        self._shed = m.counter(
+            "shed_total", "requests refused by the latency shedder"
+        )
+        self._batched = m.counter(
+            "batched_total", "requests encoded via a micro-batch dispatch"
+        )
+        self._hit_ratio_gauge = m.gauge(
+            "cache_hit_ratio",
+            "fraction of requests served from any cache (local or bus)",
+        )
         self._inflight_gauge = m.gauge("inflight_jobs", "admitted unfinished jobs")
         self._queue_wait = m.histogram("queue_wait_seconds", "admission wait")
         self._encode_time = m.histogram("encode_seconds", "pool encode time")
@@ -122,6 +157,36 @@ class EncodeService:
         # encode for that key completes (successfully or not).
         self._singleflight: dict[str, threading.Event] = {}
         self._sf_lock = threading.Lock()
+        # Sharding attachments (all optional; lazy imports keep the
+        # sharding package out of unsharded deployments entirely).
+        self.remote_cache = None
+        if self.config.bus_path is not None:
+            from repro.service.sharding.cachebus import CacheBusClient
+
+            self.remote_cache = CacheBusClient(self.config.bus_path)
+        self.shedder = None
+        if self.config.shed_target_p95_s is not None:
+            self.shedder = LoadShedder(
+                self._request_time, self.config.shed_target_p95_s
+            )
+        self.batcher = None
+        if self.config.batch_window is not None:
+            from repro.service.sharding.batching import MicroBatcher
+
+            if self.config.batch_window == "auto":
+                # Wait about half a typical pool encode: long enough to
+                # collect a burst, short enough not to dominate latency.
+                self.batcher = MicroBatcher(
+                    pool=self.pool,
+                    window_provider=lambda: self._encode_time.quantile(0.5) / 2,
+                    max_batch=self.config.batch_max,
+                )
+            else:
+                self.batcher = MicroBatcher(
+                    pool=self.pool,
+                    window_s=float(self.config.batch_window),
+                    max_batch=self.config.batch_max,
+                )
 
     # -- serving -----------------------------------------------------------
 
@@ -156,6 +221,7 @@ class EncodeService:
 
         key = cache_key(image, params)
         leader_key = None
+        remote_lease = False
         first_probe = True
         try:
             while True:
@@ -168,9 +234,11 @@ class EncodeService:
                     if verify:
                         self._verify_codestream(image, cached, params)
                     self._request_time.observe(time.perf_counter() - t_start)
+                    self._update_hit_ratio()
                     return EncodeResponse(
                         codestream=cached, cache_hit=True,
                         queue_wait_s=0.0, encode_s=0.0, params=params,
+                        cache_source="local",
                     )
                 if self.cache.max_bytes <= 0 or leader_key is not None:
                     break  # no cache to coalesce through, or we lead
@@ -188,6 +256,36 @@ class EncodeService:
                 # or we took leadership and must confirm the cache is still
                 # cold (a previous leader may have filled it in the gap).
 
+            if leader_key is not None and self.remote_cache is not None:
+                # Cross-shard single-flight: ask the bus for the value or
+                # the lease.  "hit" means another shard already encoded
+                # (or is just finishing) these exact bytes+params; "lead"
+                # obliges us to publish or release.  Bus trouble fails
+                # open into a plain local encode.
+                status, data = self.remote_cache.lease(key)
+                if status == "hit" and data is not None:
+                    self.cache.put(key, data)
+                    self._remote_hits.inc()
+                    if verify:
+                        self._verify_codestream(image, data, params)
+                    self._request_time.observe(time.perf_counter() - t_start)
+                    self._update_hit_ratio()
+                    return EncodeResponse(
+                        codestream=data, cache_hit=True,
+                        queue_wait_s=0.0, encode_s=0.0, params=params,
+                        cache_source="remote",
+                    )
+                remote_lease = status == "lead"
+
+            if self.shedder is not None:
+                # Only work that would reach the pool is sheddable; every
+                # cached/coalesced return above bypassed this entirely.
+                try:
+                    self.shedder.admit()
+                except ShedError:
+                    self._shed.inc()
+                    self._rejected.inc()
+                    raise
             try:
                 self.admission.acquire()
             except QueueFullError:
@@ -196,9 +294,17 @@ class EncodeService:
             t_admitted = time.perf_counter()
             self._queue_wait.observe(t_admitted - t_start)
             self._inflight_gauge.inc()
+            batched = False
+            result = None
             try:
-                with self.scheduler.job(priority=priority) as job:
-                    result = encode(image, params, pool=job)
+                if self.batcher is not None and self._is_micro(image, params):
+                    codestream = self.batcher.submit(image, params).codestream
+                    batched = True
+                    self._batched.inc()
+                else:
+                    with self.scheduler.job(priority=priority) as job:
+                        result = encode(image, params, pool=job)
+                    codestream = result.codestream
             except Exception:
                 self._errors.inc()
                 raise
@@ -206,26 +312,48 @@ class EncodeService:
                 self._inflight_gauge.dec()
                 self.admission.release()
             if verify:
-                self._verify_codestream(image, result.codestream, params)
+                self._verify_codestream(image, codestream, params)
             t_done = time.perf_counter()
             self._encoded.inc()
             self._encode_time.observe(t_done - t_admitted)
             self._request_time.observe(t_done - t_start)
-            if result.timings is not None:
+            if result is not None and result.timings is not None:
                 for stage, hist in self._stage_times.items():
                     hist.observe(getattr(result.timings, stage))
-            self.cache.put(key, result.codestream)
+            self.cache.put(key, codestream)
+            if remote_lease:
+                # Publishing stores the value in the bus AND releases the
+                # lease, waking every shard parked on this key.
+                self.remote_cache.put(key, codestream)
+                remote_lease = False
+            self._update_hit_ratio()
             return EncodeResponse(
-                codestream=result.codestream, cache_hit=False,
+                codestream=codestream, cache_hit=False,
                 queue_wait_s=t_admitted - t_start, encode_s=t_done - t_admitted,
-                params=params, result=result,
+                params=params, result=result, batched=batched,
             )
         finally:
+            if remote_lease:
+                # Failed while holding the cross-shard lease: hand it back
+                # so a waiting shard can take over instead of timing out.
+                self.remote_cache.release(key)
             if leader_key is not None:
                 with self._sf_lock:
                     pending = self._singleflight.pop(leader_key, None)
                 if pending is not None:
                     pending.set()
+
+    @staticmethod
+    def _is_micro(image, params) -> bool:
+        from repro.service.sharding.batching import is_micro_request
+
+        return is_micro_request(image.shape, params)
+
+    def _update_hit_ratio(self) -> None:
+        requests = self._requests.value
+        if requests:
+            hits = self._cache_hits.value + self._remote_hits.value
+            self._hit_ratio_gauge.set(hits / requests)
 
     def _verify_codestream(self, image, codestream: bytes, params) -> None:
         """Round-trip the bytes about to be served; raises on failure."""
@@ -246,15 +374,23 @@ class EncodeService:
 
     def stats(self) -> dict:
         """JSON-ready rollup for ``GET /stats``."""
-        return {
+        out = {
             "uptime_s": time.time() - self._started,
             "closed": self._closed,
+            "shard_id": self.config.shard_id,
             "pool": self.pool.snapshot(),
             "scheduler": self.scheduler.snapshot(),
             "cache": self.cache.snapshot(),
             "admission": self.admission.snapshot(),
             "tier1_geometry_cache": self._geometry_cache_stats(),
         }
+        if self.shedder is not None:
+            out["shedder"] = self.shedder.snapshot()
+        if self.batcher is not None:
+            out["batcher"] = self.batcher.snapshot()
+        if self.remote_cache is not None:
+            out["bus_client"] = self.remote_cache.snapshot()
+        return out
 
     @staticmethod
     def _geometry_cache_stats() -> dict:
@@ -280,6 +416,8 @@ class EncodeService:
             deadline = time.time() + 60.0
             while self.admission.inflight > 0 and time.time() < deadline:
                 time.sleep(0.02)
+        if self.batcher is not None:
+            self.batcher.close()  # flushes queued micro-batches
         self.scheduler.close()
         if drain:
             self.pool.close()

@@ -47,8 +47,21 @@ def cache_key(image: np.ndarray, params: EncoderParams) -> str:
     return h.hexdigest()
 
 
+#: Per-entry bookkeeping charge beyond the payload: the key string, the
+#: OrderedDict node, and the bytes-object header.  Without this a cache
+#: full of tiny codestreams blows its nominal budget by a large factor —
+#: 10k one-byte entries under a "64 KiB" budget actually hold ~1.6 MB of
+#: keys and dict nodes.
+ENTRY_OVERHEAD_BYTES = 96
+
+
 class ResultCache:
     """Thread-safe LRU cache of codestream bytes under a byte budget.
+
+    The budget charges each entry its *resident* cost — payload plus key
+    plus :data:`ENTRY_OVERHEAD_BYTES` of per-entry bookkeeping — so the
+    configured ``max_bytes`` bounds what the process actually holds, not
+    just the sum of codestream lengths.
 
     ``max_bytes=0`` disables the cache entirely (every ``get`` misses,
     ``put`` is a no-op) — used by benchmarks to isolate pool effects.
@@ -61,9 +74,15 @@ class ResultCache:
         self._lock = threading.Lock()
         self._entries: OrderedDict[str, bytes] = OrderedDict()
         self._bytes = 0
+        self._payload_bytes = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+
+    @staticmethod
+    def entry_cost(key: str, data: bytes) -> int:
+        """Bytes one entry charges against the budget."""
+        return len(data) + len(key) + ENTRY_OVERHEAD_BYTES
 
     def get(self, key: str, record: bool = True) -> bytes | None:
         """Look up ``key``; ``record=False`` skips the hit/miss counters.
@@ -84,18 +103,21 @@ class ResultCache:
             return data
 
     def put(self, key: str, data: bytes) -> bool:
-        """Insert unless the single item exceeds the whole budget."""
-        if len(data) > self.max_bytes:
+        """Insert unless the single item's full cost exceeds the budget."""
+        if self.entry_cost(key, data) > self.max_bytes:
             return False
         with self._lock:
             old = self._entries.pop(key, None)
             if old is not None:
-                self._bytes -= len(old)
+                self._bytes -= self.entry_cost(key, old)
+                self._payload_bytes -= len(old)
             self._entries[key] = data
-            self._bytes += len(data)
+            self._bytes += self.entry_cost(key, data)
+            self._payload_bytes += len(data)
             while self._bytes > self.max_bytes:
-                _, evicted = self._entries.popitem(last=False)
-                self._bytes -= len(evicted)
+                evicted_key, evicted = self._entries.popitem(last=False)
+                self._bytes -= self.entry_cost(evicted_key, evicted)
+                self._payload_bytes -= len(evicted)
                 self.evictions += 1
             return True
 
@@ -103,6 +125,7 @@ class ResultCache:
         with self._lock:
             self._entries.clear()
             self._bytes = 0
+            self._payload_bytes = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -120,6 +143,8 @@ class ResultCache:
             return {
                 "entries": len(self._entries),
                 "bytes_used": self._bytes,
+                "payload_bytes": self._payload_bytes,
+                "overhead_bytes": self._bytes - self._payload_bytes,
                 "max_bytes": self.max_bytes,
                 "hits": self.hits,
                 "misses": self.misses,

@@ -68,16 +68,34 @@ def params_from_query(query: str) -> tuple[EncoderParams, int]:
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
-    """Threaded server bound to one :class:`EncodeService`."""
+    """Threaded server bound to one :class:`EncodeService`.
+
+    A shard front end (:mod:`repro.service.sharding.frontend`) overrides
+    ``metrics_provider`` / ``stats_provider`` with cluster-wide
+    aggregations and sets ``shard_id`` so every response says which shard
+    served it; standalone servers keep the per-service defaults.
+    """
 
     # Join handler threads in server_close(): that *is* the graceful drain.
     daemon_threads = False
     allow_reuse_address = True
+    # The stdlib default backlog of 5 drops connections under a concurrent
+    # burst (SYNs reset once the queue overflows); accepting is cheap.
+    request_queue_size = 128
 
-    def __init__(self, address, service: EncodeService, quiet: bool = False):
+    #: Optional cluster hooks (set by the shard front end).
+    metrics_provider = None
+    stats_provider = None
+    shard_id: int | None = None
+
+    def __init__(self, address, service: EncodeService, quiet: bool = False,
+                 bind_and_activate: bool = True):
         self.service = service
         self.quiet = quiet
-        super().__init__(address, ServiceRequestHandler)
+        super().__init__(
+            address, ServiceRequestHandler,
+            bind_and_activate=bind_and_activate,
+        )
 
 
 class ServiceRequestHandler(BaseHTTPRequestHandler):
@@ -95,6 +113,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if self.server.shard_id is not None:
+            self.send_header("X-Shard", str(self.server.shard_id))
         for name, value in (extra_headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
@@ -120,9 +140,13 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             else:
                 self._error(503, "worker pool unavailable")
         elif path == "/metrics":
-            self._json(200, service.metrics.snapshot())
+            provider = self.server.metrics_provider
+            self._json(
+                200, provider() if provider else service.metrics.snapshot()
+            )
         elif path == "/stats":
-            self._json(200, service.stats())
+            provider = self.server.stats_provider
+            self._json(200, provider() if provider else service.stats())
         else:
             self._error(404, f"no such endpoint: {path}")
 
@@ -157,7 +181,13 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 image, params, priority=priority, verify=verify
             )
         except QueueFullError as exc:
-            self._error(503, str(exc), {"Retry-After": "1"})
+            # ShedError carries a Retry-After derived from the live p99;
+            # a plain full queue keeps the old fixed one-second hint.
+            retry_after = getattr(exc, "retry_after_s", None)
+            self._error(
+                503, str(exc),
+                {"Retry-After": str(int(retry_after)) if retry_after else "1"},
+            )
             return
         except SchedulerClosed:
             self._error(503, "service is shutting down")
@@ -178,6 +208,10 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             "X-Queue-Wait-Seconds": f"{response.queue_wait_s:.6f}",
             "X-Encode-Seconds": f"{response.encode_s:.6f}",
         }
+        if response.cache_source is not None:
+            headers["X-Cache-Source"] = response.cache_source
+        if response.batched:
+            headers["X-Batched"] = "1"
         if verify:
             headers["X-Verified"] = "roundtrip"
         self._respond(

@@ -5,6 +5,15 @@ holder and the registry renders one JSON snapshot for ``GET /metrics``.
 Histograms keep fixed cumulative buckets (Prometheus-style, so scrapers
 can aggregate across processes) plus a bounded reservoir of recent
 samples for exact p50/p95 over the recent window.
+
+The sharded front end (:mod:`repro.service.sharding`) runs one registry
+per shard process and needs cluster-wide numbers, so every metric can
+export a :meth:`state` dict and histograms can :meth:`Histogram.merge`
+another histogram's state — combining the underlying bucket counts and
+reservoir samples, never averaging quantiles (the p95 of two shards is a
+property of the combined sample set, not the mean of two p95s).
+:func:`merge_metric_states` rolls whole per-shard registry dumps into one
+aggregate snapshot.
 """
 
 from __future__ import annotations
@@ -83,6 +92,7 @@ class Histogram:
         name: str,
         help: str = "",
         buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        reservoir_size: int = RESERVOIR_SIZE,
     ) -> None:
         if list(buckets) != sorted(buckets) or not buckets:
             raise ValueError("buckets must be a non-empty ascending sequence")
@@ -95,7 +105,7 @@ class Histogram:
         self._sum = 0.0
         self._min = float("inf")
         self._max = float("-inf")
-        self._reservoir: deque[float] = deque(maxlen=RESERVOIR_SIZE)
+        self._reservoir: deque[float] = deque(maxlen=reservoir_size)
 
     def observe(self, value: float) -> None:
         with self._lock:
@@ -124,6 +134,52 @@ class Histogram:
     def count(self) -> int:
         with self._lock:
             return self._count
+
+    def state(self, max_samples: int | None = None) -> dict:
+        """Mergeable dump: bounds, raw bucket counts, and reservoir samples.
+
+        ``max_samples`` caps the exported reservoir (most recent kept) so
+        per-shard publishes stay small; ``None`` exports the whole window.
+        """
+        with self._lock:
+            samples = list(self._reservoir)
+            if max_samples is not None and len(samples) > max_samples:
+                samples = samples[-max_samples:]
+            return {
+                "bounds": list(self.bounds),
+                "bucket_counts": list(self._bucket_counts),
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min if self._count else None,
+                "max": self._max if self._count else None,
+                "samples": samples,
+            }
+
+    def merge(self, other: "Histogram | dict") -> None:
+        """Fold another histogram (or its :meth:`state` dict) into this one.
+
+        Bucket counts, count, and sum add; min/max combine; reservoir
+        samples are concatenated (bounded by this histogram's reservoir),
+        so quantiles of the merged histogram are computed over the union
+        of samples — *not* an average of per-shard quantiles, which is
+        meaningless for tail latencies.
+        """
+        state = other.state() if isinstance(other, Histogram) else other
+        if tuple(state["bounds"]) != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different buckets: "
+                f"{state['bounds']} != {list(self.bounds)}"
+            )
+        with self._lock:
+            for i, n in enumerate(state["bucket_counts"]):
+                self._bucket_counts[i] += n
+            self._count += state["count"]
+            self._sum += state["sum"]
+            if state["min"] is not None:
+                self._min = min(self._min, state["min"])
+            if state["max"] is not None:
+                self._max = max(self._max, state["max"])
+            self._reservoir.extend(state["samples"])
 
     def snapshot(self) -> dict:
         with self._lock:
@@ -186,3 +242,57 @@ class MetricsRegistry:
         with self._lock:
             metrics = dict(self._metrics)
         return {name: m.snapshot() for name, m in sorted(metrics.items())}
+
+    def state(self, max_samples: int | None = None) -> dict:
+        """Mergeable dump of every metric (histograms keep raw samples).
+
+        This is what a shard publishes to the cache bus so any shard can
+        answer ``GET /metrics`` with a cluster-wide aggregate; see
+        :func:`merge_metric_states`.
+        """
+        with self._lock:
+            metrics = dict(self._metrics)
+        out: dict[str, dict] = {}
+        for name, m in sorted(metrics.items()):
+            if isinstance(m, Histogram):
+                out[name] = {"type": "histogram", **m.state(max_samples)}
+            else:
+                out[name] = m.snapshot()
+        return out
+
+
+def merge_metric_states(states: list[dict]) -> dict:
+    """Combine per-shard registry :meth:`MetricsRegistry.state` dumps.
+
+    Counters and gauges add (a cluster's in-flight jobs are the sum of
+    each shard's); histograms are merged sample-for-sample and
+    bucket-for-bucket via :meth:`Histogram.merge`, so the aggregate
+    p50/p95/p99 are computed over the union of every shard's reservoir —
+    never by averaging per-shard quantiles.  Returns a snapshot-shaped
+    dict (the same shape :meth:`MetricsRegistry.snapshot` produces).
+    """
+    merged: dict[str, dict] = {}
+    hists: dict[str, Histogram] = {}
+    for state in states:
+        for name, metric in state.items():
+            kind = metric.get("type")
+            if kind == "histogram":
+                h = hists.get(name)
+                if h is None:
+                    total = sum(
+                        len(s[name]["samples"])
+                        for s in states
+                        if name in s and s[name].get("type") == "histogram"
+                    )
+                    h = hists[name] = Histogram(
+                        name,
+                        buckets=tuple(metric["bounds"]),
+                        reservoir_size=max(1, total),
+                    )
+                h.merge(metric)
+            elif kind in ("counter", "gauge"):
+                slot = merged.setdefault(name, {"type": kind, "value": 0})
+                slot["value"] += metric["value"]
+    for name, h in hists.items():
+        merged[name] = h.snapshot()
+    return dict(sorted(merged.items()))

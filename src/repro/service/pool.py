@@ -217,6 +217,25 @@ class PersistentWorkerPool:
             callback=callback, error_callback=error_callback,
         )
 
+    def run_batch(self, payload, timeout: float | None = None):
+        """Run one micro-batch of small encodes as a single pool dispatch.
+
+        ``payload`` is whatever :func:`repro.service.sharding.batching.
+        _encode_batch_task` accepts — a tuple of pickled small images plus
+        parameters.  The whole batch is one task: one pickling trip, one
+        queue operation, one worker wake-up, which is the point of
+        micro-batching requests that sit below the auto-serial thresholds
+        (each would otherwise pay per-request dispatch overhead for a few
+        milliseconds of work).  Blocks until the batch returns.
+        """
+        from repro.service.sharding.batching import _encode_batch_task
+
+        if self._pool is None:
+            raise RuntimeError("pool is closed")
+        self.stats.images_served += len(payload)
+        async_result = self._pool.apply_async(_encode_batch_task, (payload,))
+        return async_result.get(timeout=timeout)
+
     def imap_unordered(self, payloads):
         """Yield ``(seq, pid, result)`` as blocks finish, pool kept alive.
 

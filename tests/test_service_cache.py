@@ -56,18 +56,23 @@ class TestCacheKey:
 
 
 class TestResultCache:
+    # Budgets below are phrased in full entry costs (payload + key +
+    # ENTRY_OVERHEAD_BYTES) via entry_cost(), the unit the LRU charges in.
+
     def test_eviction_respects_byte_budget(self):
-        cache = ResultCache(max_bytes=100)
+        two = 2 * ResultCache.entry_cost("a", b"x" * 40)
+        cache = ResultCache(max_bytes=two)
         cache.put("a", b"x" * 40)
         cache.put("b", b"y" * 40)
-        cache.put("c", b"z" * 40)  # 120 > 100: evicts LRU ("a")
-        assert cache.bytes_used <= 100
+        cache.put("c", b"z" * 40)  # third entry overflows: evicts LRU ("a")
+        assert cache.bytes_used <= two
         assert cache.get("a") is None
         assert cache.get("b") == b"y" * 40
         assert cache.evictions == 1
 
     def test_get_refreshes_lru_order(self):
-        cache = ResultCache(max_bytes=100)
+        two = 2 * ResultCache.entry_cost("a", b"x" * 40)
+        cache = ResultCache(max_bytes=two)
         cache.put("a", b"x" * 40)
         cache.put("b", b"y" * 40)
         assert cache.get("a")  # "b" is now least recent
@@ -80,16 +85,31 @@ class TestResultCache:
         assert cache.put("big", b"x" * 11) is False
         assert len(cache) == 0
 
+    def test_key_and_overhead_count_against_budget(self):
+        """A payload that fits nominally is rejected once key + entry
+        overhead push its true cost past the budget."""
+        key = "k" * 64  # a realistic SHA-256 hex key
+        payload = b"x" * 100
+        cache = ResultCache(max_bytes=110)  # > payload, < full entry cost
+        assert ResultCache.entry_cost(key, payload) > 110
+        assert cache.put(key, payload) is False
+        ok = ResultCache(max_bytes=ResultCache.entry_cost(key, payload))
+        assert ok.put(key, payload) is True
+        snap = ok.snapshot()
+        assert snap["payload_bytes"] == len(payload)
+        assert snap["overhead_bytes"] == snap["bytes_used"] - len(payload)
+        assert snap["bytes_used"] == ResultCache.entry_cost(key, payload)
+
     def test_replace_same_key_adjusts_bytes(self):
-        cache = ResultCache(max_bytes=100)
+        cache = ResultCache(max_bytes=2 * ResultCache.entry_cost("a", b"x" * 80))
         cache.put("a", b"x" * 80)
         cache.put("a", b"y" * 20)
-        assert cache.bytes_used == 20
+        assert cache.bytes_used == ResultCache.entry_cost("a", b"y" * 20)
         assert cache.get("a") == b"y" * 20
 
     def test_zero_budget_disables(self):
         cache = ResultCache(max_bytes=0)
-        assert cache.put("a", b"") is True  # empty item fits a zero budget
+        assert cache.put("a", b"") is False  # even an empty entry has a cost
         assert cache.put("b", b"x") is False
         assert cache.get("b") is None
         assert cache.snapshot()["hit_rate"] == 0.0
