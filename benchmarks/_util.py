@@ -4,13 +4,30 @@ Every ``bench_*.py`` script times with :func:`time_fn` (median of >= 3
 repeats after a warm-up, so one scheduler hiccup cannot skew a recorded
 number) and exposes the repeat count via :func:`add_repeats_flag` so CI
 and local runs can trade accuracy for wall time explicitly.
+
+Every committed ``BENCH_*.json`` shares one envelope, built by
+:func:`bench_report` and written by :func:`write_bench_json`:
+
+    {"schema_version": 1, "benchmark": "<name>",
+     "machine": {"cpu_count", "platform", "python", "numpy", ...extras},
+     ...benchmark-specific sections}
+
+so downstream tooling can diff machines and results across benchmarks
+without per-file parsers.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
+import platform
 import statistics
 import time
+
+#: Version of the shared BENCH_*.json envelope (machine block + top-level
+#: keys); bump when the shape of the shared fields changes.
+SCHEMA_VERSION = 1
 
 #: Benchmarks must default to at least this many timed repeats.
 DEFAULT_REPEATS = 3
@@ -47,3 +64,43 @@ def time_fn(fn, repeats: int, warmup: int = 1) -> dict:
         "min_s": min(samples),
         "repeats": repeats,
     }
+
+
+def machine_info(**extra) -> dict:
+    """The shared ``machine`` block, plus benchmark-specific extras."""
+    import numpy as np
+
+    info = {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+    info.update(extra)
+    return info
+
+
+def bench_report(benchmark: str, machine_extra: dict | None = None,
+                 **sections) -> dict:
+    """Assemble a report in the shared BENCH_*.json envelope."""
+    report = {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": benchmark,
+        "machine": machine_info(**(machine_extra or {})),
+    }
+    report.update(sections)
+    return report
+
+
+def write_bench_json(report: dict, default_name: str,
+                     output: str | None = None) -> str:
+    """Write ``report`` to ``output`` or ``<repo root>/<default_name>``."""
+    out_path = output or os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        default_name,
+    )
+    with open(out_path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {out_path}")
+    return out_path

@@ -28,7 +28,7 @@ import platform
 
 import numpy as np
 
-from _util import add_repeats_flag, check_repeats, time_fn
+from _util import add_repeats_flag, bench_report, check_repeats, time_fn, write_bench_json
 from repro.image.synthetic import watch_face_image
 from repro.jpeg2000.dwt_fast import run_frontend
 from repro.jpeg2000.encoder import _normalize_image
@@ -112,17 +112,7 @@ def main(argv=None) -> int:
         ]
     cases = [(s, ch, ll, repeats) for s, ch, ll in sizes]
 
-    report = {
-        "benchmark": "dwt_frontend",
-        "quick": args.quick,
-        "machine": {
-            "cpu_count": os.cpu_count(),
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-        },
-        "cases": [],
-    }
+    report = bench_report("dwt_frontend", quick=args.quick, cases=[])
     ok = True
     for size, channels, lossless, repeats in cases:
         case = bench_case(size, channels, lossless, repeats)
@@ -139,14 +129,7 @@ def main(argv=None) -> int:
               f"  identical: {case['subbands_identical']}")
     print(f"cpu_count={os.cpu_count()}")
 
-    out_path = args.output or os.path.join(
-        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-        "BENCH_dwt.json",
-    )
-    with open(out_path, "w") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    print(f"wrote {out_path}")
+    write_bench_json(report, "BENCH_dwt.json", args.output)
 
     if not ok:
         print("FAIL: fused subbands differ from reference")

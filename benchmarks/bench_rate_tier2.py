@@ -33,7 +33,7 @@ import platform
 
 import numpy as np
 
-from _util import add_repeats_flag, check_repeats, time_fn
+from _util import add_repeats_flag, bench_report, check_repeats, time_fn, write_bench_json
 from repro.core.workpool import (
     CodeBlockWorkQueue,
     PlaneBlockTask,
@@ -207,17 +207,9 @@ def main(argv=None) -> int:
     args = ap.parse_args(argv)
     repeats = check_repeats(args.repeats)
 
-    report = {
-        "benchmark": "rate_tier2",
-        "quick": args.quick,
-        "machine": {
-            "cpu_count": os.cpu_count(),
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-        },
-        "rate_control": bench_rate(repeats),
-    }
+    report = bench_report(
+        "rate_tier2", quick=args.quick, rate_control=bench_rate(repeats)
+    )
     rc = report["rate_control"]
     print(f"rate control ({rc['blocks']} blocks, {rc['geometry']}):"
           f" reference {rc['reference']['median_s']*1e3:8.1f} ms"
@@ -239,14 +231,7 @@ def main(argv=None) -> int:
               f"  identical: {row['results_identical']}")
     print(f"cpu_count={os.cpu_count()}")
 
-    out_path = args.output or os.path.join(
-        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-        "BENCH_rate.json",
-    )
-    with open(out_path, "w") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    print(f"wrote {out_path}")
+    write_bench_json(report, "BENCH_rate.json", args.output)
 
     if not ok:
         print("FAIL: vectorized/shared-memory results differ from reference")

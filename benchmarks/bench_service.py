@@ -35,7 +35,7 @@ import time
 
 import numpy as np
 
-from _util import add_repeats_flag, check_repeats
+from _util import add_repeats_flag, bench_report, check_repeats, write_bench_json
 from repro.image.synthetic import watch_face_image
 from repro.jpeg2000.encoder import encode
 from repro.jpeg2000.params import EncoderParams
@@ -195,16 +195,10 @@ def main(argv=None) -> int:
           f"(acceptance >= {ACCEPT_SPEEDUP}x cached)")
     print(f"byte-identical to offline encode everywhere: {deterministic}")
 
-    report = {
-        "benchmark": "service_throughput",
-        "smoke": args.smoke,
-        "machine": {
-            "cpu_count": os.cpu_count(),
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-        },
-        "traffic": {
+    report = bench_report(
+        "service_throughput",
+        smoke=args.smoke,
+        traffic={
             "requests": len(TRAFFIC),
             "unique_images": len(images),
             "pattern": list(TRAFFIC),
@@ -212,27 +206,20 @@ def main(argv=None) -> int:
             "concurrency": CONCURRENCY,
             "workers": args.workers,
         },
-        "baseline_pool_per_image": baseline,
-        "service_nocache": nocache,
-        "service_cached": cached,
-        "speedup_vs_baseline": {
+        baseline_pool_per_image=baseline,
+        service_nocache=nocache,
+        service_cached=cached,
+        speedup_vs_baseline={
             "nocache": speedup_nocache,
             "cached": speedup_cached,
         },
-        "deterministic": deterministic,
-        "acceptance": {
+        deterministic=deterministic,
+        acceptance={
             "threshold": ACCEPT_SPEEDUP,
             "passed": deterministic and speedup_cached >= ACCEPT_SPEEDUP,
         },
-    }
-    out_path = args.output or os.path.join(
-        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-        "BENCH_service.json",
     )
-    with open(out_path, "w") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    print(f"wrote {out_path}")
+    write_bench_json(report, "BENCH_service.json", args.output)
 
     if not deterministic:
         return 1  # determinism is an acceptance criterion, fail loudly

@@ -35,7 +35,7 @@ import urllib.request
 
 import numpy as np
 
-from _util import add_repeats_flag, check_repeats
+from _util import add_repeats_flag, bench_report, check_repeats, write_bench_json
 from repro.jpeg2000.encoder import encode
 from repro.jpeg2000.params import EncoderParams
 from repro.service import ServiceConfig
@@ -241,42 +241,29 @@ def main(argv=None) -> int:
         print(f"note: {cpu_count} cpu(s) < {top} shards — the "
               f">= {ACCEPT_SPEEDUP}x gate needs a multi-core machine")
 
-    report = {
-        "benchmark": "shard_scaling",
-        "smoke": args.smoke,
-        "machine": {
-            "cpu_count": cpu_count,
-            "machine_limited": machine_limited,
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-        },
-        "traffic": {
+    report = bench_report(
+        "shard_scaling",
+        machine_extra={"machine_limited": machine_limited},
+        smoke=args.smoke,
+        traffic={
             "requests": BURST,
             "unique_images": BURST,
             "image_size": size,
             "levels": LEVELS,
             "workers_per_shard": 1,
         },
-        "by_shard_count": {str(n): results[n] for n in shard_counts},
-        "speedup_vs_1_shard": speedups,
-        "cached_2_shards": cached,
-        "deterministic": deterministic,
-        "acceptance": {
+        by_shard_count={str(n): results[n] for n in shard_counts},
+        speedup_vs_1_shard=speedups,
+        cached_2_shards=cached,
+        deterministic=deterministic,
+        acceptance={
             "threshold": ACCEPT_SPEEDUP,
             "speedup_at_max_shards": speedups[str(top)],
             "single_encode_cluster_wide": cached["cluster_encodes"] == 1,
             "passed": passed,
         },
-    }
-    out_path = args.output or os.path.join(
-        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-        "BENCH_shards.json",
     )
-    with open(out_path, "w") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    print(f"wrote {out_path}")
+    write_bench_json(report, "BENCH_shards.json", args.output)
 
     if not deterministic or cached["cluster_encodes"] != 1:
         return 1  # correctness criteria fail loudly everywhere

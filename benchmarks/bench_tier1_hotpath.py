@@ -35,7 +35,7 @@ import platform
 
 import numpy as np
 
-from _util import add_repeats_flag, check_repeats, time_fn
+from _util import add_repeats_flag, bench_report, check_repeats, time_fn, write_bench_json
 from repro.image.synthetic import watch_face_image
 from repro.jpeg2000.encoder import encode
 from repro.jpeg2000.params import EncoderParams
@@ -145,22 +145,18 @@ def main(argv=None) -> int:
 
     from repro.jpeg2000 import _mq_native
 
-    report = {
-        "benchmark": "tier1_hotpath",
-        "smoke": args.smoke,
-        "machine": {
-            "cpu_count": os.cpu_count(),
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-            "numpy": np.__version__,
+    report = bench_report(
+        "tier1_hotpath",
+        machine_extra={
             "mq_native_kernel": _mq_native.native_encode_run is not None,
         },
-        "codeblock_64x64_dense": bench_codeblock(block_repeats),
-        "batched_small_blocks": bench_batched_small_blocks(
+        smoke=args.smoke,
+        codeblock_64x64_dense=bench_codeblock(block_repeats),
+        batched_small_blocks=bench_batched_small_blocks(
             image_size, image_repeats
         ),
-        "full_image_encode": bench_full_image(image_size, image_repeats),
-    }
+        full_image_encode=bench_full_image(image_size, image_repeats),
+    )
 
     cb = report["codeblock_64x64_dense"]
     sb = report["batched_small_blocks"]
@@ -180,14 +176,7 @@ def main(argv=None) -> int:
     print(f"codestreams identical across worker counts: "
           f"{fi['codestreams_identical']}  (cpu_count={os.cpu_count()})")
 
-    out_path = args.output or os.path.join(
-        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-        "BENCH_tier1.json",
-    )
-    with open(out_path, "w") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    print(f"wrote {out_path}")
+    write_bench_json(report, "BENCH_tier1.json", args.output)
 
     if not fi["codestreams_identical"] or not sb["codestreams_identical"]:
         return 1  # determinism is an acceptance criterion, fail loudly

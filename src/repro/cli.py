@@ -1,7 +1,8 @@
 """Command-line interface: encode / decode / simulate / serve / verify / fuzz.
 
     python -m repro encode  input.bmp output.j2c [--lossy] [--rate 0.1]
-    python -m repro decode  input.j2c output.bmp
+    python -m repro decode  input.j2c output.bmp [--backend batched]
+                              [--workers auto]
     python -m repro simulate input.bmp [--spes 8] [--ppe-threads 1]
                               [--chips 1] [--lossy] [--rate 0.1] [--estimate]
     python -m repro serve   [--port 8000] [--workers auto] [--cache-mb 64]
@@ -132,13 +133,20 @@ def cmd_encode(args) -> int:
 
 
 def cmd_decode(args) -> int:
+    from repro.jpeg2000.dwt_fast import DecodeStageTimings
+
     with open(args.input, "rb") as fh:
         codestream = fh.read()
-    image = decode(codestream)
+    timings = DecodeStageTimings()
+    t0 = time.perf_counter()
+    image = decode(codestream, backend=args.backend, workers=args.workers,
+                   timings=timings)
+    wall = time.perf_counter() - t0
     if image.dtype.itemsize != 1:
         raise SystemExit("only 8-bit output images are supported by BMP/PNM")
     _write_image(args.output, image)
-    print(f"{args.input} -> {args.output}: {image.shape}")
+    print(f"{args.input} -> {args.output}: {image.shape}, {wall:.2f}s")
+    print(f"  stages: {timings.summary()}")
     return 0
 
 
@@ -276,6 +284,15 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("decode", help="decode a codestream to BMP/PNM")
     p.add_argument("input")
     p.add_argument("output")
+    p.add_argument("--backend", default="auto",
+                   choices=("auto", "reference", "vectorized", "batched"),
+                   help="decoder implementation (all are sample-identical); "
+                        "'auto' honours REPRO_DEC_BACKEND then picks "
+                        "'batched', which decodes same-geometry code blocks "
+                        "stacked per image")
+    p.add_argument("--workers", type=_workers, default=1, metavar="N",
+                   help="Tier-1 decode worker processes; 'auto' = one per "
+                        "core (output is identical for any value)")
     p.set_defaults(func=cmd_decode)
 
     p = sub.add_parser("simulate", help="simulated Cell/B.E. encode timeline")

@@ -152,6 +152,19 @@ def _encode_task(payload):
     return seq, os.getpid(), encode_codeblock(coeffs, band, backend=backend)
 
 
+def _decode_block_task(payload):
+    """Worker entry point for Tier-1 *decode*; module-level for spawn.
+
+    Lazy import keeps the decoder stack out of encode-only workers.
+    """
+    from repro.jpeg2000.tier1_dec_vec import decode_codeblock_fast
+
+    seq, data, height, width, band, msbs, num_passes = payload
+    return seq, os.getpid(), decode_codeblock_fast(
+        data, height, width, band, msbs, num_passes
+    )
+
+
 def shared_memory_available() -> bool:
     """True when plane dispatch can use ``multiprocessing.shared_memory``."""
     if os.environ.get(SHM_ENV, "1") == "0":
@@ -547,6 +560,64 @@ class CodeBlockWorkQueue:
         if missing:
             raise RuntimeError(f"work queue lost {missing} block results")
         return results  # type: ignore[return-value]
+
+    def decode_all(self, blocks) -> list:
+        """Decode code blocks, returning int32 planes in submission order.
+
+        ``blocks`` is a list of ``(data, height, width, band, msbs,
+        num_passes)`` tuples — exactly the arguments of
+        :func:`repro.jpeg2000.tier1_dec_vec.decode_codeblock_fast`.  Code
+        blocks are as independent on decode as on encode (per-block MQ
+        state), so the same dynamic queue applies: workers pull blocks
+        one at a time and results are re-assembled into submission order,
+        making the output sample-identical for any worker count.  The
+        serial path runs the batched stack decoder (the fastest
+        single-process route); the pool path ships each block's bytes
+        (cheap: compressed data, not coefficient planes).
+        """
+        if self.pool is not None:
+            raise ValueError(
+                "decode dispatch requires a one-shot pool; injected pools "
+                "are encode executors"
+            )
+        stats = QueueStats(workers=self.workers, blocks=len(blocks))
+        self.last_stats = stats
+        if not blocks:
+            return []
+        from repro.jpeg2000.tier1_dec_vec import decode_codeblocks_batched
+
+        if self.workers == 1 or len(blocks) < MIN_BLOCKS_FOR_POOL:
+            stats.blocks_per_worker[os.getpid()] = len(blocks)
+            return decode_codeblocks_batched(list(blocks))
+        stats.dispatch = "pickle"
+        payloads = [(seq,) + tuple(blk) for seq, blk in enumerate(blocks)]
+        results: list = [None] * len(blocks)
+
+        def _consume(iterator) -> None:
+            for seq, pid, res in iterator:
+                results[seq] = res
+                stats.blocks_per_worker[pid] = (
+                    stats.blocks_per_worker.get(pid, 0) + 1
+                )
+
+        ctx = (
+            multiprocessing.get_context(self.mp_context)
+            if self.mp_context
+            else multiprocessing.get_context()
+        )
+        pool = ctx.Pool(processes=self.workers)
+        try:
+            _consume(pool.imap_unordered(_decode_block_task, payloads, chunksize=1))
+            pool.close()
+        except BaseException:
+            pool.terminate()
+            raise
+        finally:
+            pool.join()
+        missing = sum(r is None for r in results)
+        if missing:
+            raise RuntimeError(f"work queue lost {missing} block results")
+        return results
 
     def _run_payloads(self, tasks, payloads, task_fn, stats) -> list[CodeBlockResult]:
         """Drive payloads through the injected or one-shot pool."""

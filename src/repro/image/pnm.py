@@ -5,8 +5,8 @@ from __future__ import annotations
 import numpy as np
 
 
-def write_pnm(path: str, image: np.ndarray) -> None:
-    """Write a uint8 gray (P5) or RGB (P6) image."""
+def dump_pnm(image: np.ndarray) -> bytes:
+    """Serialize a uint8 gray (P5) or RGB (P6) image to PNM bytes."""
     img = np.asarray(image)
     if img.dtype != np.uint8:
         raise ValueError(f"PNM writer requires uint8 pixels, got {img.dtype}")
@@ -18,9 +18,14 @@ def write_pnm(path: str, image: np.ndarray) -> None:
         h, w = img.shape[:2]
     else:
         raise ValueError(f"unsupported image shape {img.shape}")
+    header = magic + b"\n%d %d\n255\n" % (w, h)
+    return header + np.ascontiguousarray(img).tobytes()
+
+
+def write_pnm(path: str, image: np.ndarray) -> None:
+    """Write a uint8 gray (P5) or RGB (P6) image."""
     with open(path, "wb") as fh:
-        fh.write(magic + b"\n%d %d\n255\n" % (w, h))
-        fh.write(np.ascontiguousarray(img).tobytes())
+        fh.write(dump_pnm(image))
 
 
 def read_pnm(path: str) -> np.ndarray:

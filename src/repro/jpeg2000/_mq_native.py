@@ -94,6 +94,70 @@ long mq_encode_run(int32_t *index, int32_t *mps,
     *areg = a; *creg = c; *ctreg = ct; *breg = b;
     return olen;
 }}
+
+long mq_decode_run(int32_t *index, int32_t *mps,
+                   uint32_t *areg, uint32_t *creg,
+                   int32_t *ctreg, long *bpreg, int32_t *breg,
+                   const uint8_t *data, long dlen,
+                   const uint8_t *ctxs, long nsym,
+                   uint8_t *out_bits)
+{{
+    uint32_t a = *areg, c = *creg;
+    int32_t ct = *ctreg;
+    long bp = *bpreg;
+    int32_t b = *breg;
+    for (long k = 0; k < nsym; k++) {{
+        int cx = ctxs[k];
+        int idx = index[cx];
+        uint32_t qe = QE[idx];
+        int d;
+        a -= qe;
+        if (((c >> 16) & 0xFFFFu) < qe) {{
+            if (a < qe) {{
+                d = mps[cx];
+                index[cx] = NMPS[idx];
+            }} else {{
+                d = 1 - mps[cx];
+                if (SWITCH_[idx]) mps[cx] = d;
+                index[cx] = NLPS[idx];
+            }}
+            a = qe;
+        }} else {{
+            c -= qe << 16;
+            if (a & 0x8000u) {{ out_bits[k] = (uint8_t)mps[cx]; continue; }}
+            if (a < qe) {{
+                d = 1 - mps[cx];
+                if (SWITCH_[idx]) mps[cx] = d;
+                index[cx] = NLPS[idx];
+            }} else {{
+                d = mps[cx];
+                index[cx] = NMPS[idx];
+            }}
+        }}
+        do {{
+            if (ct == 0) {{
+                if (b == 0xFF) {{
+                    if (((bp + 1 < dlen) ? data[bp + 1] : 0xFFu) > 0x8Fu) {{
+                        c += 0xFF00u; ct = 8;
+                    }} else {{
+                        bp += 1; b = data[bp];
+                        c += ((uint32_t)b) << 9; ct = 7;
+                    }}
+                }} else {{
+                    bp += 1;
+                    b = (bp < dlen) ? data[bp] : 0xFF;
+                    c += ((uint32_t)b) << 8; ct = 8;
+                }}
+            }}
+            a = (a << 1) & 0xFFFFu;
+            c = c << 1;
+            ct -= 1;
+        }} while (!(a & 0x8000u));
+        out_bits[k] = (uint8_t)d;
+    }}
+    *areg = a; *creg = c; *ctreg = ct; *bpreg = bp; *breg = b;
+    return nsym;
+}}
 """
 
 
@@ -155,7 +219,23 @@ def _build_library():
         ctypes.c_long,  # nsym
         ctypes.POINTER(ctypes.c_uint8),  # out
     ]
-    return fn
+    dfn = lib.mq_decode_run
+    dfn.restype = ctypes.c_long
+    dfn.argtypes = [
+        ctypes.POINTER(ctypes.c_int32),  # index
+        ctypes.POINTER(ctypes.c_int32),  # mps
+        ctypes.POINTER(ctypes.c_uint32),  # a
+        ctypes.POINTER(ctypes.c_uint32),  # c
+        ctypes.POINTER(ctypes.c_int32),  # ct
+        ctypes.POINTER(ctypes.c_long),  # bp
+        ctypes.POINTER(ctypes.c_int32),  # b
+        ctypes.c_char_p,  # data
+        ctypes.c_long,  # dlen
+        ctypes.c_char_p,  # ctxs
+        ctypes.c_long,  # nsym
+        ctypes.POINTER(ctypes.c_uint8),  # out_bits
+    ]
+    return fn, dfn
 
 
 def _make_wrapper(fn):
@@ -187,10 +267,42 @@ def _make_wrapper(fn):
     return native_encode_run
 
 
+def _make_decode_wrapper(fn):
+    def native_decode_run(dec, cseq: bytes) -> bytes:
+        """Drive the compiled decode loop with ``dec``'s state, sync back."""
+        ncx = len(dec._index)
+        index = (ctypes.c_int32 * ncx)(*dec._index)
+        mps = (ctypes.c_int32 * ncx)(*dec._mps)
+        a = ctypes.c_uint32(dec._a)
+        c = ctypes.c_uint32(dec._c)
+        ct = ctypes.c_int32(dec._ct)
+        bp = ctypes.c_long(dec._bp)
+        b = ctypes.c_int32(dec._b)
+        n = len(cseq)
+        out = (ctypes.c_uint8 * n)()
+        fn(index, mps, ctypes.byref(a), ctypes.byref(c),
+           ctypes.byref(ct), ctypes.byref(bp), ctypes.byref(b),
+           bytes(dec._data), len(dec._data), bytes(cseq), n, out)
+        dec._index[:] = index
+        dec._mps[:] = mps
+        dec._a = a.value
+        dec._c = c.value
+        dec._ct = ct.value
+        dec._bp = bp.value
+        dec._b = b.value
+        return ctypes.string_at(out, n)
+
+    return native_decode_run
+
+
 #: Callable ``(MQEncoder, bytes, bytes) -> None`` or None when unavailable.
 native_encode_run = None
 
+#: Callable ``(MQDecoder, bytes) -> bytes`` or None when unavailable.
+native_decode_run = None
+
 if os.environ.get("REPRO_MQ_NATIVE", "1") != "0":
-    _fn = _build_library()
-    if _fn is not None:
-        native_encode_run = _make_wrapper(_fn)
+    _fns = _build_library()
+    if _fns is not None:
+        native_encode_run = _make_wrapper(_fns[0])
+        native_decode_run = _make_decode_wrapper(_fns[1])

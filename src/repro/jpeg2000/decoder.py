@@ -3,10 +3,34 @@
 Mirrors :mod:`repro.jpeg2000.encoder` exactly: marker parsing, packet
 parsing, Tier-1 decoding, dequantization, inverse DWT, inverse MCT, level
 unshift.  Lossless codestreams reconstruct bit exactly.
+
+The decoder has the same backend ladder as the encoder and every rung is
+sample-identical (differentially tested):
+
+``reference``
+    The original all-scalar path, preserved verbatim as the oracle
+    (:func:`decode_reference`).
+``vectorized``
+    :func:`repro.jpeg2000.tier1_dec_vec.decode_codeblock_fast` per block
+    (incremental context keys, inlined MQ decoding, native whole-block
+    kernel where the C compiler is available) plus the fused inverse
+    DWT + MCT front end (:func:`repro.jpeg2000.dwt_fast.run_inverse_frontend`).
+``batched``
+    The same fast block decoder driven through same-geometry stacking
+    (:func:`repro.jpeg2000.tier1_dec_vec.decode_codeblocks_batched`), the
+    default — code blocks are decoded per image, not per call.
+
+``decode(..., workers=N)`` additionally fans blocks out over
+:class:`repro.core.workpool.CodeBlockWorkQueue` (process pool with
+sequence-numbered reassembly) and the inverse front end's chunk passes
+over threads; both are deterministic for any worker count, and small
+images auto-clamp to serial exactly like the encoder.
 """
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -15,6 +39,7 @@ from repro.jpeg2000 import mct
 from repro.jpeg2000.codeblocks import partition_subband
 from repro.jpeg2000.codestream import CodestreamInfo, parse_codestream
 from repro.jpeg2000.dwt import Decomposition, inverse_dwt2d
+from repro.jpeg2000.dwt_fast import DecodeStageTimings, run_inverse_frontend
 from repro.jpeg2000.errors import (
     CodestreamError,
     DecodeLimits,
@@ -29,6 +54,37 @@ from repro.jpeg2000.tier2 import parse_packet
 #: imply (5-bit exponent + 3-bit guard bits keeps well under this; anything
 #: larger is a corrupt header, not a deep image).
 _MAX_BITPLANES = 38
+
+#: Environment variable consulted when the decode backend is ``"auto"``.
+DEC_BACKEND_ENV_VAR = "REPRO_DEC_BACKEND"
+
+#: Valid decoder backend names (all sample-identical).
+DEC_BACKENDS = ("auto", "reference", "vectorized", "batched")
+
+
+def resolve_dec_backend(backend: str | None) -> str:
+    """Resolve a decode backend name, honouring :data:`DEC_BACKEND_ENV_VAR`.
+
+    ``None``/``"auto"`` reads the environment and otherwise picks
+    ``"batched"`` — the fastest path; every backend decodes to identical
+    samples, so the choice is purely a speed knob.
+    """
+    if backend is None:
+        backend = "auto"
+    if backend not in DEC_BACKENDS:
+        raise ValueError(
+            f"unknown decode backend {backend!r}; expected one of {DEC_BACKENDS}"
+        )
+    if backend == "auto":
+        env = os.environ.get(DEC_BACKEND_ENV_VAR, "")
+        if env:
+            if env not in DEC_BACKENDS:
+                raise ValueError(
+                    f"{DEC_BACKEND_ENV_VAR}={env!r} invalid; expected one of "
+                    f"{DEC_BACKENDS}"
+                )
+            backend = env
+    return "batched" if backend == "auto" else backend
 
 
 @dataclass
@@ -82,7 +138,12 @@ def _subband_layouts(info: CodestreamInfo) -> list[_SubbandLayout]:
 
 
 def decode(
-    codestream: bytes, limits: DecodeLimits | None = None
+    codestream: bytes,
+    limits: DecodeLimits | None = None,
+    *,
+    backend: str | None = None,
+    workers: int | None = 1,
+    timings: DecodeStageTimings | None = None,
 ) -> np.ndarray:
     """Decode a codestream produced by :func:`repro.jpeg2000.encoder.encode`.
 
@@ -91,19 +152,48 @@ def decode(
     kind raises a :class:`repro.jpeg2000.errors.CodestreamError` subclass;
     no bare ``IndexError``/``struct.error``/``EOFError`` escapes, and no
     allocation is sized by an unvalidated field.
+
+    ``backend`` selects the Tier-1 decode implementation (see
+    :data:`DEC_BACKENDS`; ``None``/``"auto"`` honours
+    ``REPRO_DEC_BACKEND`` then defaults to ``"batched"``).  ``workers``
+    fans code blocks out over a process pool and the inverse front end
+    over threads (``None`` = one per core); the output is sample-identical
+    for every backend and worker count.  ``timings`` (a
+    :class:`repro.jpeg2000.dwt_fast.DecodeStageTimings`) accumulates
+    per-stage wall time.
     """
+    resolved = resolve_dec_backend(backend)
+    t_start = time.perf_counter()
     info = parse_codestream(codestream, limits=limits)
     try:
-        return _decode_parsed(info)
+        if resolved == "reference":
+            out = _decode_parsed(info)
+        else:
+            out = _decode_parsed_fast(info, resolved, workers, timings)
     except CodestreamError:
         raise
     except (ValueError, ArithmeticError, IndexError, KeyError, EOFError) as exc:
         # Defensive net: anything the typed checks above did not classify
         # still surfaces as a CodestreamError, never a raw traceback type.
         raise CodestreamError(f"malformed codestream content: {exc}") from exc
+    if timings is not None:
+        timings.total += time.perf_counter() - t_start
+    return out
+
+
+def decode_reference(
+    codestream: bytes, limits: DecodeLimits | None = None
+) -> np.ndarray:
+    """The pinned scalar decode path (the oracle every backend must match)."""
+    return decode(codestream, limits, backend="reference")
 
 
 def _decode_parsed(info: CodestreamInfo) -> np.ndarray:
+    """Scalar reference decode: per-sample Tier-1, per-stage full passes.
+
+    Deliberately untouched by the fast backends — this is the oracle the
+    vectorized/batched paths are differentially tested against.
+    """
     layouts = _subband_layouts(info)
     chroma_expanded = info.reversible and info.use_mct
 
@@ -190,7 +280,154 @@ def _decode_parsed(info: CodestreamInfo) -> np.ndarray:
         planes.append(inverse_dwt2d(decomp))
 
     comps = mct.inverse_mct(planes, info.bit_depth, info.reversible)
-    out_dtype = np.uint8 if info.bit_depth <= 8 else np.uint16
+    return _stack_output(comps, info.bit_depth)
+
+
+def _stack_output(comps: list[np.ndarray], bit_depth: int) -> np.ndarray:
+    out_dtype = np.uint8 if bit_depth <= 8 else np.uint16
     if len(comps) == 1:
         return comps[0].astype(out_dtype)
     return np.stack([c.astype(out_dtype) for c in comps], axis=-1)
+
+
+def _decode_parsed_fast(
+    info: CodestreamInfo,
+    backend: str,
+    workers: int | None,
+    timings: DecodeStageTimings | None,
+) -> np.ndarray:
+    """Vectorized/batched decode: collect blocks, decode per image, fuse.
+
+    The packet walk below is a line-for-line copy of the reference's
+    traversal that *collects* block tasks instead of decoding inline, so
+    every typed error (header, packet, tag tree) is raised at the same
+    point in the same order.  Tier-1 decoding itself is total for
+    validated inputs — the MQ decoder treats truncation as an endless
+    ``0xFF`` tail and never raises — so deferring it cannot reorder
+    failures.  Blocks then decode in one batched call (or over the work
+    queue), are dequantized and placed, and the fused inverse front end
+    reconstructs the components.
+    """
+    t0 = time.perf_counter()
+    layouts = _subband_layouts(info)
+    chroma_expanded = info.reversible and info.use_mct
+
+    coeff: list[dict[tuple[str, int], np.ndarray]] = [
+        {} for _ in range(info.num_components)
+    ]
+    dtype = np.int32 if info.reversible else np.float64
+    for ci in range(info.num_components):
+        for lay in layouts:
+            coeff[ci][(lay.band, lay.dlevel)] = np.zeros(
+                (lay.height, lay.width), dtype=dtype
+            )
+
+    # Packet walk: identical traversal and identical typed-error ordering
+    # to the reference; blocks are recorded, not decoded.
+    blocks_in: list[tuple[bytes, int, int, str, int, int]] = []
+    placements: list[tuple[np.ndarray, object, float]] = []
+    pos = 0
+    data = info.tile_data
+    for res in range(info.levels + 1):
+        if res == 0:
+            res_layouts = [layouts[0]]
+        else:
+            dl = info.levels - res + 1
+            res_layouts = [l for l in layouts if l.dlevel == dl and l.band != "LL"]
+        for ci in range(info.num_components):
+            grids = []
+            band_specs = []
+            for lay in res_layouts:
+                specs, grows, gcols = partition_subband(
+                    lay.height, lay.width, info.codeblock_size
+                )
+                grids.append((grows, gcols, len(specs)))
+                band_specs.append(specs)
+            parsed, pos = parse_packet(data, pos, grids)
+            for lay, specs, blocks in zip(res_layouts, band_specs, parsed):
+                rb = nominal_range_bits(info.bit_depth, lay.band, chroma_expanded)
+                num_bitplanes = lay.exponent + info.guard_bits - 1
+                step = (
+                    1.0
+                    if info.reversible
+                    else exponent_mantissa_to_step(lay.exponent, lay.mantissa, rb)
+                )
+                target = coeff[ci][(lay.band, lay.dlevel)]
+                for spec, blk in zip(specs, blocks):
+                    if not blk.included:
+                        continue
+                    msbs = num_bitplanes - blk.zero_bitplanes
+                    if msbs < 0:
+                        raise PacketError(
+                            f"block ({blk.grid_row}, {blk.grid_col}) signals "
+                            f"{blk.zero_bitplanes} missing bit planes but the "
+                            f"subband codes only {num_bitplanes}"
+                        )
+                    max_passes = 1 + 3 * (msbs - 1) if msbs else 0
+                    if blk.num_passes > max_passes:
+                        raise PacketError(
+                            f"block ({blk.grid_row}, {blk.grid_col}) signals "
+                            f"{blk.num_passes} coding passes but {msbs} bit "
+                            f"planes allow at most {max_passes}"
+                        )
+                    blocks_in.append((
+                        blk.data, spec.height, spec.width, lay.band,
+                        msbs, blk.num_passes,
+                    ))
+                    placements.append((target, spec, step))
+    t1 = time.perf_counter()
+
+    # Tier-1: per image, not per block.  The work queue path reassembles
+    # by sequence number, so results are identical at any worker count;
+    # tiny images clamp to serial exactly like the encoder.
+    from repro.core.workpool import CodeBlockWorkQueue, tier1_auto_workers
+
+    eff_workers = tier1_auto_workers(workers, len(blocks_in))
+    if eff_workers > 1:
+        queue = CodeBlockWorkQueue(workers=eff_workers)
+        results = queue.decode_all(blocks_in)
+    elif backend == "batched":
+        from repro.jpeg2000.tier1_dec_vec import decode_codeblocks_batched
+
+        results = decode_codeblocks_batched(blocks_in)
+    else:
+        from repro.jpeg2000.tier1_dec_vec import decode_codeblock_fast
+
+        results = [decode_codeblock_fast(*blk) for blk in blocks_in]
+    t2 = time.perf_counter()
+
+    # Dequantize + place (elementwise; identical to the reference's
+    # inline per-block handling).
+    for (target, spec, step), vals in zip(placements, results):
+        if info.reversible:
+            out = vals
+        else:
+            out = dequantize(vals, step)
+        target[spec.row0 : spec.row0 + spec.height,
+               spec.col0 : spec.col0 + spec.width] = out
+    t3 = time.perf_counter()
+
+    # Fused inverse DWT + inverse MCT + level unshift.
+    decomps = []
+    for ci in range(info.num_components):
+        details = []
+        for dl in range(1, info.levels + 1):
+            details.append(
+                (coeff[ci][("HL", dl)], coeff[ci][("LH", dl)], coeff[ci][("HH", dl)])
+            )
+        decomps.append(Decomposition(
+            shape=(info.height, info.width), levels=info.levels,
+            reversible=info.reversible,
+            ll=coeff[ci][("LL", info.levels)], details=details,
+        ))
+    comps = run_inverse_frontend(
+        decomps, info.bit_depth, info.reversible, workers=workers,
+    )
+    out = _stack_output(comps, info.bit_depth)
+    t4 = time.perf_counter()
+    if timings is not None:
+        timings.parse += t1 - t0
+        timings.tier1 += t2 - t1
+        timings.dequantize += t3 - t2
+        timings.idwt_mct += t4 - t3
+    return out

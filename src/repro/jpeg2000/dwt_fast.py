@@ -45,8 +45,11 @@ from repro.jpeg2000.dwt import (
     LIFT_GAMMA,
     LIFT_K,
     Decomposition,
+    _level_shapes,
     effective_levels,
     forward_dwt2d,
+    inverse_53_1d,
+    inverse_97_1d,
 )
 from repro.jpeg2000.quantize import SubbandQuant, derive_quant, quantize
 
@@ -183,6 +186,50 @@ def _fmt_seconds(s: float) -> str:
     if s >= 0.1:
         return f"{s:.2f}s"
     return f"{s * 1e3:.1f}ms"
+
+
+@dataclass
+class DecodeStageTimings:
+    """Wall-clock seconds spent in each decode pipeline stage.
+
+    The decode mirror of :class:`StageTimings`: ``parse`` covers marker and
+    packet parsing, ``tier1`` the code-block bit decoding, ``dequantize``
+    the step multiply + placement, and ``idwt_mct`` the fused inverse DWT +
+    inverse MCT + level-unshift front end.  The reference decode backend
+    fills only ``parse`` and ``total`` (its stages are interleaved by
+    design and left untouched as the oracle).
+    """
+
+    parse: float = 0.0
+    tier1: float = 0.0
+    dequantize: float = 0.0
+    idwt_mct: float = 0.0
+    total: float = 0.0
+
+    #: Stage attribute names in pipeline order (CLI summary, service
+    #: metrics).
+    STAGES: ClassVar[tuple[str, ...]] = (
+        "parse", "tier1", "dequantize", "idwt_mct",
+    )
+
+    def as_dict(self) -> dict[str, float]:
+        out = {name: getattr(self, name) for name in self.STAGES}
+        out["total"] = self.total
+        return out
+
+    def summary(self) -> str:
+        """One-line, human-oriented stage breakdown for the CLI."""
+        labels = {
+            "parse": "parse", "tier1": "tier1",
+            "dequantize": "dequant", "idwt_mct": "idwt+mct",
+        }
+        parts = []
+        for name in self.STAGES:
+            value = getattr(self, name)
+            if value == 0.0:
+                continue  # the reference backend only fills parse/total
+            parts.append(f"{labels[name]} {_fmt_seconds(value)}")
+        return " | ".join(parts) if parts else "n/a"
 
 
 # ---------------------------------------------------------------------------
@@ -623,3 +670,105 @@ def _fused_level0(
             shape=(h, w), levels=0, reversible=lossless, ll=ll, details=[],
         ))
     return decomps
+
+
+# ---------------------------------------------------------------------------
+# Chunked inverse front end (decode mirror of run_frontend)
+# ---------------------------------------------------------------------------
+
+
+def _chunked_inverse_once(
+    inv, ll, hl, lh, hh, shape, dt, queue: ChunkWorkQueue, chunk_cols
+) -> np.ndarray:
+    """One synthesis level, chunk-parallel, bit-exact vs ``_inverse_2d_once``.
+
+    The reference runs ``inv(ll.T, hl.T, w).T`` then ``inv(lo_v, hi_v, h)``
+    — each 1-D synthesis transforms along axis 0 and is *elementwise* along
+    axis 1 (every lifting expression combines samples of one column only).
+    Chunking the free axis therefore partitions identical arithmetic:
+    horizontal synthesis fans out over row chunks, vertical over column
+    chunks, every task writing a disjoint slice of a preallocated output.
+    The per-call 5/3 working dtype (``_lift_dtype``) may differ chunk vs
+    whole, but 5/3 lifting is exact integer arithmetic with no overflow in
+    either width, so the int32 results are equal either way.
+    """
+    h, w = shape
+    ns_v, nd_v = h - h // 2, h // 2
+    lo_v = np.empty((ns_v, w), dt)
+    hi_v = np.empty((nd_v, w), dt)
+
+    def htask(lo_band, hi_band, dst, r0: int, r1: int) -> None:
+        dst[r0:r1] = inv(lo_band[r0:r1].T, hi_band[r0:r1].T, w).T
+
+    tasks = []
+    for r0, r1 in _ranges(ns_v, resolve_chunk(ns_v, chunk_cols, queue.workers)):
+        tasks.append(lambda a=r0, b=r1: htask(ll, hl, lo_v, a, b))
+    for r0, r1 in _ranges(nd_v, resolve_chunk(nd_v, chunk_cols, queue.workers)):
+        tasks.append(lambda a=r0, b=r1: htask(lh, hh, hi_v, a, b))
+    queue.run(tasks)
+
+    out = np.empty((h, w), dt)
+
+    def vtask(c0: int, c1: int) -> None:
+        out[:, c0:c1] = inv(lo_v[:, c0:c1], hi_v[:, c0:c1], h)
+
+    cols = _ranges(w, resolve_chunk(w, chunk_cols, queue.workers))
+    queue.run([lambda a=a, b=b: vtask(a, b) for a, b in cols])
+    return out
+
+
+def run_inverse_frontend(
+    decomps: list[Decomposition],
+    bit_depth: int,
+    lossless: bool,
+    *,
+    workers: int | None = 1,
+    chunk_cols: int | None = None,
+) -> list[np.ndarray]:
+    """Fused inverse DWT + inverse MCT + level unshift for every component.
+
+    The decode mirror of :func:`run_frontend`: synthesis levels run as
+    chunked passes over a :class:`ChunkWorkQueue` (threads writing disjoint
+    slices, deterministic for any worker count), and the final inverse MCT
+    + DC unshift runs as one more chunked traversal over the reconstructed
+    planes instead of three separate full-plane passes.  Returns unsigned
+    int32 component planes, bit-exact versus
+    ``mct.inverse_mct([inverse_dwt2d(d) for d in decomps], ...)`` — every
+    chunked expression is the same elementwise arithmetic as the oracle's
+    (see :func:`_chunked_inverse_once`), and :func:`mct.inverse_mct` itself
+    is elementwise, so applying it per column chunk changes nothing.
+    """
+    if not decomps:
+        raise ValueError("need at least one component decomposition")
+    from repro.core.workpool import default_workers
+
+    h, w = decomps[0].shape
+    if workers is None:
+        workers = default_workers()
+    workers = auto_serial_workers(workers, h * w * len(decomps))
+    with ChunkWorkQueue(workers) as queue:
+        planes = []
+        for d in decomps:
+            inv = inverse_53_1d if d.reversible else inverse_97_1d
+            dt = np.int32 if d.reversible else np.float64
+            ll = d.ll
+            shapes = _level_shapes(d.shape, d.levels)
+            for i in range(d.levels - 1, -1, -1):
+                hl, lh, hh = d.details[i]
+                ll = _chunked_inverse_once(
+                    inv, ll, hl, lh, hh, shapes[i], dt, queue, chunk_cols
+                )
+            planes.append(ll)
+
+        out = [np.empty((h, w), np.int32) for _ in planes]
+
+        def mtask(c0: int, c1: int) -> None:
+            restored = mct.inverse_mct(
+                [p[:, c0:c1] for p in planes], bit_depth, lossless
+            )
+            for ci, r in enumerate(restored):
+                out[ci][:, c0:c1] = r
+
+        cols = _ranges(w, resolve_chunk(w, chunk_cols, queue.workers))
+        queue.run([lambda a=a, b=b: mtask(a, b) for a, b in cols])
+    return out

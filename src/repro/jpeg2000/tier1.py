@@ -480,3 +480,10 @@ def decode_codeblock(
             v = mag[i] + ((1 << prec[i]) >> 1)
             values[i] = -v if sgn[i] else v
     return values.reshape(height, width).astype(np.int32)
+
+
+#: The scalar decoder above is the pinned oracle for every fast decode
+#: backend (:mod:`repro.jpeg2000.tier1_dec_vec` is differentially tested
+#: against it sample by sample); the alias mirrors
+#: :func:`encode_codeblock_reference` on the encode side.
+decode_codeblock_reference = decode_codeblock

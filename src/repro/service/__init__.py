@@ -18,13 +18,15 @@ enforced by tests.
 
 from __future__ import annotations
 
+import hashlib
+import io
 import threading
 import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.jpeg2000.dwt_fast import StageTimings
+from repro.jpeg2000.dwt_fast import DecodeStageTimings, StageTimings
 from repro.jpeg2000.encoder import EncodeResult, encode
 from repro.jpeg2000.params import EncoderParams
 from repro.service.admission import (
@@ -40,6 +42,7 @@ from repro.service.scheduler import EncodeScheduler, SchedulerClosed
 
 __all__ = [
     "AdmissionController",
+    "DecodeResponse",
     "EncodeResponse",
     "EncodeScheduler",
     "EncodeService",
@@ -93,6 +96,16 @@ class EncodeResponse:
     cache_source: str | None = None
     #: True when the encode rode a micro-batch dispatch.
     batched: bool = False
+
+
+@dataclass
+class DecodeResponse:
+    """One served decode: the reconstructed image plus how it was produced."""
+
+    image: np.ndarray = field(repr=False)
+    cache_hit: bool
+    decode_s: float
+    backend: str
 
 
 class EncodeService:
@@ -149,6 +162,27 @@ class EncodeService:
                 f"stage_{stage}_seconds", f"encode {stage} stage wall time"
             )
             for stage in StageTimings.STAGES
+        }
+        self._verify_time = m.histogram(
+            "verify_seconds", "round-trip verification wall time"
+        )
+        self._dec_requests = m.counter(
+            "decode_requests_total", "decode requests received"
+        )
+        self._decoded = m.counter("images_decoded_total", "full decodes run")
+        self._dec_cache_hits = m.counter(
+            "decode_cache_hits_total", "decode requests served from cache"
+        )
+        self._dec_errors = m.counter(
+            "decode_errors_total", "decode requests failed with an error"
+        )
+        self._decode_time = m.histogram("decode_seconds", "decode wall time")
+        self._dec_stage_times = {
+            stage: m.histogram(
+                f"decode_stage_{stage}_seconds",
+                f"decode {stage} stage wall time",
+            )
+            for stage in DecodeStageTimings.STAGES
         }
         self._started = time.time()
         self._closed = False
@@ -343,6 +377,68 @@ class EncodeService:
                 if pending is not None:
                     pending.set()
 
+    def decode_image(
+        self,
+        codestream: bytes,
+        backend: str | None = None,
+        workers: int | None = 1,
+    ) -> DecodeResponse:
+        """Decode one codestream, with the same serving affordances as encode.
+
+        Decodes run inline on the request thread (block fan-out happens
+        inside :func:`repro.jpeg2000.decoder.decode` itself), but share the
+        encode path's admission control — a decode burst cannot starve the
+        pool queue unbounded — and a content-addressed cache keyed on the
+        codestream bytes alone: every backend reconstructs identical
+        samples, so a hit is valid regardless of which backend filled it.
+
+        Raises :class:`repro.jpeg2000.errors.CodestreamError` for malformed
+        input (HTTP 400), :class:`QueueFullError` when admission sheds the
+        request (503), and :class:`SchedulerClosed` while shutting down.
+        """
+        from repro.jpeg2000.decoder import decode, resolve_dec_backend
+
+        if self._closed:
+            raise SchedulerClosed("service is closed")
+        resolved = resolve_dec_backend(backend)
+        self._dec_requests.inc()
+        key = "dec:" + hashlib.sha256(codestream).hexdigest()
+        cached = self.cache.get(key)
+        if cached is not None:
+            self._dec_cache_hits.inc()
+            return DecodeResponse(
+                image=_unpack_image(cached), cache_hit=True,
+                decode_s=0.0, backend=resolved,
+            )
+        try:
+            self.admission.acquire()
+        except QueueFullError:
+            self._rejected.inc()
+            raise
+        self._inflight_gauge.inc()
+        timings = DecodeStageTimings()
+        t0 = time.perf_counter()
+        try:
+            image = decode(
+                codestream, backend=resolved, workers=workers, timings=timings
+            )
+        except Exception:
+            self._dec_errors.inc()
+            self._errors.inc()
+            raise
+        finally:
+            self._inflight_gauge.dec()
+            self.admission.release()
+        decode_s = time.perf_counter() - t0
+        self._decoded.inc()
+        self._decode_time.observe(decode_s)
+        for stage, hist in self._dec_stage_times.items():
+            hist.observe(getattr(timings, stage))
+        self.cache.put(key, _pack_image(image))
+        return DecodeResponse(
+            image=image, cache_hit=False, decode_s=decode_s, backend=resolved,
+        )
+
     @staticmethod
     def _is_micro(image, params) -> bool:
         from repro.service.sharding.batching import is_micro_request
@@ -360,11 +456,14 @@ class EncodeService:
         # Lazy import: only ?verify=1 requests pay for the decoder stack.
         from repro.verify.roundtrip import VerificationError, verify_roundtrip
 
+        t0 = time.perf_counter()
         try:
             verify_roundtrip(image, codestream, params)
         except VerificationError:
             self._verify_failures.inc()
             raise
+        finally:
+            self._verify_time.observe(time.perf_counter() - t0)
         self._verified.inc()
 
     # -- observability -----------------------------------------------------
@@ -429,3 +528,14 @@ class EncodeService:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close(drain=exc_type is None)
+
+
+def _pack_image(image: np.ndarray) -> bytes:
+    """Serialize a decoded image for the byte-valued result cache."""
+    buf = io.BytesIO()
+    np.save(buf, image, allow_pickle=False)
+    return buf.getvalue()
+
+
+def _unpack_image(data: bytes) -> np.ndarray:
+    return np.load(io.BytesIO(data), allow_pickle=False)

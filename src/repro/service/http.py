@@ -1,6 +1,7 @@
 """Stdlib-only threaded HTTP front end for the encode service.
 
     POST /encode     raw BMP or binary PGM/PPM body -> .j2c codestream
+    POST /decode     raw .j2c codestream body -> binary PGM/PPM image
     GET  /healthz    liveness (pings the worker pool)
     GET  /metrics    JSON metrics snapshot (counters/gauges/histograms)
     GET  /stats      pool / scheduler / cache / admission rollup
@@ -10,7 +11,10 @@ flags: ``lossy=1``, ``rate=0.1``, ``levels=5``, ``codeblock=64``,
 ``tier1_backend=batched``, ``dwt_backend=fused``, ``dwt_chunk=64``,
 ``priority=5``.  ``verify=1``
 round-trips the served bytes through the decoder first; a failed check
-returns 422 with a structured JSON body instead of bad bytes.  Each connection is handled on its own thread
+returns 422 with a structured JSON body instead of bad bytes.
+``/decode`` takes ``backend=batched|vectorized|reference`` and
+``workers=N|auto`` (every combination reconstructs identical samples) and
+answers 400 with the typed error name for malformed codestreams.  Each connection is handled on its own thread
 (``ThreadingHTTPServer``); actual Tier-1 work is interleaved block-by-block
 onto the shared persistent pool by the scheduler, so one huge upload
 cannot starve small ones.
@@ -152,22 +156,30 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:
         parsed = urlparse(self.path)
-        if parsed.path != "/encode":
+        if parsed.path == "/encode":
+            handler = self._post_encode
+            empty_hint = "empty body; POST raw BMP or binary PGM/PPM bytes"
+        elif parsed.path == "/decode":
+            handler = self._post_decode
+            empty_hint = "empty body; POST raw .j2c codestream bytes"
+        else:
             self._error(404, f"no such endpoint: {parsed.path}")
             return
-        service = self.server.service
         try:
             length = int(self.headers.get("Content-Length", 0))
         except ValueError:
             self._error(400, "bad Content-Length")
             return
         if length <= 0:
-            self._error(400, "empty body; POST raw BMP or binary PGM/PPM bytes")
+            self._error(400, empty_hint)
             return
         if length > MAX_BODY_BYTES:
             self._error(413, f"body exceeds {MAX_BODY_BYTES} bytes")
             return
-        body = self.rfile.read(length)
+        handler(parsed, self.rfile.read(length))
+
+    def _post_encode(self, parsed, body: bytes) -> None:
+        service = self.server.service
         try:
             params, priority = params_from_query(parsed.query)
             q = {k: v[-1] for k, v in parse_qs(parsed.query).items()}
@@ -217,6 +229,61 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self._respond(
             200, response.codestream, "image/x-jpeg2000-codestream", headers
         )
+
+    def _post_decode(self, parsed, body: bytes) -> None:
+        # Local import: /encode-only deployments never touch the decoder.
+        from repro.image.pnm import dump_pnm
+        from repro.jpeg2000.errors import CodestreamError
+
+        service = self.server.service
+        try:
+            q = {k: v[-1] for k, v in parse_qs(parsed.query).items()}
+            unknown = set(q) - {"backend", "workers"}
+            if unknown:
+                raise ValueError(f"unknown query parameters: {sorted(unknown)}")
+            backend = q.get("backend", "auto")
+            workers_q = q.get("workers", "1")
+            workers = None if workers_q.lower() == "auto" else int(workers_q)
+        except ValueError as exc:
+            self._error(400, str(exc))
+            return
+        try:
+            response = service.decode_image(body, backend=backend,
+                                            workers=workers)
+        except QueueFullError as exc:
+            retry_after = getattr(exc, "retry_after_s", None)
+            self._error(
+                503, str(exc),
+                {"Retry-After": str(int(retry_after)) if retry_after else "1"},
+            )
+            return
+        except SchedulerClosed:
+            self._error(503, "service is shutting down")
+            return
+        except CodestreamError as exc:
+            self._error(400, f"{type(exc).__name__}: {exc}")
+            return
+        except ValueError as exc:
+            self._error(400, str(exc))
+            return
+        except Exception as exc:  # pragma: no cover - defensive
+            self._error(500, f"decode failed: {exc!r}")
+            return
+        image = response.image
+        headers = {
+            "X-Cache": "HIT" if response.cache_hit else "MISS",
+            "X-Decode-Seconds": f"{response.decode_s:.6f}",
+            "X-Backend": response.backend,
+        }
+        if image.dtype.itemsize != 1:
+            # 16-bit decodes exist but PNM here is 8-bit only; the decode
+            # itself succeeded, the entity just has no wire format.
+            self._error(422, f"decoded image is {image.dtype}, larger than "
+                             "the 8-bit PGM/PPM response format")
+            return
+        content_type = ("image/x-portable-graymap" if image.ndim == 2
+                        else "image/x-portable-pixmap")
+        self._respond(200, dump_pnm(image), content_type, headers)
 
 
 def make_server(

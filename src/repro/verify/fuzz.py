@@ -258,17 +258,23 @@ class FuzzReport:
         return written
 
 
-def classify(data: bytes, limits: DecodeLimits | None = None) -> tuple[str, Exception | None]:
+def classify(
+    data: bytes,
+    limits: DecodeLimits | None = None,
+    backend: str | None = None,
+) -> tuple[str, Exception | None]:
     """Decode ``data`` and classify: ("decoded"|error class name, exception).
 
     The exception is returned only for contract violations (non-typed
     errors); typed :class:`CodestreamError` raises are the expected
-    rejection path.
+    rejection path.  ``backend`` selects the decoder implementation — the
+    fuzz-parity tests assert every backend classifies every case the same
+    way, so the robustness contract is one contract, not one per path.
     """
     from repro.jpeg2000.decoder import decode
 
     try:
-        decode(data, limits=limits or FUZZ_LIMITS)
+        decode(data, limits=limits or FUZZ_LIMITS, backend=backend)
         return "decoded", None
     except CodestreamError as exc:
         return type(exc).__name__, None

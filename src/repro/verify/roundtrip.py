@@ -145,6 +145,12 @@ def verify_roundtrip(
     demand PSNR at or above ``floor`` (default: :func:`psnr_floor` of the
     rate).  Raises :class:`VerificationError` on any failure, including a
     codestream that does not decode at all.
+
+    Decoding goes through :func:`repro.jpeg2000.decoder.decode` with the
+    default (``auto`` -> batched) backend, so verification rides the fast
+    decoder — the check costs a fraction of the encode it guards instead
+    of dominating it; the fast backends are themselves differentially
+    pinned to the scalar reference, so this loses no rigor.
     """
     if params is None:
         params = EncoderParams.lossless_default()

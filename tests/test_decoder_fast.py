@@ -1,0 +1,261 @@
+"""The fast decoder backends against the scalar reference.
+
+The contract under test: every backend x workers combination of
+:func:`repro.jpeg2000.decoder.decode` reconstructs samples identical to
+:func:`decode_reference`, enforces the same :class:`DecodeLimits`, and
+rejects the same malformed inputs with the same typed error — the fast
+path buys speed only, never behaviour.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.image.synthetic import gradient_image, watch_face_image
+from repro.jpeg2000.decoder import (
+    DEC_BACKEND_ENV_VAR,
+    DEC_BACKENDS,
+    decode,
+    decode_reference,
+    resolve_dec_backend,
+)
+from repro.jpeg2000.dwt_fast import DecodeStageTimings, run_inverse_frontend
+from repro.jpeg2000.encoder import encode
+from repro.jpeg2000.errors import CodestreamError, DecodeLimits
+from repro.jpeg2000.params import EncoderParams
+
+FAST_BACKENDS = ("vectorized", "batched")
+
+
+def _roundtrip_stream(shape, lossless=True, levels=2, codeblock=64, seed=0):
+    rng = np.random.default_rng(seed)
+    img = rng.integers(0, 256, size=shape, dtype=np.uint8)
+    params = EncoderParams(lossless=lossless, levels=levels,
+                           codeblock_size=codeblock)
+    return img, encode(img, params).codestream
+
+
+class TestBackendResolution:
+    def test_default_is_batched(self, monkeypatch):
+        monkeypatch.delenv(DEC_BACKEND_ENV_VAR, raising=False)
+        assert resolve_dec_backend(None) == "batched"
+        assert resolve_dec_backend("auto") == "batched"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(DEC_BACKEND_ENV_VAR, "reference")
+        assert resolve_dec_backend(None) == "reference"
+        # An explicit backend beats the environment.
+        assert resolve_dec_backend("batched") == "batched"
+
+    def test_invalid_names_raise(self, monkeypatch):
+        with pytest.raises(ValueError, match="unknown decode backend"):
+            resolve_dec_backend("turbo")
+        monkeypatch.setenv(DEC_BACKEND_ENV_VAR, "turbo")
+        with pytest.raises(ValueError, match=DEC_BACKEND_ENV_VAR):
+            resolve_dec_backend("auto")
+
+    def test_backends_constant(self):
+        assert set(FAST_BACKENDS) < set(DEC_BACKENDS)
+
+
+class TestDifferential:
+    """Fast backends vs the scalar oracle, across the geometry space."""
+
+    @pytest.mark.parametrize("shape", [
+        (16, 16), (61, 47), (64, 64, 3), (40, 72, 3),
+    ])
+    @pytest.mark.parametrize("lossless", [True, False])
+    def test_shapes_and_filters(self, shape, lossless):
+        img, cs = _roundtrip_stream(shape, lossless=lossless)
+        ref = decode_reference(cs)
+        for backend in FAST_BACKENDS:
+            out = decode(cs, backend=backend)
+            assert out.dtype == ref.dtype and out.shape == ref.shape
+            assert np.array_equal(out, ref), (shape, lossless, backend)
+        if lossless:
+            assert np.array_equal(ref, img)
+
+    @pytest.mark.parametrize("levels", [0, 1, 5])
+    def test_levels(self, levels):
+        img, cs = _roundtrip_stream((96, 80, 3), levels=levels)
+        ref = decode_reference(cs)
+        for backend in FAST_BACKENDS:
+            assert np.array_equal(decode(cs, backend=backend), ref)
+
+    def test_ragged_small_codeblocks(self):
+        img, cs = _roundtrip_stream((53, 37), codeblock=16, levels=3)
+        ref = decode_reference(cs)
+        for backend in FAST_BACKENDS:
+            assert np.array_equal(decode(cs, backend=backend), ref)
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_workers_identical(self, workers):
+        img, cs = _roundtrip_stream((64, 96, 3), levels=2)
+        ref = decode_reference(cs)
+        for backend in FAST_BACKENDS:
+            out = decode(cs, backend=backend, workers=workers)
+            assert np.array_equal(out, ref), (backend, workers)
+
+    def test_workers_through_real_pool(self, monkeypatch):
+        # Small images auto-clamp to serial; force the process pool so the
+        # pickle round trip and seq reassembly actually run.
+        monkeypatch.setenv("REPRO_TIER1_AUTO_SERIAL", "0")
+        img, cs = _roundtrip_stream((64, 96, 3), levels=2)
+        ref = decode_reference(cs)
+        out = decode(cs, backend="batched", workers=2)
+        assert np.array_equal(out, ref)
+
+    def test_timings_populated(self):
+        _, cs = _roundtrip_stream((64, 64, 3))
+        t = DecodeStageTimings()
+        decode(cs, backend="batched", timings=t)
+        assert t.total > 0
+        assert t.tier1 > 0 and t.idwt_mct > 0
+        assert set(t.as_dict()) == set(DecodeStageTimings.STAGES) | {"total"}
+
+
+class TestGoldenCorpus:
+    """Every verification-corpus entry, every backend, one oracle."""
+
+    def test_corpus_roundtrips(self):
+        from repro.verify.corpus import base_corpus
+
+        for entry in base_corpus():
+            cs = encode(entry.image, entry.params).codestream
+            ref = decode_reference(cs)
+            if entry.params.lossless:
+                assert np.array_equal(ref, entry.image), entry.name
+            for backend in FAST_BACKENDS:
+                for workers in (1, 2):
+                    out = decode(cs, backend=backend, workers=workers)
+                    assert np.array_equal(out, ref), (
+                        entry.name, backend, workers,
+                    )
+
+
+class TestInverseFrontend:
+    """The fused inverse front end against the unfused oracle pipeline."""
+
+    @pytest.mark.parametrize("lossless", [True, False])
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_matches_inverse_dwt_plus_mct(self, lossless, workers):
+        from repro.jpeg2000 import mct
+        from repro.jpeg2000.dwt import forward_dwt2d, inverse_dwt2d
+
+        rng = np.random.default_rng(42)
+        planes = [
+            rng.integers(-255, 256, size=(75, 101)).astype(np.int32)
+            for _ in range(3)
+        ]
+        decomps = [forward_dwt2d(p, levels=3, reversible=lossless)
+                   for p in planes]
+        expected = mct.inverse_mct(
+            [inverse_dwt2d(d) for d in decomps], 8, lossless
+        )
+        got = run_inverse_frontend(decomps, 8, lossless, workers=workers,
+                                   chunk_cols=32)
+        for e, g in zip(expected, got):
+            assert e.dtype == g.dtype
+            assert np.array_equal(e, g)
+
+
+class TestLimitsAndErrorParity:
+    """Same limits, same typed rejections, on every backend."""
+
+    def test_limits_enforced_identically(self):
+        _, cs = _roundtrip_stream((64, 64))
+        limits = DecodeLimits(max_dimension=16)
+        outcomes = []
+        for backend in ("reference",) + FAST_BACKENDS:
+            with pytest.raises(CodestreamError) as err:
+                decode(cs, limits=limits, backend=backend)
+            outcomes.append(type(err.value).__name__)
+        assert len(set(outcomes)) == 1
+
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
+    def test_truncation_parity(self, backend):
+        _, cs = _roundtrip_stream((48, 48, 3))
+        for cut in (10, 30, len(cs) * 2 // 3, len(cs) - 3):
+            ref_outcome = _outcome(cs[:cut], "reference")
+            assert _outcome(cs[:cut], backend) == ref_outcome, cut
+
+    def test_fuzz_parity_seeded(self):
+        """Mutated codestreams classify identically on every backend."""
+        from repro.verify.corpus import base_codestreams
+        from repro.verify.fuzz import FUZZ_LIMITS, case_rng, classify, mutate
+
+        bases = base_codestreams()
+        mismatches = []
+        for case in range(150):
+            rng = case_rng(2008, case)
+            _, base = bases[case % len(bases)]
+            data, mutators = mutate(base, rng)
+            ref_name, ref_exc = classify(data, FUZZ_LIMITS, "reference")
+            assert ref_exc is None, (case, mutators, ref_exc)
+            for backend in FAST_BACKENDS:
+                name, exc = classify(data, FUZZ_LIMITS, backend)
+                assert exc is None, (case, mutators, backend, exc)
+                if name != ref_name:
+                    mismatches.append((case, mutators, backend,
+                                       ref_name, name))
+        assert not mismatches, mismatches[:5]
+
+
+def _outcome(data, backend):
+    try:
+        out = decode(data, backend=backend)
+        return ("decoded", out.tobytes())
+    except CodestreamError as exc:
+        return (type(exc).__name__,)
+
+
+class TestWorkpoolDecodeAll:
+    def test_injected_pool_rejected(self):
+        from repro.core.workpool import CodeBlockWorkQueue
+
+        class FakePool:
+            workers = 2
+
+        queue = CodeBlockWorkQueue(pool=FakePool())
+        with pytest.raises(ValueError, match="one-shot pool"):
+            queue.decode_all([])
+
+    def test_serial_and_parallel_agree(self, monkeypatch):
+        from repro.core.workpool import CodeBlockWorkQueue
+        from repro.jpeg2000.tier1 import encode_codeblock
+
+        monkeypatch.setenv("REPRO_TIER1_AUTO_SERIAL", "0")
+        rng = np.random.default_rng(3)
+        blocks = []
+        for i in range(6):
+            vals = rng.integers(-80, 81, size=(32, 24)).astype(np.int32)
+            enc = encode_codeblock(vals, "LL")
+            blocks.append((enc.data, 32, 24, "LL", enc.msbs, enc.num_passes))
+        serial = CodeBlockWorkQueue(workers=1).decode_all(blocks)
+        parallel = CodeBlockWorkQueue(workers=3).decode_all(blocks)
+        assert len(serial) == len(parallel) == len(blocks)
+        for s, p in zip(serial, parallel):
+            assert np.array_equal(s, p)
+
+
+class TestMQDecodeRunParity:
+    def test_decode_run_matches_scalar_decode(self):
+        from repro.jpeg2000.mq import MQDecoder, MQEncoder
+
+        rng = np.random.default_rng(11)
+        bits = rng.integers(0, 2, size=400).tolist()
+        ctxs = rng.integers(0, 14, size=400).tolist()
+        enc = MQEncoder(19)
+        for bit, ctx in zip(bits, ctxs):
+            enc.encode(bit, ctx)
+        data = enc.flush()
+        cseq = bytes(ctxs)
+
+        scalar = MQDecoder(data, 19)
+        expected = bytes(scalar.decode(c) for c in ctxs)
+        run_dec = MQDecoder(data, 19)
+        assert run_dec.decode_run(cseq) == expected
+        py_dec = MQDecoder(data, 19)
+        assert py_dec._decode_run_py(cseq) == expected
+        assert expected == bytes(bits)

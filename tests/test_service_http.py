@@ -239,3 +239,76 @@ class TestQueryParsing:
     def test_verify_key_is_accepted(self):
         params, priority = params_from_query("verify=1&levels=3")
         assert params.levels == 3 and priority == 0
+
+
+class TestDecodeEndpoint:
+    @pytest.fixture(scope="class")
+    def rgb_stream(self):
+        img = watch_face_image(40, 56, channels=3)
+        return img, encode(img, EncoderParams(levels=2)).codestream
+
+    def test_decode_roundtrip(self, base_url, rgb_stream):
+        from repro.image.pnm import parse_pnm
+
+        img, cs = rgb_stream
+        with _post(f"{base_url}/decode?backend=batched", cs) as resp:
+            body = resp.read()
+            assert resp.status == 200
+            assert resp.headers["Content-Type"] == "image/x-portable-pixmap"
+            assert resp.headers["X-Backend"] == "batched"
+            assert float(resp.headers["X-Decode-Seconds"]) >= 0.0
+        assert np.array_equal(parse_pnm(body), img)
+
+    def test_second_decode_hits_cache(self, base_url, rgb_stream):
+        _, cs = rgb_stream
+        with _post(f"{base_url}/decode", cs) as resp:
+            first = resp.read()
+        with _post(f"{base_url}/decode", cs) as resp:
+            assert resp.headers["X-Cache"] == "HIT"
+            assert resp.read() == first
+
+    def test_grayscale_is_pgm(self, base_url):
+        from repro.image.pnm import parse_pnm
+
+        img = watch_face_image(32, 32, channels=1)
+        cs = encode(img, EncoderParams(levels=2)).codestream
+        with _post(f"{base_url}/decode", cs) as resp:
+            assert resp.headers["Content-Type"] == "image/x-portable-graymap"
+            assert np.array_equal(parse_pnm(resp.read()), img)
+
+    def test_malformed_codestream_is_400_typed(self, base_url):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(f"{base_url}/decode", b"\x00" * 64)
+        assert err.value.code == 400
+        assert "Error" in json.load(err.value)["error"]  # typed class name
+
+    def test_bad_backend_is_400(self, base_url, rgb_stream):
+        _, cs = rgb_stream
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(f"{base_url}/decode?backend=turbo", cs)
+        assert err.value.code == 400
+
+    def test_unknown_query_key_is_400(self, base_url, rgb_stream):
+        _, cs = rgb_stream
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(f"{base_url}/decode?speed=11", cs)
+        assert err.value.code == 400
+
+    def test_decode_metrics_exported(self, base_url, rgb_stream):
+        _, cs = rgb_stream
+        with _post(f"{base_url}/decode", cs):
+            pass
+        with urllib.request.urlopen(f"{base_url}/metrics", timeout=30) as resp:
+            metrics = json.load(resp)
+        assert metrics["decode_requests_total"]["value"] >= 1
+        assert metrics["images_decoded_total"]["value"] >= 1
+        assert metrics["decode_seconds"]["count"] >= 1
+
+    def test_verify_seconds_histogram(self, base_url, pgm_bytes):
+        with _post(f"{base_url}/encode?levels=3&verify=1", pgm_bytes):
+            pass
+        with urllib.request.urlopen(f"{base_url}/metrics", timeout=30) as resp:
+            metrics = json.load(resp)
+        vs = metrics["verify_seconds"]
+        assert vs["type"] == "histogram"
+        assert vs["count"] >= 1
