@@ -8,9 +8,15 @@ and local runs can trade accuracy for wall time explicitly.
 Every committed ``BENCH_*.json`` shares one envelope, built by
 :func:`bench_report` and written by :func:`write_bench_json`:
 
-    {"schema_version": 1, "benchmark": "<name>",
-     "machine": {"cpu_count", "platform", "python", "numpy", ...extras},
+    {"schema_version": 2, "benchmark": "<name>",
+     "machine": {"cpu_count", "platform", "python", "numpy",
+                 "repro_config": {...}, ...extras},
      ...benchmark-specific sections}
+
+``repro_config`` records the execution-strategy knobs in effect when the
+numbers were taken — every ``REPRO_*`` env override plus the planner's
+model-derived serial cutovers — so a committed report is reproducible
+without guessing which backend or worker clamp was active.
 
 so downstream tooling can diff machines and results across benchmarks
 without per-file parsers.
@@ -27,7 +33,9 @@ import time
 
 #: Version of the shared BENCH_*.json envelope (machine block + top-level
 #: keys); bump when the shape of the shared fields changes.
-SCHEMA_VERSION = 1
+#: v2: machine block gained ``repro_config`` (REPRO_* overrides + planner
+#: cutovers).
+SCHEMA_VERSION = 2
 
 #: Benchmarks must default to at least this many timed repeats.
 DEFAULT_REPEATS = 3
@@ -66,6 +74,35 @@ def time_fn(fn, repeats: int, warmup: int = 1) -> dict:
     }
 
 
+def repro_config() -> dict:
+    """Execution-strategy knobs active for this run.
+
+    Captures every ``REPRO_*`` environment override plus the planner's
+    effective serial cutovers and backend sets, so a committed report
+    pins down exactly which execution strategy produced its numbers.
+    """
+    env = {k: v for k, v in sorted(os.environ.items())
+           if k.startswith("REPRO_")}
+    cfg: dict = {"env": env}
+    try:
+        from repro.plan.calibration import (
+            DWT_BACKENDS, TIER1_BACKENDS, get_calibration,
+        )
+        from repro.plan.cutovers import (
+            dwt_serial_cutover_samples, tier1_serial_cutover_blocks,
+        )
+
+        calib = get_calibration()
+        cfg["tier1_backends"] = list(TIER1_BACKENDS)
+        cfg["dwt_backends"] = list(DWT_BACKENDS)
+        cfg["calibration_source"] = calib.source
+        cfg["dwt_serial_cutover_samples"] = dwt_serial_cutover_samples(calib)
+        cfg["tier1_serial_cutover_blocks"] = tier1_serial_cutover_blocks(calib)
+    except Exception:  # pragma: no cover - bench must not die on import
+        cfg["planner"] = "unavailable"
+    return cfg
+
+
 def machine_info(**extra) -> dict:
     """The shared ``machine`` block, plus benchmark-specific extras."""
     import numpy as np
@@ -75,6 +112,7 @@ def machine_info(**extra) -> dict:
         "platform": platform.platform(),
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "repro_config": repro_config(),
     }
     info.update(extra)
     return info

@@ -1,8 +1,12 @@
-"""Command-line interface: encode / decode / simulate / serve / verify / fuzz.
+"""Command-line interface: encode / decode / simulate / serve / verify /
+fuzz / calibrate / plan.
 
     python -m repro encode  input.bmp output.j2c [--lossy] [--rate 0.1]
+                              [--plan auto]
     python -m repro decode  input.j2c output.bmp [--backend batched]
-                              [--workers auto]
+                              [--workers auto] [--plan auto]
+    python -m repro calibrate [--quick] [--output PATH]
+    python -m repro plan    2048x2048x3 [--rate 0.1] [--max-workers N]
     python -m repro simulate input.bmp [--spes 8] [--ppe-threads 1]
                               [--chips 1] [--lossy] [--rate 0.1] [--estimate]
     python -m repro serve   [--port 8000] [--workers auto] [--cache-mb 64]
@@ -18,6 +22,9 @@ the exact coder (recommended above ~512x512).  ``serve`` runs the
 long-running encode service (persistent worker pool + HTTP front end);
 see the README "Serving" section.  ``verify`` and ``fuzz`` run the
 round-trip and decoder-robustness gates (README "Verification").
+``calibrate`` measures this machine's planner constants and caches them;
+``plan`` explains which execution configuration the planner would pick
+for a shape (README "Execution planner").
 
 Operational failures — malformed input files, undecodable codestreams,
 failed verification — exit 1 with a one-line ``error:`` message, never a
@@ -76,7 +83,9 @@ def _params(args) -> EncoderParams:
                   tier1_backend=args.tier1_backend, workers=args.workers,
                   dwt_backend=args.dwt_backend,
                   dwt_chunk_cols=args.dwt_chunk,
-                  self_check=args.self_check)
+                  self_check=args.self_check,
+                  plan="auto" if getattr(args, "plan", "fixed") == "auto"
+                  else None)
     if args.lossy or args.rate is not None:
         return EncoderParams(lossless=False, rate=args.rate, **common)
     return EncoderParams(lossless=True, **common)
@@ -110,6 +119,12 @@ def _add_coding_options(p: argparse.ArgumentParser) -> None:
                    help="decode the output before writing it and verify the "
                         "round trip (bit-exact lossless / PSNR-floored lossy); "
                         "roughly doubles encode time")
+    p.add_argument("--plan", default="fixed", choices=("auto", "fixed"),
+                   help="'auto' lets the execution planner pick backends, "
+                        "workers, and chunking from its calibrated cost "
+                        "model (explicit flags and REPRO_* env vars still "
+                        "win); 'fixed' (default) keeps the classic knobs. "
+                        "The codestream is identical either way")
 
 
 def cmd_encode(args) -> int:
@@ -129,6 +144,11 @@ def cmd_encode(args) -> int:
           f"{workers_used} worker(s), {wall:.2f}s")
     if result.timings is not None:
         print(f"  stages: {result.timings.summary()}")
+    if result.plan is not None:
+        decision = result.plan
+        print(f"  plan: {decision.plan.summary()}")
+        if decision.pinned:
+            print(f"  plan pinned by overrides: {', '.join(decision.pinned)}")
     return 0
 
 
@@ -140,7 +160,8 @@ def cmd_decode(args) -> int:
     timings = DecodeStageTimings()
     t0 = time.perf_counter()
     image = decode(codestream, backend=args.backend, workers=args.workers,
-                   timings=timings)
+                   timings=timings,
+                   plan="auto" if args.plan == "auto" else None)
     wall = time.perf_counter() - t0
     if image.dtype.itemsize != 1:
         raise SystemExit("only 8-bit output images are supported by BMP/PNM")
@@ -195,6 +216,7 @@ def cmd_serve(args) -> int:
         shed_target_p95_s=args.shed_target_p95,
         batch_window=batch_window,
         batch_max=args.batch_max,
+        plan="auto" if args.plan == "auto" else None,
     )
     if args.shards > 1:
         from repro.service.sharding import ShardClusterConfig, run_sharded_server
@@ -228,6 +250,67 @@ def cmd_verify(args) -> int:
         for check in report.failures:
             print(f"FAIL {check.name}: {check.detail}", file=sys.stderr)
         return 1
+    return 0
+
+
+def cmd_calibrate(args) -> int:
+    # Imported lazily: the planner is optional for every other command.
+    from repro.plan import default_cache_path, measure_calibration, save_calibration
+
+    print("measuring host calibration "
+          f"({'quick' if args.quick else 'full'} suite)...")
+    calib = measure_calibration(quick=args.quick)
+    path = args.output or default_cache_path()
+    save_calibration(calib, path)
+    print(f"wrote {path} ({calib.measure_seconds:.1f}s measured, "
+          f"fingerprint {calib.fingerprint})")
+    t1 = ", ".join(
+        f"{k}={v * 1e6:.2f}us" for k, v in sorted(calib.t1_per_sample.items())
+    )
+    dwt = ", ".join(
+        f"{k}={v * 1e9:.1f}ns" for k, v in sorted(calib.dwt_per_sample.items())
+    )
+    print(f"  tier1 per-sample: {t1}")
+    print(f"  dwt per-sample:   {dwt}")
+    print(f"  pool spawn {calib.pool_spawn_s * 1e3:.1f}ms, "
+          f"task {calib.pool_task_s * 1e6:.0f}us, "
+          f"shm base {calib.shm_base_s * 1e6:.0f}us, "
+          f"dwt fan-out {calib.dwt_fanout_s * 1e3:.1f}ms")
+    from repro.plan import dwt_serial_cutover_samples, tier1_serial_cutover_blocks
+
+    print(f"  cutovers: dwt serial below {dwt_serial_cutover_samples(calib)} "
+          f"samples, tier1 serial below "
+          f"{tier1_serial_cutover_blocks(calib)} blocks")
+    return 0
+
+
+def _parse_shape(text: str) -> tuple:
+    try:
+        parts = tuple(int(p) for p in text.lower().split("x"))
+    except ValueError:
+        raise SystemExit(
+            f"invalid shape {text!r}; expected HxW or HxWxC (e.g. 2048x2048x3)"
+        ) from None
+    if len(parts) not in (2, 3) or any(p < 1 for p in parts):
+        raise SystemExit(
+            f"invalid shape {text!r}; expected HxW or HxWxC (e.g. 2048x2048x3)"
+        )
+    return parts
+
+
+def cmd_plan(args) -> int:
+    from repro.plan import RequestShape, explain
+
+    parts = _parse_shape(args.shape)
+    lossless = not (args.lossy or args.rate is not None)
+    shape = RequestShape(
+        height=parts[0], width=parts[1],
+        components=parts[2] if len(parts) == 3 else 1,
+        lossless=lossless,
+        rate=args.rate if not lossless else None,
+        levels=args.levels, codeblock_size=args.codeblock,
+    )
+    print(explain(shape, max_workers=args.max_workers))
     return 0
 
 
@@ -293,6 +376,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=_workers, default=1, metavar="N",
                    help="Tier-1 decode worker processes; 'auto' = one per "
                         "core (output is identical for any value)")
+    p.add_argument("--plan", default="fixed", choices=("auto", "fixed"),
+                   help="'auto' lets the execution planner pick the decode "
+                        "backend and workers from the parsed shape "
+                        "(explicit flags and REPRO_DEC_BACKEND still win)")
     p.set_defaults(func=cmd_decode)
 
     p = sub.add_parser("simulate", help="simulated Cell/B.E. encode timeline")
@@ -349,6 +436,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "live encode latency (default: off)")
     p.add_argument("--batch-max", type=int, default=8,
                    help="flush a micro-batch early at this many requests")
+    p.add_argument("--plan", default="fixed", choices=("auto", "fixed"),
+                   help="'auto' consults the execution planner for every "
+                        "uncached encode and feeds live stage timings back "
+                        "as corrections (per-request ?plan=auto works "
+                        "either way)")
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-request access logs")
     p.set_defaults(func=cmd_serve)
@@ -373,6 +465,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quiet", action="store_true",
                    help="print only the final summary")
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser(
+        "calibrate",
+        help="measure this machine's planner calibration and cache it",
+        description="Runs the planner's micro-benchmark suite (Tier-1 "
+                    "per-sample throughput per backend, DWT chunk-pass "
+                    "cost, fork/dispatch overhead, shm publish cost) and "
+                    "writes the versioned JSON cache the execution planner "
+                    "loads (<100 ms, no re-measurement) on every later run. "
+                    "The cache invalidates itself when the machine or "
+                    "schema changes; REPRO_CALIBRATION_PATH relocates it.",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="trimmed suite (seconds instead of tens of seconds); "
+                        "noisier constants")
+    p.add_argument("--output", default=None, metavar="PATH",
+                   help="write the calibration JSON here instead of the "
+                        "default cache path")
+    p.set_defaults(func=cmd_calibrate)
+
+    p = sub.add_parser(
+        "plan",
+        help="explain the execution plan for an image shape",
+        description="Prints the planner's per-candidate predicted stage "
+                    "costs for HxW[xC] and the configuration it would pick "
+                    "(repro plan 2048x2048x3 --rate 0.1).",
+    )
+    p.add_argument("shape", help="image shape as HxW or HxWxC")
+    p.add_argument("--lossy", action="store_true",
+                   help="price the irreversible 9/7 path")
+    p.add_argument("--rate", type=float, default=None,
+                   help="lossy target rate (implies --lossy)")
+    p.add_argument("--levels", type=int, default=5, help="DWT levels")
+    p.add_argument("--codeblock", type=int, default=64, help="code block size")
+    p.add_argument("--max-workers", type=int, default=None, metavar="N",
+                   help="cap the candidate worker grid (default: CPU cores)")
+    p.set_defaults(func=cmd_plan)
 
     p = sub.add_parser(
         "fuzz",

@@ -37,13 +37,6 @@ MIN_BLOCKS_FOR_POOL = 2
 #: ``multiprocessing.shared_memory`` is available.
 SHM_ENV = "REPRO_SHM_DISPATCH"
 
-#: Below this many code blocks the Tier-1 pool cannot win: process
-#: start-up plus per-block pickling costs more than the blocks themselves
-#: (BENCH_tier1 measured 0.70-0.76x *slowdowns* at workers>1 on a 1-core
-#: machine before this clamp existed).  Mirrors
-#: :data:`repro.jpeg2000.dwt_fast.AUTO_SERIAL_MIN_SAMPLES`.
-TIER1_AUTO_SERIAL_MIN_BLOCKS = 24
-
 #: Environment override for the Tier-1 auto-serial clamp.  ``"0"`` disables
 #: the clamp entirely (tests/benchmarks that need the parallel path on
 #: small inputs or single-core machines); any other integer replaces the
@@ -51,29 +44,47 @@ TIER1_AUTO_SERIAL_MIN_BLOCKS = 24
 TIER1_AUTO_SERIAL_ENV = "REPRO_TIER1_AUTO_SERIAL"
 
 
+def tier1_serial_threshold() -> int:
+    """Code blocks below which the Tier-1 pool cannot win.
+
+    Precedence: the :data:`TIER1_AUTO_SERIAL_ENV` override wins;
+    otherwise the planner's model-derived cutover
+    (:func:`repro.plan.cutovers.tier1_serial_cutover_blocks`), which with
+    the pinned default calibration reproduces the hand-tuned 24-block
+    clamp this function replaced — process start-up plus per-block
+    pickling costs more than the blocks themselves below it (BENCH_tier1
+    measured 0.70-0.76x *slowdowns* at workers>1 before the clamp
+    existed).  ``0`` (env only) disables the clamp.
+    """
+    env = os.environ.get(TIER1_AUTO_SERIAL_ENV, "")
+    if env:
+        try:
+            return int(env)
+        except ValueError:
+            raise ValueError(
+                f"{TIER1_AUTO_SERIAL_ENV}={env!r} invalid; expected an integer"
+            ) from None
+    from repro.plan.cutovers import tier1_serial_cutover_blocks  # lazy: cycle
+
+    return tier1_serial_cutover_blocks()
+
+
 def tier1_auto_workers(workers: int | None, blocks: int) -> int:
     """Clamp Tier-1 dispatch to serial where a pool cannot win.
 
     Returns ``1`` when the machine has a single core or ``blocks`` falls
-    below the (env-overridable) threshold, otherwise ``workers`` resolved
+    below :func:`tier1_serial_threshold`, otherwise ``workers`` resolved
     (``None`` means one per core).  ``REPRO_TIER1_AUTO_SERIAL=0`` disables
-    the clamp; any other integer replaces the block threshold.
+    the clamp (including the single-core check); any other integer
+    replaces the block threshold.
     """
     if workers is None:
         workers = default_workers()
     if workers <= 1:
         return 1
-    threshold = TIER1_AUTO_SERIAL_MIN_BLOCKS
-    env = os.environ.get(TIER1_AUTO_SERIAL_ENV, "")
-    if env:
-        try:
-            threshold = int(env)
-        except ValueError:
-            raise ValueError(
-                f"{TIER1_AUTO_SERIAL_ENV}={env!r} invalid; expected an integer"
-            ) from None
-        if threshold == 0:
-            return workers
+    threshold = tier1_serial_threshold()
+    if threshold == 0:
+        return workers
     if (os.cpu_count() or 1) <= 1:
         return 1
     if blocks < threshold:

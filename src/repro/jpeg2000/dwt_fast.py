@@ -79,38 +79,46 @@ DWT_BACKENDS = ("auto", "reference", "fused")
 #: aligned and contiguous.
 CACHE_LINE_COLS = 32
 
-#: Below this many input samples (``height * width * components``) the
-#: fused front end ignores ``workers`` and runs its chunk passes serially:
-#: thread submission and chunk-boundary costs only amortize on enough
-#: data, and BENCH_dwt's 1024x1024 case showed parallel *losing* to serial
-#: (scaling 0.69) before this guard existed.
-AUTO_SERIAL_MIN_SAMPLES = 1 << 21
-
-#: Environment override for :data:`AUTO_SERIAL_MIN_SAMPLES` (``0`` disables
-#: the auto-serial clamp entirely — used by tests and benchmarks that need
-#: the parallel path on small inputs).
+#: Environment override for the auto-serial threshold (``0`` disables the
+#: clamp entirely — used by tests and benchmarks that need the parallel
+#: path on small inputs; any other integer replaces the sample threshold).
 AUTO_SERIAL_ENV = "REPRO_DWT_AUTO_SERIAL_SAMPLES"
 
 _UNSET = object()
 
 
-def auto_serial_workers(workers, samples: int):
-    """Clamp the chunk fan-out to serial when the input is too small.
+def dwt_serial_threshold() -> int:
+    """Input samples below which the fused front end stays serial.
 
-    Returns ``1`` when ``samples`` falls below the (env-overridable)
-    threshold, otherwise ``workers`` unchanged — so fused parallel never
-    loses to fused serial on small images.
+    Precedence: the :data:`AUTO_SERIAL_ENV` override wins; otherwise the
+    planner's model-derived cutover
+    (:func:`repro.plan.cutovers.dwt_serial_cutover_samples`), which with
+    the pinned default calibration reproduces the hand-tuned ``1 << 21``
+    clamp this function replaced — thread submission and chunk-boundary
+    costs only amortize on enough data (BENCH_dwt's 1024x1024 case showed
+    parallel *losing* to serial, scaling 0.69, before the guard existed).
     """
-    threshold = AUTO_SERIAL_MIN_SAMPLES
     env = os.environ.get(AUTO_SERIAL_ENV, "")
     if env:
         try:
-            threshold = int(env)
+            return int(env)
         except ValueError:
             raise ValueError(
                 f"{AUTO_SERIAL_ENV}={env!r} invalid; expected an integer"
             ) from None
-    if samples < threshold:
+    from repro.plan.cutovers import dwt_serial_cutover_samples  # lazy: cycle
+
+    return dwt_serial_cutover_samples()
+
+
+def auto_serial_workers(workers, samples: int):
+    """Clamp the chunk fan-out to serial when the input is too small.
+
+    Returns ``1`` when ``samples`` falls below the (env-overridable,
+    otherwise model-derived) threshold, otherwise ``workers`` unchanged —
+    so fused parallel never loses to fused serial on small images.
+    """
+    if samples < dwt_serial_threshold():
         return 1
     return workers
 

@@ -148,6 +148,9 @@ class EncodeResult:
     stats: WorkloadStats
     #: Per-stage wall times (see :class:`repro.jpeg2000.dwt_fast.StageTimings`).
     timings: StageTimings | None = None
+    #: Planner decision (:class:`repro.plan.PlanDecision`) when the encode
+    #: ran under ``params.plan``; ``None`` for classic knob-driven encodes.
+    plan: object = None
 
     @property
     def compression_ratio(self) -> float:
@@ -214,9 +217,22 @@ def encode(
     :class:`repro.core.workpool.CodeBlockWorkQueue`'s ``pool`` argument) —
     the encode service routes Tier-1 work through its shared worker pool
     this way.  The codestream is byte-identical with or without it.
+
+    When ``params.plan`` is set (``"auto"`` or an
+    :class:`repro.plan.ExecutionPlan`), the planner resolves the
+    execution knobs first — explicit parameters and env overrides always
+    win — and the decision is returned on ``EncodeResult.plan``.  Plans
+    never change the codestream bytes.
     """
     if params is None:
         params = EncoderParams.lossless_default()
+    plan_decision = None
+    if params.plan is not None:
+        from repro.plan import resolve_plan  # lazy: planner is optional
+
+        params, plan_decision = resolve_plan(
+            np.asarray(image).shape, params, pool_warm=pool is not None
+        )
     t_start = time.perf_counter()
     comps, depth = _normalize_image(image)
     height, width = comps[0].shape
@@ -321,7 +337,8 @@ def encode(
     timings.total = time.perf_counter() - t_start
     stats.codestream_bytes = len(codestream)
     result = EncodeResult(
-        codestream=codestream, params=params, stats=stats, timings=timings
+        codestream=codestream, params=params, stats=stats, timings=timings,
+        plan=plan_decision,
     )
     if params.self_check:
         # Lazy import: repro.verify depends on this module.
@@ -387,9 +404,9 @@ def _encode_pending(
         # — and degrades to byte-identical per-block coding through the
         # pool above the threshold.
         if backend == "batched":
-            from repro.core.workpool import TIER1_AUTO_SERIAL_MIN_BLOCKS
+            from repro.core.workpool import tier1_serial_threshold
 
-            if nblocks < TIER1_AUTO_SERIAL_MIN_BLOCKS:
+            if nblocks < tier1_serial_threshold():
                 return run_batched_inprocess()
         return _encode_pending_queue(planned, planes, pending, params, pool,
                                      stats, params.workers)
@@ -453,16 +470,18 @@ def _encode_pending_groups(
     """Batched dispatch: shard geometry *groups* across workers.
 
     Blocks are grouped by ``(height, width)`` and large groups split into
-    roughly ``2 * workers`` shards, so every worker amortizes its NumPy
-    overhead over a stack while the dynamic queue still balances load.
+    shards (policy: :func:`repro.jpeg2000.tier1_batch.group_shard_count`),
+    so every worker amortizes its NumPy overhead over a stack while the
+    dynamic queue still balances load.
     """
     from repro.core.workpool import CodeBlockWorkQueue, PlaneGroupTask
+    from repro.jpeg2000.tier1_batch import group_shard_count
 
     groups: dict[tuple[int, int], list[int]] = {}
     for i, (pi, spec) in enumerate(pending):
         groups.setdefault((spec.height, spec.width), []).append(i)
     nblocks = len(pending)
-    shard = max(1, -(-nblocks // (2 * workers)))  # ceil division
+    shard = group_shard_count(nblocks, workers)
     tasks = []
     for idxs in groups.values():
         for o in range(0, len(idxs), shard):

@@ -64,6 +64,15 @@ class EncoderParams:
         :mod:`repro.verify.roundtrip`).  A failed check raises
         :class:`repro.verify.VerificationError` instead of returning a
         bad codestream.  Off by default: it roughly doubles encode cost.
+    plan:
+        Execution-planner request: ``None`` (default) keeps the classic
+        knob semantics above; ``"auto"`` asks
+        :mod:`repro.plan` to pick backends / workers / chunking from its
+        calibrated cost model for the image at hand; an explicit
+        :class:`repro.plan.ExecutionPlan` is applied verbatim.  The plan
+        only fills fields left on automatic — precedence is explicit
+        parameter > environment variable > plan — and never changes the
+        codestream: every plan is byte-identical by construction.
     """
 
     lossless: bool = True
@@ -77,6 +86,7 @@ class EncoderParams:
     dwt_backend: str = "auto"
     dwt_chunk_cols: int | None = None
     self_check: bool = False
+    plan: object = None
 
     def __post_init__(self) -> None:
         if self.levels < 0 or self.levels > 32:
@@ -120,6 +130,14 @@ class EncoderParams:
             raise ValueError(
                 f"dwt_chunk_cols must be >= 1 or None, got {self.dwt_chunk_cols}"
             )
+        if self.plan is not None and self.plan != "auto":
+            from repro.plan.model import ExecutionPlan  # lazy: avoids cycle
+
+            if not isinstance(self.plan, ExecutionPlan):
+                raise ValueError(
+                    f'plan must be None, "auto", or an ExecutionPlan, '
+                    f"got {self.plan!r}"
+                )
 
     @staticmethod
     def lossless_default() -> "EncoderParams":

@@ -1,0 +1,260 @@
+"""Self-tuning execution planner.
+
+The reproduction now has three Tier-1 backends, two front ends, worker
+pools, chunk widths, and two transports — historically wired up by seven
+``REPRO_*`` environment variables and hand-tuned clamps.  This package
+turns the paper's "match granularity to the machine" argument (Section 2)
+into the component that *makes* those choices:
+
+- :mod:`repro.plan.calibration` — measure the machine once, cache the
+  constants (versioned JSON, fingerprint-invalidated).
+- :mod:`repro.plan.model` — predict per-stage seconds per candidate
+  configuration; :func:`choose_plan` returns the cheapest
+  :class:`ExecutionPlan`.
+- :mod:`repro.plan.cutovers` — model-derived serial/parallel thresholds
+  that subsume the old magic constants.
+- :mod:`repro.plan.corrections` — bounded EWMA feedback from live stage
+  timings back into the predictions (service shards).
+
+Precedence is strict and uniform: **explicit > env > plan**.  A field the
+caller set on :class:`~repro.jpeg2000.params.EncoderParams`, or an
+environment override, always wins; the plan only fills what was left on
+automatic.  Plans change execution strategy only — every plan produces
+the byte-identical codestream, guarded by the existing verify layer.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, replace
+
+from repro.plan.calibration import (
+    CALIBRATION_PATH_ENV,
+    DEFAULT_HOST_CALIBRATION,
+    HostCalibration,
+    default_cache_path,
+    get_calibration,
+    invalidate_memo,
+    load_calibration,
+    measure_calibration,
+    save_calibration,
+)
+from repro.plan.corrections import OnlineCorrections
+from repro.plan.cutovers import (
+    dwt_serial_cutover_samples,
+    tier1_serial_cutover_blocks,
+)
+from repro.plan.model import (
+    ExecutionPlan,
+    RequestShape,
+    choose_plan,
+    estimate_code_blocks,
+    explain,
+    predict_stage_seconds,
+)
+
+__all__ = [
+    "CALIBRATION_PATH_ENV",
+    "DEFAULT_HOST_CALIBRATION",
+    "ExecutionPlan",
+    "HostCalibration",
+    "OnlineCorrections",
+    "PlanDecision",
+    "RequestShape",
+    "ServicePlanner",
+    "apply_plan",
+    "choose_plan",
+    "default_cache_path",
+    "dwt_serial_cutover_samples",
+    "estimate_code_blocks",
+    "explain",
+    "get_calibration",
+    "invalidate_memo",
+    "load_calibration",
+    "measure_calibration",
+    "predict_stage_seconds",
+    "resolve_plan",
+    "save_calibration",
+    "tier1_serial_cutover_blocks",
+]
+
+#: Environment variables that pin a field against the planner (the
+#: backend resolvers consult these; the planner must not fight them).
+_TIER1_ENV = "REPRO_TIER1_BACKEND"
+_DWT_ENV = "REPRO_DWT_BACKEND"
+
+
+@dataclass(frozen=True)
+class PlanDecision:
+    """What the planner decided for one request, and what it was allowed
+    to touch.
+
+    ``applied`` lists the param fields the plan actually set; ``pinned``
+    lists the fields held by an explicit parameter or environment
+    override (precedence: explicit > env > plan).
+    """
+
+    plan: ExecutionPlan
+    applied: tuple = ()
+    pinned: tuple = ()
+
+    def as_dict(self) -> dict:
+        return {
+            "plan": self.plan.as_dict(),
+            "applied": list(self.applied),
+            "pinned": list(self.pinned),
+        }
+
+
+def apply_plan(params, plan: ExecutionPlan) -> tuple:
+    """Overlay ``plan`` onto ``params`` under explicit > env > plan.
+
+    A field counts as *explicit* when the caller moved it off its
+    automatic default (``tier1_backend="auto"``, ``dwt_backend="auto"``,
+    ``dwt_chunk_cols=None``, ``workers=1``); an env override pins the
+    backend fields the same way.  ``workers=1`` is the one debatable case
+    — 1 is both the default and a meaningful value — and the planner
+    treats it as *unset*: callers who need to force a serial encode under
+    ``plan="auto"`` pass an explicit fixed plan instead (documented in
+    README).  Returns ``(new_params, PlanDecision)``.
+    """
+    applied: list = []
+    pinned: list = []
+    updates: dict = {}
+
+    if params.tier1_backend != "auto":
+        pinned.append("tier1_backend:explicit")
+    elif os.environ.get(_TIER1_ENV, ""):
+        pinned.append("tier1_backend:env")
+    else:
+        updates["tier1_backend"] = plan.tier1_backend
+        applied.append("tier1_backend")
+
+    if params.dwt_backend != "auto":
+        pinned.append("dwt_backend:explicit")
+    elif os.environ.get(_DWT_ENV, ""):
+        pinned.append("dwt_backend:env")
+    else:
+        updates["dwt_backend"] = plan.dwt_backend
+        applied.append("dwt_backend")
+
+    if params.dwt_chunk_cols is not None:
+        pinned.append("dwt_chunk_cols:explicit")
+    elif plan.dwt_chunk_cols is not None:
+        updates["dwt_chunk_cols"] = plan.dwt_chunk_cols
+        applied.append("dwt_chunk_cols")
+
+    if params.workers != 1:
+        pinned.append("workers:explicit")
+    else:
+        updates["workers"] = plan.workers
+        applied.append("workers")
+
+    new_params = replace(params, **updates) if updates else params
+    return new_params, PlanDecision(
+        plan=plan, applied=tuple(applied), pinned=tuple(pinned)
+    )
+
+
+def resolve_plan(
+    shape,
+    params,
+    corrections: OnlineCorrections | None = None,
+    pool_warm: bool = False,
+) -> tuple:
+    """Resolve ``params.plan`` for an image of ``shape``.
+
+    Returns ``(effective_params, PlanDecision | None)`` — ``None`` when
+    no plan was requested.  ``"auto"`` runs the cost model;
+    a caller-built :class:`ExecutionPlan` is applied verbatim (source
+    ``"fixed"``).  The returned params have ``plan=None`` so downstream
+    code never re-enters the planner.
+    """
+    requested = getattr(params, "plan", None)
+    if requested is None:
+        return params, None
+    if isinstance(requested, ExecutionPlan):
+        plan = requested if requested.source == "fixed" else replace(
+            requested, source="fixed"
+        )
+    elif requested == "auto":
+        req = RequestShape.from_request(shape, params)
+        plan = choose_plan(
+            req, corrections=corrections, pool_warm=pool_warm
+        )
+    else:
+        raise ValueError(
+            f'plan must be None, "auto", or an ExecutionPlan, '
+            f"got {requested!r}"
+        )
+    base = replace(params, plan=None)
+    return apply_plan(base, plan)
+
+
+class ServicePlanner:
+    """Per-process planner state for the encode service.
+
+    Owns the :class:`OnlineCorrections` the shard feeds from live stage
+    timings, counts which backends the model selects (for ``/stats``),
+    and knows the service keeps a warm worker pool (no spawn cost in the
+    predictions).
+    """
+
+    #: Stages of :class:`~repro.jpeg2000.dwt_fast.StageTimings` summed
+    #: into each planner stage when feeding corrections.
+    _STAGE_MAP = {
+        "frontend": ("levelshift_mct", "dwt", "quantize"),
+        "tier1": ("tier1",),
+        "rate_control": ("rate_control",),
+        "tier2": ("tier2",),
+    }
+
+    def __init__(self) -> None:
+        self.corrections = OnlineCorrections()
+        self._selections: dict[str, int] = {}
+        self._decisions = 0
+        self._lock = threading.Lock()
+
+    def decide(self, shape, params) -> tuple:
+        """``resolve_plan`` with this shard's corrections and warm pool."""
+        eff, decision = resolve_plan(
+            shape, params, corrections=self.corrections, pool_warm=True
+        )
+        if decision is not None:
+            with self._lock:
+                self._decisions += 1
+                key = decision.plan.tier1_backend
+                self._selections[key] = self._selections.get(key, 0) + 1
+        return eff, decision
+
+    def observe(self, decision: PlanDecision | None, timings) -> None:
+        """Fold one encode's actual stage timings back into the model."""
+        if decision is None or timings is None:
+            return
+        predicted = decision.plan.predicted()
+        for stage, parts in self._STAGE_MAP.items():
+            pred = predicted.get(stage, 0.0)
+            actual = sum(getattr(timings, p, 0.0) for p in parts)
+            self.corrections.observe(stage, pred, actual)
+
+    def stats(self) -> dict:
+        calib = get_calibration()
+        age = calib.age_seconds
+        with self._lock:
+            selections = dict(self._selections)
+            decisions = self._decisions
+        return {
+            "decisions": decisions,
+            "selections": selections,
+            "calibration": {
+                "source": calib.source,
+                "age_seconds": round(age, 1) if age is not None else None,
+                "fingerprint": calib.fingerprint or None,
+            },
+            "corrections": self.corrections.snapshot(),
+            "cutovers": {
+                "dwt_serial_samples": dwt_serial_cutover_samples(calib),
+                "tier1_serial_blocks": tier1_serial_cutover_blocks(calib),
+            },
+        }

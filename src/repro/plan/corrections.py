@@ -1,0 +1,81 @@
+"""Online correction of the cost model from live stage timings.
+
+The calibrated constants are measured once on an idle machine; a serving
+shard sees a different reality (co-tenants, thermal state, content mix).
+Rather than re-calibrating — expensive and disruptive — each shard keeps
+one multiplicative correction factor per predicted stage and nudges it
+toward the observed actual/predicted ratio with an exponentially-weighted
+moving average.  Factors are bounded so a single pathological request
+(page-cache miss storm, swap stall) cannot poison future plans, and the
+EWMA forgets old regimes at a rate set by ``alpha``.
+
+Corrections adjust *predictions only*.  They never touch the persisted
+calibration file and never change what a plan is allowed to choose — a
+wrong factor costs some latency until the average recovers, nothing more.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class OnlineCorrections:
+    """Per-stage multiplicative EWMA corrections, bounded and thread-safe."""
+
+    #: Default smoothing weight: one observation moves a factor 20 % of
+    #: the way to the new ratio — fast enough to track a regime change in
+    #: ~10 requests, slow enough to shrug off one outlier.
+    DEFAULT_ALPHA = 0.2
+    #: A stage prediction can be scaled by at most 4x in either direction.
+    FACTOR_MIN = 0.25
+    FACTOR_MAX = 4.0
+
+    def __init__(self, alpha: float = DEFAULT_ALPHA) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._factors: dict[str, float] = {}
+        self._samples: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def observe(self, stage: str, predicted_s: float, actual_s: float) -> None:
+        """Fold one (predicted, actual) pair into the stage's factor.
+
+        Non-positive inputs are ignored: a stage that did not run (e.g.
+        rate control on a lossless request) carries no signal.
+        """
+        if predicted_s <= 0.0 or actual_s <= 0.0:
+            return
+        ratio = actual_s / predicted_s
+        ratio = min(self.FACTOR_MAX, max(self.FACTOR_MIN, ratio))
+        with self._lock:
+            prev = self._factors.get(stage, 1.0)
+            factor = (1.0 - self.alpha) * prev + self.alpha * ratio
+            self._factors[stage] = min(
+                self.FACTOR_MAX, max(self.FACTOR_MIN, factor)
+            )
+            self._samples[stage] = self._samples.get(stage, 0) + 1
+
+    def factor(self, stage: str) -> float:
+        with self._lock:
+            return self._factors.get(stage, 1.0)
+
+    def corrected(self, stage: str, predicted_s: float) -> float:
+        """``predicted_s`` scaled by the stage's current factor."""
+        return predicted_s * self.factor(stage)
+
+    def snapshot(self) -> dict:
+        """Factors + observation counts for ``/stats`` and debugging."""
+        with self._lock:
+            return {
+                stage: {
+                    "factor": round(self._factors[stage], 4),
+                    "samples": self._samples.get(stage, 0),
+                }
+                for stage in sorted(self._factors)
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._factors.clear()
+            self._samples.clear()

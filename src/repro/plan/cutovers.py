@@ -1,0 +1,74 @@
+"""Model-derived serial/parallel cutovers.
+
+These two functions subsume the hand-tuned clamps that used to live as
+module constants (``dwt_fast.AUTO_SERIAL_MIN_SAMPLES = 1 << 21`` and
+``workpool.TIER1_AUTO_SERIAL_MIN_BLOCKS = 24``): the thresholds are now
+*derived* from the host calibration, so a machine with cheap forks or an
+expensive GIL gets a cutover that matches its measurements instead of a
+constant tuned on someone else's box.  With the pinned default
+calibration both derivations reproduce the legacy values exactly, so
+behaviour is unchanged until ``repro calibrate`` has run.
+
+Both results are clamped to a sane range: calibration runs on loaded or
+virtualised machines can produce wild overhead numbers, and a cutover is
+a guardrail, not a precision instrument.
+"""
+
+from __future__ import annotations
+
+from repro.plan.calibration import HostCalibration, get_calibration
+
+#: Clamp range for the DWT serial cutover (input samples).  2^18 keeps
+#: tiny images serial even on fork-cheap machines; 2^23 guarantees
+#: multi-megapixel images may parallelize even if calibration measured a
+#: pathological fan-out tax.
+DWT_CUTOVER_MIN_SAMPLES = 1 << 18
+DWT_CUTOVER_MAX_SAMPLES = 1 << 23
+
+#: Clamp range for the Tier-1 serial cutover (code blocks).
+TIER1_CUTOVER_MIN_BLOCKS = 8
+TIER1_CUTOVER_MAX_BLOCKS = 96
+
+#: Break-even safety margin for process-pool parallelism.  The
+#: microbenchmark measures pool costs on an idle queue; under real load
+#: (page-cache pressure, sibling shards, COW faults on fork) the
+#: effective overhead is a small multiple of that.  Pinned so the default
+#: calibration reproduces the legacy 24-block clamp.
+TIER1_PARALLEL_MARGIN = 3.7
+
+#: Nominal code block the Tier-1 break-even is priced against (full-size
+#: 64x64 block; smaller subband blocks only push the cutover higher,
+#: which the margin already covers).
+_NOMINAL_BLOCK_SAMPLES = 64 * 64
+
+
+def dwt_serial_cutover_samples(calib: HostCalibration | None = None) -> int:
+    """Input samples below which the fused front end should stay serial.
+
+    Break-even: threads save at most half the serial chunk-pass time (the
+    two-worker case — larger fan-outs only help above the threshold), so
+    parallelism pays off once ``samples * per_sample / 2`` exceeds the
+    measured fan-out tax.  Defaults reproduce the legacy ``1 << 21``.
+    """
+    c = calib or get_calibration()
+    per_sample = c.dwt_per_sample["fused"]
+    cutover = c.dwt_fanout_s / (per_sample * 0.5)
+    return int(min(DWT_CUTOVER_MAX_SAMPLES,
+                   max(DWT_CUTOVER_MIN_SAMPLES, round(cutover))))
+
+
+def tier1_serial_cutover_blocks(calib: HostCalibration | None = None) -> int:
+    """Code blocks below which Tier-1 should stay serial.
+
+    Break-even against the two-worker pool: overhead is two spawns plus a
+    plane publish; the best case saves half the serial coding time, and
+    the margin demands the saving exceed ``TIER1_PARALLEL_MARGIN`` times
+    the overhead before committing.  Defaults reproduce the legacy 24.
+    """
+    c = calib or get_calibration()
+    overhead = 2.0 * c.pool_spawn_s + c.shm_base_s
+    block_s = (_NOMINAL_BLOCK_SAMPLES * c.t1_per_sample["batched"]
+               + c.t1_per_block["batched"])
+    cutover = 2.0 * TIER1_PARALLEL_MARGIN * overhead / block_s
+    return int(min(TIER1_CUTOVER_MAX_BLOCKS,
+                   max(TIER1_CUTOVER_MIN_BLOCKS, round(cutover))))

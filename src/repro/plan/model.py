@@ -1,0 +1,378 @@
+"""The planner's cost model: shape in, :class:`ExecutionPlan` out.
+
+This is the paper's Section 2 decomposition argument promoted to a
+load-bearing runtime component: instead of hand-tuned clamps and seven
+``REPRO_*`` environment variables, the per-request configuration (Tier-1
+backend, DWT backend and chunk width, worker count, dispatch path) is
+*chosen* by predicting each candidate's per-stage seconds from the
+machine's measured constants (:mod:`repro.plan.calibration`) and the
+request's shape.  Every candidate produces byte-identical codestreams —
+the repo's central invariant — so the model only ever trades time, never
+correctness; the existing cross-backend identity gates keep it honest.
+
+Chunk widths come from the paper's own decomposition scheme
+(:func:`repro.core.decomposition.plan_decomposition`): the chosen worker
+count plays the SPE count, and the resulting cache-line-multiple chunk
+width is handed to the fused front end.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass, field
+
+from repro.plan.calibration import (
+    DWT_BACKENDS,
+    TIER1_BACKENDS,
+    HostCalibration,
+    get_calibration,
+)
+
+#: Planner stage keys (predicted seconds).  ``frontend`` covers level
+#: shift + MCT + DWT + quantize — the fused front end runs them as one
+#: set of chunk passes, so the model prices them together.
+PLAN_STAGES = ("frontend", "tier1", "rate_control", "tier2")
+
+
+@dataclass(frozen=True)
+class RequestShape:
+    """Everything about a request the cost model conditions on."""
+
+    height: int
+    width: int
+    components: int = 1
+    lossless: bool = True
+    levels: int = 5
+    codeblock_size: int = 64
+    rate: float | None = None
+
+    @property
+    def samples(self) -> int:
+        return self.height * self.width * self.components
+
+    @property
+    def raw_bytes(self) -> int:
+        return self.samples  # planner models 8-bit input; 16-bit ~2x
+
+    def code_blocks(self) -> int:
+        return estimate_code_blocks(
+            (self.height, self.width, self.components),
+            self.levels, self.codeblock_size,
+        )
+
+    @staticmethod
+    def from_request(shape, params) -> "RequestShape":
+        """Build from an image shape tuple and an ``EncoderParams``."""
+        h, w = int(shape[0]), int(shape[1])
+        comps = int(shape[2]) if len(shape) == 3 else 1
+        return RequestShape(
+            height=h, width=w, components=comps,
+            lossless=params.lossless, levels=params.levels,
+            codeblock_size=params.codeblock_size, rate=params.rate,
+        )
+
+
+def estimate_code_blocks(shape, levels: int, codeblock_size: int) -> int:
+    """Code blocks a ``shape`` image yields (all components, all subbands).
+
+    Mirrors the tiling the encoder performs without running it: level
+    ``l`` has an LL quadrant of ceil(h/2^l) x ceil(w/2^l); the three
+    detail bands at level ``l`` share the LL(l-1) split.  (Moved here from
+    the micro-batcher so every consumer shares one estimator.)
+    """
+    h, w = int(shape[0]), int(shape[1])
+    channels = int(shape[2]) if len(shape) == 3 else 1
+
+    def blocks_in(bh: int, bw: int) -> int:
+        if bh <= 0 or bw <= 0:
+            return 0
+        return -(-bh // codeblock_size) * -(-bw // codeblock_size)
+
+    per_component = 0
+    lh, lw = h, w
+    for _ in range(levels):
+        hh, hw = lh - lh // 2, lw - lw // 2  # ceil halves (low-pass)
+        dh, dw = lh // 2, lw // 2  # floor halves (high-pass)
+        per_component += blocks_in(hh, dw) + blocks_in(dh, hw) + blocks_in(dh, dw)
+        lh, lw = hh, hw
+    per_component += blocks_in(lh, lw)  # final LL
+    return per_component * channels
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """One full execution configuration, with its predicted cost.
+
+    Frozen and hashable (predictions ride as a tuple) so a plan can sit
+    inside the frozen ``EncoderParams``.  ``batch_group_shards`` sizes the
+    batched backend's geometry-group sharding (0 keeps the default
+    ``2 * workers`` policy).
+    """
+
+    tier1_backend: str = "batched"
+    dwt_backend: str = "fused"
+    dwt_chunk_cols: int | None = None
+    workers: int = 1
+    #: Informational: the dispatch path the model expects the encoder to
+    #: take ("serial" or "pool"); the encoder's own shm-vs-pickle fallback
+    #: still applies at run time.
+    dispatch: str = "serial"
+    batch_group_shards: int = 0
+    #: Predicted per-stage seconds, ``((stage, seconds), ...)``.
+    predicted_s: tuple = ()
+    #: ``"model"`` (chosen by the planner) or ``"fixed"`` (caller-built).
+    source: str = "model"
+
+    @property
+    def predicted_total(self) -> float:
+        return sum(s for _, s in self.predicted_s)
+
+    def predicted(self) -> dict:
+        return dict(self.predicted_s)
+
+    def summary(self) -> str:
+        chunk = self.dwt_chunk_cols if self.dwt_chunk_cols else "auto"
+        out = (
+            f"tier1={self.tier1_backend} dwt={self.dwt_backend} "
+            f"chunk={chunk} workers={self.workers} dispatch={self.dispatch}"
+        )
+        if self.predicted_s:
+            out += f" predicted={self.predicted_total * 1e3:.1f}ms"
+        return out
+
+    def header_value(self) -> str:
+        """Compact form for the ``X-Plan`` response header."""
+        chunk = self.dwt_chunk_cols if self.dwt_chunk_cols else "auto"
+        return (
+            f"t1={self.tier1_backend};dwt={self.dwt_backend};chunk={chunk};"
+            f"workers={self.workers};dispatch={self.dispatch};src={self.source}"
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "tier1_backend": self.tier1_backend,
+            "dwt_backend": self.dwt_backend,
+            "dwt_chunk_cols": self.dwt_chunk_cols,
+            "workers": self.workers,
+            "dispatch": self.dispatch,
+            "batch_group_shards": self.batch_group_shards,
+            "predicted_s": dict(self.predicted_s),
+            "source": self.source,
+        }
+
+
+def available_cores() -> int:
+    return max(1, os.cpu_count() or 1)
+
+
+def t1_per_sample_eff(
+    calib: HostCalibration, backend: str, samples: int
+) -> float:
+    """Effective Tier-1 seconds per sample at ``samples`` image size.
+
+    Log-interpolates between the calibrated small and large anchors and
+    clamps outside them.  This is the one deliberately non-linear term in
+    the model: the batched backend's per-sample cost *grows* with image
+    size (its stacked same-geometry arrays fall out of cache), so batched
+    wins small images and loses multi-megapixel ones — a crossover a
+    single constant could never rank correctly.
+    """
+    small = calib.t1_per_sample[backend]
+    large = calib.t1_per_sample_large.get(backend, small)
+    lo, hi = calib.t1_anchor_small, calib.t1_anchor_large
+    if samples <= lo or hi <= lo or small <= 0:
+        return small
+    if samples >= hi:
+        return large
+    f = (math.log(samples) - math.log(lo)) / (math.log(hi) - math.log(lo))
+    return small * (large / small) ** f
+
+
+def predict_stage_seconds(
+    shape: RequestShape,
+    tier1_backend: str,
+    dwt_backend: str,
+    workers: int,
+    calib: HostCalibration | None = None,
+    corrections=None,
+    pool_warm: bool = False,
+) -> dict:
+    """Predicted seconds per stage for one candidate configuration.
+
+    The model is deliberately first-order — linear in samples and blocks
+    with fixed per-task overheads — because its job is *ranking*
+    configurations, not absolute accuracy; online corrections
+    (:mod:`repro.plan.corrections`) absorb the residual bias per machine.
+    The one exception is :func:`t1_per_sample_eff`'s size interpolation,
+    without which the batched/vectorized crossover is unrankable.
+    """
+    if tier1_backend not in TIER1_BACKENDS:
+        raise ValueError(f"unknown tier1 backend {tier1_backend!r}")
+    if dwt_backend not in DWT_BACKENDS:
+        raise ValueError(f"unknown dwt backend {dwt_backend!r}")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    c = calib or get_calibration()
+    cores = available_cores()
+    samples = shape.samples
+    blocks = shape.code_blocks()
+
+    # --- front end: level shift + MCT + DWT + quantize -------------------
+    per_sample = c.dwt_per_sample[dwt_backend]
+    if not shape.lossless:
+        per_sample *= c.dwt_97_factor[dwt_backend]
+    frontend = samples * per_sample
+    dwt_threads = min(workers, cores) if dwt_backend == "fused" else 1
+    if dwt_threads > 1:
+        # Chunk threads: imperfect scaling plus the measured fan-out tax.
+        nchunks = 2 * dwt_threads * (shape.levels + 1)
+        frontend = (frontend / dwt_threads + c.dwt_fanout_s
+                    + nchunks * c.chunk_task_s)
+
+    # --- Tier-1 -----------------------------------------------------------
+    serial = (samples * t1_per_sample_eff(c, tier1_backend, samples)
+              + blocks * c.t1_per_block[tier1_backend])
+    eff = min(workers, cores)
+    if eff <= 1 or blocks < 2:
+        tier1 = serial
+    else:
+        if tier1_backend == "batched":
+            ntasks = min(blocks, 2 * eff)  # geometry-group shards
+        else:
+            ntasks = blocks
+        spawn = 0.0 if pool_warm else eff * c.pool_spawn_s
+        shm = c.shm_base_s + samples * 4 * c.shm_per_byte_s  # int32 planes
+        tier1 = serial / eff + spawn + ntasks * c.pool_task_s + shm
+
+    # --- back end ---------------------------------------------------------
+    rate = 0.0
+    if shape.rate is not None:
+        rate = blocks * c.t1_passes_per_block * c.rate_per_pass_s
+    tier2 = blocks * c.tier2_per_block_s
+
+    out = {
+        "frontend": frontend, "tier1": tier1,
+        "rate_control": rate, "tier2": tier2,
+    }
+    if corrections is not None:
+        out = {stage: corrections.corrected(stage, s)
+               for stage, s in out.items()}
+    return out
+
+
+def _chunk_cols_for(shape: RequestShape, workers: int) -> int | None:
+    """Chunk width from the paper's decomposition plan (Section 2).
+
+    ``workers`` plays the SPE count; the aligned plan's constant-width SPE
+    chunks are cache-line multiples by construction.  Serial runs keep the
+    whole-plane default (``None``) — one pass, no boundaries to amortize.
+    """
+    if workers <= 1:
+        return None
+    from repro.core.decomposition import plan_decomposition
+
+    plan = plan_decomposition(
+        height=shape.height, width=shape.width, elem_bytes=4,
+        num_spes=2 * workers,
+    )
+    widths = [ch.width for ch in plan.chunks if ch.owner != "PPE"]
+    return max(widths) if widths else None
+
+
+def candidate_configs(max_workers: int | None = None) -> list:
+    """The (tier1, workers) grid the planner ranks.
+
+    The reference coders are never candidates — they exist as differential
+    oracles, and the model (correctly) prices them an order of magnitude
+    slower; ``repro plan`` still shows them for explanation.
+    """
+    cores = available_cores()
+    cap = cores if max_workers is None else max(1, min(max_workers, cores))
+    workers = [1]
+    w = 2
+    while w <= cap:
+        workers.append(w)
+        w *= 2
+    if cap > 1 and cap not in workers:
+        workers.append(cap)
+    return [
+        (t1, w) for t1 in ("vectorized", "batched") for w in workers
+    ]
+
+
+def choose_plan(
+    shape: RequestShape,
+    calib: HostCalibration | None = None,
+    max_workers: int | None = None,
+    corrections=None,
+    pool_warm: bool = False,
+) -> ExecutionPlan:
+    """Rank every candidate configuration and return the cheapest.
+
+    Deterministic for a fixed calibration: ties break toward fewer
+    workers, then the batched backend (lower constant overhead at scale).
+    """
+    calib = calib or get_calibration()
+    best: tuple | None = None
+    for t1, w in candidate_configs(max_workers):
+        pred = predict_stage_seconds(
+            shape, t1, "fused", w, calib=calib,
+            corrections=corrections, pool_warm=pool_warm,
+        )
+        total = sum(pred.values())
+        rank = (total, w, 0 if t1 == "batched" else 1)
+        if best is None or rank < best[0]:
+            best = (rank, t1, w, pred)
+    _, t1, w, pred = best
+    return ExecutionPlan(
+        tier1_backend=t1,
+        dwt_backend="fused",
+        dwt_chunk_cols=_chunk_cols_for(shape, w),
+        workers=w,
+        dispatch="serial" if min(w, available_cores()) <= 1 else "pool",
+        batch_group_shards=0 if w <= 1 else 2 * w,
+        predicted_s=tuple(sorted(pred.items())),
+        source="model",
+    )
+
+
+def explain(
+    shape: RequestShape,
+    calib: HostCalibration | None = None,
+    max_workers: int | None = None,
+) -> str:
+    """Human-oriented candidate table for ``repro plan <shape>``."""
+    calib = calib or get_calibration()
+    chosen = choose_plan(shape, calib=calib, max_workers=max_workers)
+    lines = [
+        f"shape: {shape.height}x{shape.width}x{shape.components}  "
+        f"{'lossless' if shape.lossless else f'lossy rate={shape.rate}'}  "
+        f"levels={shape.levels} cb={shape.codeblock_size}  "
+        f"({shape.samples} samples, {shape.code_blocks()} code blocks)",
+        f"calibration: {calib.source}"
+        + (f", age {calib.age_seconds:.0f}s" if calib.age_seconds is not None
+           else " (pinned constants; run `repro calibrate`)"),
+        "",
+        f"{'tier1':>11} {'dwt':>10} {'workers':>7} "
+        f"{'frontend':>9} {'tier1_s':>9} {'rate':>8} {'tier2':>8} "
+        f"{'total':>9}",
+    ]
+    worker_grid = sorted({w for _, w in candidate_configs(max_workers)})
+    for t1 in TIER1_BACKENDS:
+        for dwt in DWT_BACKENDS:
+            for w in worker_grid:
+                pred = predict_stage_seconds(shape, t1, dwt, w, calib=calib)
+                mark = " <- chosen" if (
+                    t1 == chosen.tier1_backend and dwt == chosen.dwt_backend
+                    and w == chosen.workers
+                ) else ""
+                lines.append(
+                    f"{t1:>11} {dwt:>10} {w:>7} "
+                    f"{pred['frontend']:>8.4f}s {pred['tier1']:>8.4f}s "
+                    f"{pred['rate_control']:>7.4f}s {pred['tier2']:>7.4f}s "
+                    f"{sum(pred.values()):>8.4f}s{mark}"
+                )
+    lines.append("")
+    lines.append(f"plan: {chosen.summary()}")
+    return "\n".join(lines)

@@ -17,12 +17,12 @@ from repro.image.synthetic import watch_face_image
 from repro.jpeg2000 import dwt
 from repro.jpeg2000.dwt_fast import (
     AUTO_SERIAL_ENV,
-    AUTO_SERIAL_MIN_SAMPLES,
     CACHE_LINE_COLS,
     DWT_BACKENDS,
     FrontendResult,
     StageTimings,
     auto_serial_workers,
+    dwt_serial_threshold,
     lift_53,
     lift_97,
     resolve_chunk,
@@ -251,15 +251,28 @@ class TestStageTimings:
 class TestAutoSerial:
     """Small images skip the thread fan-out (PR 4 scaling fix)."""
 
+    def test_threshold_is_model_derived(self, monkeypatch):
+        # Without env override the threshold comes from the planner's
+        # cutover model, pinned to reproduce the legacy 2^21 clamp under
+        # the default calibration (and clamped to [2^18, 2^23] always).
+        monkeypatch.delenv(AUTO_SERIAL_ENV, raising=False)
+        from repro.plan.calibration import DEFAULT_HOST_CALIBRATION
+        from repro.plan.cutovers import dwt_serial_cutover_samples
+
+        assert dwt_serial_cutover_samples(DEFAULT_HOST_CALIBRATION) == 1 << 21
+        assert (1 << 18) <= dwt_serial_threshold() <= (1 << 23)
+
     def test_small_image_clamps_to_serial(self, monkeypatch):
         monkeypatch.delenv(AUTO_SERIAL_ENV, raising=False)
-        assert auto_serial_workers(4, AUTO_SERIAL_MIN_SAMPLES - 1) == 1
-        assert auto_serial_workers(8, 1024 * 1024) == 1  # 1Mpx gray
+        threshold = dwt_serial_threshold()
+        assert auto_serial_workers(4, threshold - 1) == 1
+        assert auto_serial_workers(8, (1 << 18) - 1) == 1  # below min clamp
 
     def test_large_image_keeps_workers(self, monkeypatch):
         monkeypatch.delenv(AUTO_SERIAL_ENV, raising=False)
-        assert auto_serial_workers(4, AUTO_SERIAL_MIN_SAMPLES) == 4
-        assert auto_serial_workers(2, 2048 * 2048 * 3) == 2
+        threshold = dwt_serial_threshold()
+        assert auto_serial_workers(4, threshold) == 4
+        assert auto_serial_workers(2, 1 << 23) == 2  # above max clamp
 
     def test_serial_request_untouched(self, monkeypatch):
         monkeypatch.delenv(AUTO_SERIAL_ENV, raising=False)

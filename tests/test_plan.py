@@ -1,0 +1,357 @@
+"""Execution planner: calibration cache, cost model, precedence, identity.
+
+The planner may only ever trade *time*: every plan, forced or chosen,
+must produce the byte-identical codestream, and its decisions must be a
+pure function of (shape, calibration).  These tests pin both, plus the
+cache-invalidation rules that keep a stale calibration from ever
+steering a different machine.
+"""
+
+import dataclasses
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.image.synthetic import watch_face_image
+from repro.jpeg2000.encoder import encode
+from repro.jpeg2000.params import EncoderParams
+from repro.plan import (
+    DEFAULT_HOST_CALIBRATION,
+    ExecutionPlan,
+    OnlineCorrections,
+    RequestShape,
+    ServicePlanner,
+    apply_plan,
+    choose_plan,
+    predict_stage_seconds,
+    resolve_plan,
+)
+from repro.plan.calibration import (
+    CALIBRATION_PATH_ENV,
+    SCHEMA_VERSION,
+    HostCalibration,
+    get_calibration,
+    invalidate_memo,
+    load_calibration,
+    machine_fingerprint,
+    save_calibration,
+)
+from repro.plan.cutovers import (
+    DWT_CUTOVER_MAX_SAMPLES,
+    DWT_CUTOVER_MIN_SAMPLES,
+    TIER1_CUTOVER_MAX_BLOCKS,
+    TIER1_CUTOVER_MIN_BLOCKS,
+    dwt_serial_cutover_samples,
+    tier1_serial_cutover_blocks,
+)
+
+
+@pytest.fixture
+def calib_file(tmp_path, monkeypatch):
+    """Point the calibration cache at a tmp file and clear the memo."""
+    path = str(tmp_path / "calibration.json")
+    monkeypatch.setenv(CALIBRATION_PATH_ENV, path)
+    invalidate_memo()
+    yield path
+    invalidate_memo()
+
+
+def _measured_default() -> HostCalibration:
+    """The pinned constants stamped as if measured on this machine."""
+    return dataclasses.replace(
+        DEFAULT_HOST_CALIBRATION,
+        source="measured",
+        created_at=1e9,
+        fingerprint=machine_fingerprint(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Calibration cache
+# ---------------------------------------------------------------------------
+
+
+class TestCalibrationCache:
+    def test_round_trip(self, calib_file):
+        calib = _measured_default()
+        save_calibration(calib, calib_file)
+        assert load_calibration(calib_file) == calib
+        # The memoized accessor sees the saved file too.
+        invalidate_memo()
+        assert get_calibration() == calib
+
+    def test_missing_file_falls_back_to_defaults(self, calib_file):
+        assert load_calibration(calib_file) is None
+        assert get_calibration() == DEFAULT_HOST_CALIBRATION
+
+    def test_corrupt_file_rejected(self, calib_file):
+        with open(calib_file, "w") as fh:
+            fh.write("{not json")
+        assert load_calibration(calib_file) is None
+
+    def test_schema_version_invalidates(self, calib_file):
+        save_calibration(_measured_default(), calib_file)
+        with open(calib_file) as fh:
+            payload = json.load(fh)
+        payload["schema_version"] = SCHEMA_VERSION - 1
+        with open(calib_file, "w") as fh:
+            json.dump(payload, fh)
+        assert load_calibration(calib_file) is None
+
+    def test_fingerprint_invalidates(self, calib_file):
+        other = dataclasses.replace(
+            _measured_default(), fingerprint="deadbeefdeadbeef"
+        )
+        save_calibration(other, calib_file)
+        assert load_calibration(calib_file) is None
+        invalidate_memo()
+        assert get_calibration() == DEFAULT_HOST_CALIBRATION
+
+    def test_missing_backend_rejected(self, calib_file):
+        calib = _measured_default()
+        broken = dataclasses.replace(
+            calib, t1_per_sample={"vectorized": 1e-6}
+        )
+        save_calibration(broken, calib_file)
+        assert load_calibration(calib_file) is None
+
+    def test_age_seconds(self):
+        assert DEFAULT_HOST_CALIBRATION.age_seconds is None
+        assert _measured_default().age_seconds > 0
+
+
+# ---------------------------------------------------------------------------
+# Cost model
+# ---------------------------------------------------------------------------
+
+
+class TestCostModel:
+    def test_plan_is_deterministic_for_fixed_calibration(self):
+        shape = RequestShape(512, 512, 3)
+        plans = {
+            choose_plan(shape, calib=DEFAULT_HOST_CALIBRATION)
+            for _ in range(5)
+        }
+        assert len(plans) == 1
+
+    def test_larger_images_never_predict_cheaper(self):
+        prev = 0.0
+        for side in (64, 128, 256, 512, 1024, 2048):
+            pred = predict_stage_seconds(
+                RequestShape(side, side, 1), "batched", "fused", 1,
+                calib=DEFAULT_HOST_CALIBRATION,
+            )
+            total = sum(pred.values())
+            assert total > prev, f"side={side} predicted cheaper than smaller"
+            prev = total
+
+    def test_batched_wins_small_vectorized_wins_large(self):
+        # The size crossover is the planner's raison d'etre: batched has
+        # the lower per-block overhead on small images, but its stacked
+        # working set loses the cache on multi-megapixel ones.
+        small = choose_plan(
+            RequestShape(256, 256, 1), calib=DEFAULT_HOST_CALIBRATION,
+            max_workers=1,
+        )
+        large = choose_plan(
+            RequestShape(2048, 2048, 3), calib=DEFAULT_HOST_CALIBRATION,
+            max_workers=1,
+        )
+        assert small.tier1_backend == "batched"
+        assert large.tier1_backend == "vectorized"
+
+    def test_reference_backends_never_chosen(self):
+        for side in (64, 512, 4096):
+            plan = choose_plan(
+                RequestShape(side, side, 1), calib=DEFAULT_HOST_CALIBRATION
+            )
+            assert plan.tier1_backend in ("vectorized", "batched")
+            assert plan.dwt_backend == "fused"
+
+    def test_lossy_costs_more_than_lossless(self):
+        lossless = predict_stage_seconds(
+            RequestShape(256, 256, 1), "batched", "fused", 1,
+            calib=DEFAULT_HOST_CALIBRATION,
+        )
+        lossy = predict_stage_seconds(
+            RequestShape(256, 256, 1, lossless=False, rate=0.25),
+            "batched", "fused", 1, calib=DEFAULT_HOST_CALIBRATION,
+        )
+        assert sum(lossy.values()) > sum(lossless.values())
+        assert lossy["rate_control"] > 0.0 == lossless["rate_control"]
+
+    def test_small_shapes_plan_serial(self):
+        # Below the cutovers parallelism is pure overhead; the model must
+        # agree regardless of how many cores the machine has.
+        plan = choose_plan(
+            RequestShape(64, 64, 1), calib=DEFAULT_HOST_CALIBRATION,
+            max_workers=8,
+        )
+        assert plan.workers == 1
+        assert plan.dispatch == "serial"
+        assert plan.dwt_chunk_cols is None
+
+    def test_cutovers_reproduce_legacy_constants(self):
+        assert dwt_serial_cutover_samples(DEFAULT_HOST_CALIBRATION) == 1 << 21
+        assert tier1_serial_cutover_blocks(DEFAULT_HOST_CALIBRATION) == 24
+
+    def test_cutovers_clamped_for_absurd_calibrations(self):
+        fast = dataclasses.replace(
+            DEFAULT_HOST_CALIBRATION,
+            pool_spawn_s=10.0, dwt_fanout_s=10.0,
+        )
+        slow = dataclasses.replace(
+            DEFAULT_HOST_CALIBRATION,
+            pool_spawn_s=1e-9, dwt_fanout_s=1e-9,
+        )
+        for calib in (fast, slow):
+            assert (DWT_CUTOVER_MIN_SAMPLES
+                    <= dwt_serial_cutover_samples(calib)
+                    <= DWT_CUTOVER_MAX_SAMPLES)
+            assert (TIER1_CUTOVER_MIN_BLOCKS
+                    <= tier1_serial_cutover_blocks(calib)
+                    <= TIER1_CUTOVER_MAX_BLOCKS)
+
+
+# ---------------------------------------------------------------------------
+# Precedence: explicit > env > plan
+# ---------------------------------------------------------------------------
+
+
+class TestPrecedence:
+    PLAN = ExecutionPlan(
+        tier1_backend="vectorized", dwt_backend="fused", workers=2,
+        source="fixed",
+    )
+
+    def test_plan_fills_automatic_fields(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TIER1_BACKEND", raising=False)
+        monkeypatch.delenv("REPRO_DWT_BACKEND", raising=False)
+        params, decision = apply_plan(EncoderParams(), self.PLAN)
+        assert params.tier1_backend == "vectorized"
+        assert params.workers == 2
+        assert "tier1_backend" in decision.applied
+        assert decision.pinned == ()
+
+    def test_explicit_param_beats_plan(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TIER1_BACKEND", raising=False)
+        params, decision = apply_plan(
+            EncoderParams(tier1_backend="batched", workers=4), self.PLAN
+        )
+        assert params.tier1_backend == "batched"
+        assert params.workers == 4
+        assert "tier1_backend:explicit" in decision.pinned
+        assert "workers:explicit" in decision.pinned
+
+    def test_env_beats_plan(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TIER1_BACKEND", "batched")
+        params, decision = apply_plan(EncoderParams(), self.PLAN)
+        assert params.tier1_backend == "auto"  # env consulted downstream
+        assert "tier1_backend:env" in decision.pinned
+
+    def test_resolve_plan_none_is_passthrough(self):
+        params = EncoderParams()
+        out, decision = resolve_plan((64, 64), params)
+        assert out is params
+        assert decision is None
+
+    def test_params_reject_garbage_plan(self):
+        with pytest.raises(ValueError, match="plan"):
+            EncoderParams(plan="fastest")
+
+
+# ---------------------------------------------------------------------------
+# Byte identity across forced plans
+# ---------------------------------------------------------------------------
+
+
+class TestPlanIdentity:
+    def test_forced_plans_are_byte_identical(self):
+        img = watch_face_image(96, 96, channels=3)
+        base = encode(img, EncoderParams(levels=3)).codestream
+        plans = [
+            "auto",
+            ExecutionPlan(tier1_backend="vectorized", workers=1),
+            ExecutionPlan(tier1_backend="batched", workers=1),
+            ExecutionPlan(tier1_backend="batched", workers=2),
+            ExecutionPlan(tier1_backend="vectorized", dwt_backend="reference",
+                          workers=2),
+        ]
+        for plan in plans:
+            result = encode(img, EncoderParams(levels=3, plan=plan))
+            assert result.codestream == base, f"plan {plan} broke bytes"
+            assert result.plan is not None
+
+    def test_lossy_plans_are_byte_identical(self):
+        img = watch_face_image(96, 96, channels=1)
+        kw = dict(lossless=False, rate=0.3, levels=3)
+        base = encode(img, EncoderParams(**kw)).codestream
+        for t1 in ("vectorized", "batched"):
+            plan = ExecutionPlan(tier1_backend=t1, workers=1)
+            assert encode(
+                img, EncoderParams(plan=plan, **kw)
+            ).codestream == base
+
+    def test_auto_plan_decision_is_reported(self):
+        img = watch_face_image(64, 64, channels=1)
+        result = encode(img, EncoderParams(levels=3, plan="auto"))
+        decision = result.plan
+        assert decision.plan.source == "model"
+        assert decision.plan.predicted_total > 0
+        assert "t1=" in decision.plan.header_value()
+
+
+# ---------------------------------------------------------------------------
+# Online corrections + service planner
+# ---------------------------------------------------------------------------
+
+
+class TestCorrections:
+    def test_ewma_moves_toward_observed_ratio(self):
+        c = OnlineCorrections()
+        for _ in range(50):
+            c.observe("tier1", predicted_s=1.0, actual_s=2.0)
+        assert 1.8 < c.factor("tier1") <= 2.0
+        assert c.corrected("tier1", 1.0) == pytest.approx(c.factor("tier1"))
+
+    def test_factors_are_clamped(self):
+        c = OnlineCorrections()
+        for _ in range(100):
+            c.observe("tier1", predicted_s=1.0, actual_s=1000.0)
+            c.observe("tier2", predicted_s=1000.0, actual_s=1e-9)
+        assert c.factor("tier1") <= 4.0
+        assert c.factor("tier2") >= 0.25
+
+    def test_garbage_observations_ignored(self):
+        c = OnlineCorrections()
+        c.observe("tier1", predicted_s=0.0, actual_s=1.0)
+        c.observe("tier1", predicted_s=1.0, actual_s=-1.0)
+        assert c.factor("tier1") == 1.0
+
+    def test_service_planner_stats_and_feedback(self):
+        planner = ServicePlanner()
+        img_shape = (128, 128, 3)
+        eff, decision = planner.decide(
+            img_shape, EncoderParams(plan="auto")
+        )
+        assert eff.plan is None  # never re-enters the planner downstream
+        assert decision is not None
+
+        class T:  # minimal StageTimings stand-in
+            levelshift_mct = 0.001
+            dwt = 0.004
+            quantize = 0.001
+            tier1 = 0.05
+            rate_control = 0.0
+            tier2 = 0.002
+
+        planner.observe(decision, T())
+        stats = planner.stats()
+        assert stats["decisions"] == 1
+        assert sum(stats["selections"].values()) == 1
+        assert set(stats["cutovers"]) == {
+            "dwt_serial_samples", "tier1_serial_blocks"
+        }
+        assert stats["corrections"]["tier1"]["samples"] == 1

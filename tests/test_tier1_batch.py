@@ -17,8 +17,8 @@ import pytest
 
 from repro.core.workpool import (
     TIER1_AUTO_SERIAL_ENV,
-    TIER1_AUTO_SERIAL_MIN_BLOCKS,
     tier1_auto_workers,
+    tier1_serial_threshold,
 )
 from repro.image.synthetic import watch_face_image
 from repro.jpeg2000 import tier1_geom
@@ -197,7 +197,17 @@ class TestAutoSerialClamp:
     def test_serial_inputs_stay_serial(self, monkeypatch):
         monkeypatch.delenv(TIER1_AUTO_SERIAL_ENV, raising=False)
         assert tier1_auto_workers(1, 1000) == 1
-        assert tier1_auto_workers(4, TIER1_AUTO_SERIAL_MIN_BLOCKS - 1) == 1
+        assert tier1_auto_workers(4, tier1_serial_threshold() - 1) == 1
+
+    def test_threshold_is_model_derived(self, monkeypatch):
+        # Pinned default calibration reproduces the legacy 24-block clamp;
+        # any calibration stays inside the [8, 96] guardrail.
+        monkeypatch.delenv(TIER1_AUTO_SERIAL_ENV, raising=False)
+        from repro.plan.calibration import DEFAULT_HOST_CALIBRATION
+        from repro.plan.cutovers import tier1_serial_cutover_blocks
+
+        assert tier1_serial_cutover_blocks(DEFAULT_HOST_CALIBRATION) == 24
+        assert 8 <= tier1_serial_threshold() <= 96
 
     def test_env_disables_clamp(self, monkeypatch):
         monkeypatch.setenv(TIER1_AUTO_SERIAL_ENV, "0")
