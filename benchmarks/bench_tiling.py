@@ -1,0 +1,264 @@
+"""Tiled encode: streaming memory ceiling and tile-parallel speedup.
+
+Two claims ride on the tiling tentpole, and this benchmark measures both:
+
+1. **Peak RSS under a budget.**  A tall image encoded with ``--tile`` and
+   a ``mem_budget`` streams one batch of tiles at a time, so its peak
+   working set must sit well below the single-tile encoder's (which holds
+   every subband of the whole image at once).  Each configuration runs in
+   its own child process because ``ru_maxrss`` is a per-process high-water
+   mark — it only ever goes up, so sequential in-process measurements
+   would inherit the largest predecessor.
+
+2. **Tile-parallel speedup.**  Tiles shard across the code-block work
+   queue, so a multi-tile encode at N workers must beat the same encode
+   at 1 worker (bytes are identical at any worker count; the differential
+   suite asserts that separately).
+
+``--quick --gate`` is the CI contract: the tiled encode of the tall
+synthetic image must stay under the memory budget (baseline-adjusted) and
+decode to exactly the single-tile pixels.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from _util import (  # noqa: E402
+    add_repeats_flag,
+    bench_report,
+    check_repeats,
+    time_fn,
+    write_bench_json,
+)
+
+#: RSS the tiled child may sit above the no-encode baseline: the budget
+#: itself plus slack for the raw image, codestream, and allocator overhead.
+GATE_SLACK = 3.0
+
+
+def _mem_budget(tile: int, channels: int) -> int:
+    """Streaming budget for a configuration: one tile's working set.
+
+    The encoder can never hold less than one tile in flight, so a fixed
+    byte budget would be unsatisfiable for large tiles (a 1024-px RGB
+    tile alone needs ~384 MiB of coder state).  Deriving the budget
+    from ``TILE_WORKSET_BYTES`` gates the thing streaming actually
+    promises: peak memory proportional to one tile batch, not to the
+    image.
+    """
+    from repro.jpeg2000.params import TILE_WORKSET_BYTES
+
+    return tile * tile * channels * TILE_WORKSET_BYTES
+
+
+def _make_image(height: int, width: int, channels: int):
+    """A tall deterministic image built by tiling a small watch face.
+
+    ``watch_face_image`` at full size transiently allocates ~100 bytes
+    per sample of float64 intermediates — more than the encode under
+    measurement — so the RSS children would inherit a generation peak
+    that masks the encoder's.  Tiling a 256-pixel base keeps generation
+    cost O(base), not O(image).
+    """
+    import numpy as np
+
+    from repro.image.synthetic import watch_face_image
+
+    base = watch_face_image(min(256, height), min(256, width),
+                            channels=channels)
+    reps = (-(-height // base.shape[0]), -(-width // base.shape[1]))
+    if channels > 1:
+        reps += (1,)
+    return np.tile(base, reps)[:height, :width]
+
+
+def _child_main(spec: dict) -> None:
+    """Encode once in a fresh process; report peak RSS and wall time."""
+    import resource
+    import time
+
+    from repro.jpeg2000.encoder import encode
+    from repro.jpeg2000.params import EncoderParams
+
+    img = _make_image(*spec["shape"])
+    out: dict = {}
+    if spec["encode"]:
+        params = EncoderParams(
+            tile_size=spec.get("tile"),
+            mem_budget=spec.get("mem_budget"),
+            workers=spec.get("workers", 1),
+        )
+        t0 = time.perf_counter()
+        result = encode(img, params)
+        out["wall_s"] = time.perf_counter() - t0
+        out["bytes"] = len(result.codestream)
+        with open(spec["codestream_path"], "wb") as fh:
+            fh.write(result.codestream)
+    # Linux ru_maxrss is KiB.
+    out["peak_rss_bytes"] = (
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+    )
+    json.dump(out, sys.stdout)
+
+
+def _run_child(spec: dict) -> dict:
+    proc = subprocess.run(
+        [sys.executable, os.path.abspath(__file__), "--child",
+         json.dumps(spec)],
+        capture_output=True, text=True, check=True,
+        env={**os.environ, "PYTHONPATH": os.pathsep.join(sys.path)},
+    )
+    return json.loads(proc.stdout)
+
+
+def _rss_section(shape, tile: int, workdir: str, mem_budget: int) -> dict:
+    """Peak-RSS comparison: baseline (no encode) vs untiled vs tiled."""
+    base = _run_child({"shape": shape, "encode": False})
+    untiled_path = os.path.join(workdir, "untiled.j2c")
+    tiled_path = os.path.join(workdir, "tiled.j2c")
+    untiled = _run_child({
+        "shape": shape, "encode": True, "codestream_path": untiled_path,
+    })
+    tiled = _run_child({
+        "shape": shape, "encode": True, "tile": tile,
+        "mem_budget": mem_budget, "codestream_path": tiled_path,
+    })
+    return {
+        "shape": list(shape),
+        "tile": tile,
+        "mem_budget_bytes": mem_budget,
+        "baseline_rss_bytes": base["peak_rss_bytes"],
+        "untiled": untiled,
+        "tiled": tiled,
+        "rss_ratio": tiled["peak_rss_bytes"] / untiled["peak_rss_bytes"],
+        "untiled_path": untiled_path,
+        "tiled_path": tiled_path,
+    }
+
+
+def _speedup_section(shape, tile: int, repeats: int) -> dict:
+    """Tile-parallel wall time: 1 worker vs all cores (same bytes)."""
+    from repro.jpeg2000.encoder import encode
+    from repro.jpeg2000.params import EncoderParams
+
+    img = _make_image(*shape)
+    workers = min(4, os.cpu_count() or 1)
+    serial = time_fn(
+        lambda: encode(img, EncoderParams(tile_size=tile, workers=1)),
+        repeats,
+    )
+    parallel = time_fn(
+        lambda: encode(img, EncoderParams(tile_size=tile, workers=workers)),
+        repeats,
+    )
+    return {
+        "shape": list(shape),
+        "tile": tile,
+        "workers": workers,
+        "serial": serial,
+        "parallel": parallel,
+        "speedup": serial["median_s"] / parallel["median_s"],
+    }
+
+
+def _verify_pixels(rss: dict, shape) -> None:
+    import numpy as np
+
+    from repro.jpeg2000.decoder import decode
+
+    img = _make_image(*shape)
+    with open(rss["untiled_path"], "rb") as fh:
+        untiled = decode(fh.read())
+    with open(rss["tiled_path"], "rb") as fh:
+        tiled = decode(fh.read())
+    if not np.array_equal(untiled, img):
+        raise SystemExit("GATE FAIL: untiled decode does not match source")
+    if not np.array_equal(tiled, img):
+        raise SystemExit(
+            "GATE FAIL: tiled decode does not match single-tile pixels"
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--child", default=None, help=argparse.SUPPRESS)
+    parser.add_argument("--quick", action="store_true",
+                        help="small shapes (the CI configuration)")
+    parser.add_argument("--gate", action="store_true",
+                        help="fail unless tiled RSS is under budget and "
+                             "under the untiled peak, with matching pixels")
+    parser.add_argument("--output", default=None, metavar="PATH")
+    add_repeats_flag(parser, default=1)
+    args = parser.parse_args(argv)
+    if args.child:
+        _child_main(json.loads(args.child))
+        return 0
+    check_repeats(args.repeats)
+
+    if args.quick:
+        rss_shape = (4096, 256, 1)   # tall: 16 one-row tile batches
+        speed_shape = (512, 512, 1)
+        tile = 256
+    else:
+        rss_shape = (4096, 4096, 3)  # the acceptance-scale image
+        speed_shape = (1024, 1024, 3)
+        tile = 1024
+
+    import tempfile
+
+    mem_budget = _mem_budget(tile, rss_shape[2])
+
+    with tempfile.TemporaryDirectory(prefix="bench_tiling_") as workdir:
+        rss = _rss_section(rss_shape, tile, workdir, mem_budget)
+        _verify_pixels(rss, rss_shape)
+        speedup = _speedup_section(speed_shape, tile=128,
+                                   repeats=args.repeats)
+        rss.pop("untiled_path"), rss.pop("tiled_path")
+
+    gate = {
+        "rss_below_untiled": rss["tiled"]["peak_rss_bytes"]
+        < rss["untiled"]["peak_rss_bytes"],
+        "rss_under_budget": (
+            rss["tiled"]["peak_rss_bytes"] - rss["baseline_rss_bytes"]
+            <= GATE_SLACK * mem_budget
+        ),
+        "pixels_match": True,  # _verify_pixels raised otherwise
+    }
+    report = bench_report(
+        "tiling", rss=rss, speedup=speedup, gate=gate,
+    )
+    write_bench_json(report, "BENCH_tiling.json", args.output)
+
+    untiled_mb = rss["untiled"]["peak_rss_bytes"] / 2**20
+    tiled_mb = rss["tiled"]["peak_rss_bytes"] / 2**20
+    base_mb = rss["baseline_rss_bytes"] / 2**20
+    print(f"peak RSS: baseline {base_mb:.0f} MiB, untiled {untiled_mb:.0f} "
+          f"MiB, tiled {tiled_mb:.0f} MiB (ratio {rss['rss_ratio']:.2f})")
+    print(f"tile-parallel speedup: {speedup['speedup']:.2f}x at "
+          f"{speedup['workers']} workers")
+
+    if args.gate:
+        if not gate["rss_below_untiled"]:
+            raise SystemExit(
+                f"GATE FAIL: tiled peak RSS {tiled_mb:.0f} MiB not below "
+                f"untiled {untiled_mb:.0f} MiB"
+            )
+        if not gate["rss_under_budget"]:
+            over = rss["tiled"]["peak_rss_bytes"] - rss["baseline_rss_bytes"]
+            raise SystemExit(
+                f"GATE FAIL: tiled encode working set {over / 2**20:.0f} "
+                f"MiB exceeds {GATE_SLACK:.0f}x the "
+                f"{mem_budget / 2**20:.0f} MiB budget"
+            )
+        print("gate OK: tiled encode stayed under budget with exact pixels")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -78,11 +78,28 @@ def _workers(value: str) -> int | None:
     return n
 
 
-def _params(args) -> EncoderParams:
+def _params(args, image=None) -> EncoderParams:
+    mem_budget = getattr(args, "mem_budget", None)
+    if mem_budget is not None:
+        mem_budget *= 2**20
+    tile = getattr(args, "tile", None)
+    if tile is None and mem_budget is not None and image is not None:
+        # --mem-budget without --tile: let the planner size the tiles so a
+        # streaming tile row fits the budget.
+        from repro.plan.model import choose_tile_size
+
+        ncomp = 1 if image.ndim == 2 else image.shape[2]
+        tile = choose_tile_size(
+            image.shape[0], image.shape[1], ncomp, mem_budget
+        )
     common = dict(levels=args.levels, codeblock_size=args.codeblock,
                   tier1_backend=args.tier1_backend, workers=args.workers,
                   dwt_backend=args.dwt_backend,
                   dwt_chunk_cols=args.dwt_chunk,
+                  tile_size=tile,
+                  precinct_size=getattr(args, "precinct", None),
+                  progression=getattr(args, "progression", "lrcp").upper(),
+                  mem_budget=mem_budget,
                   self_check=args.self_check,
                   plan="auto" if getattr(args, "plan", "fixed") == "auto"
                   else None)
@@ -115,6 +132,22 @@ def _add_coding_options(p: argparse.ArgumentParser) -> None:
     p.add_argument("--dwt-chunk", type=int, default=None, metavar="COLS",
                    help="fused front-end chunk width in samples (rounded up "
                         "to a multiple of 32); default: automatic")
+    p.add_argument("--tile", type=int, default=None, metavar="SIZE",
+                   help="tile the image into SIZExSIZE tiles, each an "
+                        "independent codestream tile (random spatial access "
+                        "via TLM; tiles encode in parallel and stream in "
+                        "rows under --mem-budget)")
+    p.add_argument("--precinct", type=int, default=None, metavar="SIZE",
+                   help="precinct size in samples (power of two >= the code "
+                        "block size); partitions each resolution into "
+                        "independently addressable packets")
+    p.add_argument("--progression", default="lrcp",
+                   choices=("lrcp", "rpcl", "pcrl"),
+                   help="Tier-2 packet progression order (default lrcp)")
+    p.add_argument("--mem-budget", type=int, default=None, metavar="MIB",
+                   help="cap encoder working-set: tiles are encoded in "
+                        "batches sized to this budget; without --tile, "
+                        "picks a tile size so one tile row fits")
     p.add_argument("--self-check", action="store_true",
                    help="decode the output before writing it and verify the "
                         "round trip (bit-exact lossless / PSNR-floored lossy); "
@@ -130,7 +163,7 @@ def _add_coding_options(p: argparse.ArgumentParser) -> None:
 def cmd_encode(args) -> int:
     image = _read_image(args.input)
     t0 = time.perf_counter()
-    result = encode(image, _params(args))
+    result = encode(image, _params(args, image))
     wall = time.perf_counter() - t0
     with open(args.output, "wb") as fh:
         fh.write(result.codestream)
@@ -163,8 +196,12 @@ def cmd_decode(args) -> int:
                    timings=timings,
                    plan="auto" if args.plan == "auto" else None)
     wall = time.perf_counter() - t0
-    if image.dtype.itemsize != 1:
-        raise SystemExit("only 8-bit output images are supported by BMP/PNM")
+    if image.dtype.itemsize == 2 and not args.output.lower().endswith(
+        (".pgm", ".ppm", ".pnm")
+    ):
+        raise SystemExit("16-bit output requires a PGM/PPM path")
+    if image.dtype.itemsize > 2:
+        raise SystemExit("only 8/16-bit output images are supported")
     _write_image(args.output, image)
     print(f"{args.input} -> {args.output}: {image.shape}, {wall:.2f}s")
     print(f"  stages: {timings.summary()}")
@@ -173,7 +210,7 @@ def cmd_decode(args) -> int:
 
 def cmd_simulate(args) -> int:
     image = _read_image(args.input)
-    params = _params(args)
+    params = _params(args, image)
     if args.estimate:
         stats = estimate_workload(image, params)
     else:

@@ -346,6 +346,68 @@ def default_workers() -> int:
     return max(1, os.cpu_count() or 1)
 
 
+class ReusableWorkerPool:
+    """A lazily started process pool reused across dispatch rounds.
+
+    Tiled encodes dispatch Tier-1 once per tile batch; a one-shot
+    ``ctx.Pool`` per dispatch would pay worker fork/startup for every
+    batch.  Handing a ``ReusableWorkerPool`` to
+    :class:`CodeBlockWorkQueue` (the ``mp_pool`` argument) makes every
+    dispatch run through the same workers.  Unlike an injected per-block
+    executor (the ``pool`` argument), this is a raw pool: the queue sends
+    it whatever task function the dispatch path needs, so per-block,
+    geometry-group, and decode payloads all work.
+
+    The pool starts on first use and must be released by the owner:
+    ``close()`` after a clean run, ``terminate()`` on error (both
+    idempotent; the context-manager form does this automatically).
+    """
+
+    def __init__(self, workers: int | None = None,
+                 mp_context: str | None = None) -> None:
+        if workers is None:
+            workers = default_workers()
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.mp_context = mp_context
+        self._pool = None
+
+    def pool(self):
+        """The live ``multiprocessing`` pool, started on first call."""
+        if self._pool is None:
+            ctx = (
+                multiprocessing.get_context(self.mp_context)
+                if self.mp_context
+                else multiprocessing.get_context()
+            )
+            self._pool = ctx.Pool(processes=self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the workers down cleanly (waits for them to exit)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def terminate(self) -> None:
+        """Kill the workers immediately (error paths / interrupts)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ReusableWorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.terminate()
+
+
 class CodeBlockWorkQueue:
     """Dynamic code-block queue with deterministic reassembly.
 
@@ -367,6 +429,11 @@ class CodeBlockWorkQueue:
         :class:`repro.service.pool.PersistentWorkerPool`, or a scheduler
         job handle).  When given, ``encode_all`` submits through it instead
         of spawning a one-shot pool, and never closes it — the owner does.
+    mp_pool:
+        Optional :class:`ReusableWorkerPool` used in place of the one-shot
+        ``ctx.Pool`` every parallel dispatch would otherwise create (and
+        never closed here — the owner releases it).  Mutually exclusive
+        with ``pool``.
     """
 
     def __init__(
@@ -376,9 +443,14 @@ class CodeBlockWorkQueue:
         mp_context: str | None = None,
         pool=None,
         use_shared_memory: bool | None = None,
+        mp_pool: "ReusableWorkerPool | None" = None,
     ) -> None:
+        if pool is not None and mp_pool is not None:
+            raise ValueError("pool and mp_pool are mutually exclusive")
         if pool is not None:
             workers = pool.workers
+        elif mp_pool is not None:
+            workers = mp_pool.workers
         elif workers is None:
             workers = default_workers()
         if workers < 1:
@@ -390,9 +462,43 @@ class CodeBlockWorkQueue:
         self.backend: str = resolved
         self.mp_context = mp_context
         self.pool = pool
+        self.mp_pool = mp_pool
         #: ``None`` defers to platform/env detection at dispatch time.
         self.use_shared_memory = use_shared_memory
         self.last_stats: QueueStats | None = None
+
+    def _run_pool(self, task_fn, payloads, consume) -> None:
+        """Drive ``payloads`` through the reusable or a one-shot pool."""
+        if self.mp_pool is not None:
+            try:
+                consume(
+                    self.mp_pool.pool().imap_unordered(
+                        task_fn, payloads, chunksize=1
+                    )
+                )
+            except BaseException:
+                # A failed dispatch leaves the shared pool in an unknown
+                # state; kill it so the owner's cleanup cannot hang.
+                self.mp_pool.terminate()
+                raise
+            return
+        ctx = (
+            multiprocessing.get_context(self.mp_context)
+            if self.mp_context
+            else multiprocessing.get_context()
+        )
+        pool = ctx.Pool(processes=self.workers)
+        try:
+            consume(pool.imap_unordered(task_fn, payloads, chunksize=1))
+            pool.close()
+        except BaseException:
+            # KeyboardInterrupt (and any other failure) must not leave
+            # orphaned encoder processes: kill the children before
+            # propagating so the CLI exits promptly.
+            pool.terminate()
+            raise
+        finally:
+            pool.join()
 
     def encode_all(self, tasks: list[CodeBlockTask]) -> list[CodeBlockResult]:
         """Encode every task, returning results in *submission* order.
@@ -550,20 +656,7 @@ class CodeBlockWorkQueue:
             ]
             task_fn = _encode_plane_group_task
         try:
-            ctx = (
-                multiprocessing.get_context(self.mp_context)
-                if self.mp_context
-                else multiprocessing.get_context()
-            )
-            pool = ctx.Pool(processes=self.workers)
-            try:
-                _consume(pool.imap_unordered(task_fn, payloads, chunksize=1))
-                pool.close()
-            except BaseException:
-                pool.terminate()
-                raise
-            finally:
-                pool.join()
+            self._run_pool(task_fn, payloads, _consume)
         finally:
             if shared is not None:
                 shared.close()
@@ -611,20 +704,7 @@ class CodeBlockWorkQueue:
                     stats.blocks_per_worker.get(pid, 0) + 1
                 )
 
-        ctx = (
-            multiprocessing.get_context(self.mp_context)
-            if self.mp_context
-            else multiprocessing.get_context()
-        )
-        pool = ctx.Pool(processes=self.workers)
-        try:
-            _consume(pool.imap_unordered(_decode_block_task, payloads, chunksize=1))
-            pool.close()
-        except BaseException:
-            pool.terminate()
-            raise
-        finally:
-            pool.join()
+        self._run_pool(_decode_block_task, payloads, _consume)
         missing = sum(r is None for r in results)
         if missing:
             raise RuntimeError(f"work queue lost {missing} block results")
@@ -648,23 +728,7 @@ class CodeBlockWorkQueue:
             # Injected persistent pool: submit and leave it running.
             _consume(self.pool.imap_unordered(payloads))
         else:
-            ctx = (
-                multiprocessing.get_context(self.mp_context)
-                if self.mp_context
-                else multiprocessing.get_context()
-            )
-            pool = ctx.Pool(processes=self.workers)
-            try:
-                _consume(pool.imap_unordered(task_fn, payloads, chunksize=1))
-                pool.close()
-            except BaseException:
-                # KeyboardInterrupt (and any other failure) must not leave
-                # orphaned encoder processes: kill the children before
-                # propagating so the CLI exits promptly.
-                pool.terminate()
-                raise
-            finally:
-                pool.join()
+            self._run_pool(task_fn, payloads, _consume)
         missing = sum(r is None for r in results)
         if missing:
             raise RuntimeError(f"work queue lost {missing} block results")

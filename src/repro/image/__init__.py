@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.image.bmp import parse_bmp, read_bmp, write_bmp
+from repro.image.errors import ImageFormatError
 from repro.image.pnm import parse_pnm, read_pnm, write_pnm
 from repro.image.synthetic import (
     gradient_image,
@@ -35,13 +36,14 @@ def parse_image(data: bytes) -> np.ndarray:
         return parse_bmp(data)
     if fmt == "pnm":
         return parse_pnm(data)
-    raise ValueError(
+    raise ImageFormatError(
         f"unrecognized image format (magic {data[:2]!r}); expected BMP or "
-        "binary PGM/PPM"
+        "binary PGM/PPM", reason="bad-magic",
     )
 
 
 __all__ = [
+    "ImageFormatError",
     "gradient_image",
     "noise_image",
     "parse_bmp",

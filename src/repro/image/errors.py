@@ -1,0 +1,24 @@
+"""Typed errors for the image-parsing layer.
+
+The HTTP front end feeds untrusted upload bytes straight into the image
+parsers, so "this is not an image we support" must be distinguishable
+from a genuine programming error: the former is a client-side 4xx, the
+latter a 500.  :class:`ImageFormatError` subclasses :class:`ValueError`
+so existing ``except ValueError`` call sites keep working, while letting
+the service map format rejections to a structured response.
+"""
+
+from __future__ import annotations
+
+
+class ImageFormatError(ValueError):
+    """Raised when upload bytes are not a supported BMP/PNM image.
+
+    ``reason`` is a short machine-readable slug (``"bad-magic"``,
+    ``"bad-maxval"``, ``"truncated"``, ...) surfaced in the structured
+    HTTP error body alongside the human-readable message.
+    """
+
+    def __init__(self, message: str, reason: str = "unsupported"):
+        super().__init__(message)
+        self.reason = reason

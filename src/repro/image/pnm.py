@@ -1,15 +1,31 @@
-"""PGM (P5) and PPM (P6) binary reader/writer for 8-bit images."""
+"""PGM (P5) and PPM (P6) binary reader/writer for 8- and 16-bit images.
+
+Per the Netpbm spec, samples are one byte when ``maxval <= 255`` and two
+big-endian bytes when ``256 <= maxval <= 65535``; the reader accepts
+both, the writer emits ``maxval`` 255 for uint8 input and 65535 for
+uint16.  Genuinely unsupported headers raise the typed
+:class:`~repro.image.errors.ImageFormatError` so the HTTP layer can
+answer with a structured 4xx instead of a generic failure.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.image.errors import ImageFormatError
+
 
 def dump_pnm(image: np.ndarray) -> bytes:
-    """Serialize a uint8 gray (P5) or RGB (P6) image to PNM bytes."""
+    """Serialize a uint8/uint16 gray (P5) or RGB (P6) image to PNM bytes."""
     img = np.asarray(image)
-    if img.dtype != np.uint8:
-        raise ValueError(f"PNM writer requires uint8 pixels, got {img.dtype}")
+    if img.dtype == np.uint8:
+        maxval = 255
+    elif img.dtype == np.uint16:
+        maxval = 65535
+    else:
+        raise ValueError(
+            f"PNM writer requires uint8 or uint16 pixels, got {img.dtype}"
+        )
     if img.ndim == 2:
         magic = b"P5"
         h, w = img.shape
@@ -18,26 +34,36 @@ def dump_pnm(image: np.ndarray) -> bytes:
         h, w = img.shape[:2]
     else:
         raise ValueError(f"unsupported image shape {img.shape}")
-    header = magic + b"\n%d %d\n255\n" % (w, h)
-    return header + np.ascontiguousarray(img).tobytes()
+    header = magic + b"\n%d %d\n%d\n" % (w, h, maxval)
+    if maxval > 255:
+        body = np.ascontiguousarray(img.astype(">u2")).tobytes()
+    else:
+        body = np.ascontiguousarray(img).tobytes()
+    return header + body
 
 
 def write_pnm(path: str, image: np.ndarray) -> None:
-    """Write a uint8 gray (P5) or RGB (P6) image."""
+    """Write a uint8/uint16 gray (P5) or RGB (P6) image."""
     with open(path, "wb") as fh:
         fh.write(dump_pnm(image))
 
 
 def read_pnm(path: str) -> np.ndarray:
-    """Read a binary PGM/PPM file into a uint8 array."""
+    """Read a binary PGM/PPM file into a uint8 or uint16 array."""
     with open(path, "rb") as fh:
         return parse_pnm(fh.read())
 
 
 def parse_pnm(data: bytes) -> np.ndarray:
-    """Parse binary PGM/PPM bytes (e.g. an HTTP body) into a uint8 array."""
+    """Parse binary PGM/PPM bytes (e.g. an HTTP body) into a pixel array.
+
+    Returns uint8 for ``maxval <= 255`` and uint16 (decoded from the
+    spec's big-endian two-byte samples) for ``maxval`` up to 65535.
+    """
     if data[:2] not in (b"P5", b"P6"):
-        raise ValueError(f"not a binary PNM file (magic {data[:2]!r})")
+        raise ImageFormatError(
+            f"not a binary PNM file (magic {data[:2]!r})", reason="bad-magic"
+        )
     channels = 1 if data[:2] == b"P5" else 3
 
     # Parse header tokens, skipping '#' comments.
@@ -54,14 +80,35 @@ def parse_pnm(data: bytes) -> np.ndarray:
         while pos < len(data) and not data[pos : pos + 1].isspace():
             pos += 1
         if start == pos:
-            raise ValueError("truncated PNM header")
-        tokens.append(int(data[start:pos]))
+            raise ImageFormatError("truncated PNM header", reason="truncated")
+        try:
+            tokens.append(int(data[start:pos]))
+        except ValueError:
+            raise ImageFormatError(
+                f"non-numeric PNM header token {data[start:pos]!r}",
+                reason="bad-header",
+            ) from None
     pos += 1  # single whitespace after maxval
     width, height, maxval = tokens
-    if maxval != 255:
-        raise ValueError(f"only 8-bit PNM supported, maxval={maxval}")
+    if width <= 0 or height <= 0:
+        raise ImageFormatError(
+            f"bad PNM dimensions {width}x{height}", reason="bad-dimensions"
+        )
+    if not 1 <= maxval <= 65535:
+        raise ImageFormatError(
+            f"PNM maxval must be in [1, 65535], got {maxval}",
+            reason="bad-maxval",
+        )
+    dtype = np.dtype(">u2") if maxval > 255 else np.dtype(np.uint8)
     count = width * height * channels
-    pixels = np.frombuffer(data, dtype=np.uint8, count=count, offset=pos)
+    if pos + count * dtype.itemsize > len(data):
+        raise ImageFormatError(
+            f"PNM pixel data truncated: header promises {count} "
+            f"{dtype.itemsize}-byte samples", reason="truncated",
+        )
+    pixels = np.frombuffer(data, dtype=dtype, count=count, offset=pos)
+    if maxval > 255:
+        pixels = pixels.astype(np.uint16)
     if channels == 1:
         return pixels.reshape(height, width).copy()
     return pixels.reshape(height, width, 3).copy()

@@ -48,7 +48,13 @@ from repro.jpeg2000.errors import (
 )
 from repro.jpeg2000.quantize import dequantize, exponent_mantissa_to_step, nominal_range_bits
 from repro.jpeg2000.tier1 import decode_codeblock
-from repro.jpeg2000.tier2 import parse_packet
+from repro.jpeg2000.tier2 import (
+    iter_packets,
+    parse_packet,
+    precinct_band_window,
+    precinct_cells,
+    precinct_counts,
+)
 
 #: Largest ``exponent + guard_bits - 1`` bit-plane count a QCD field may
 #: imply (5-bit exponent + 3-bit guard bits keeps well under this; anything
@@ -97,10 +103,20 @@ class _SubbandLayout:
     mantissa: int
 
 
-def _subband_layouts(info: CodestreamInfo) -> list[_SubbandLayout]:
-    """Reconstruct subband geometry in codestream (QCD/packet) order."""
+def _subband_layouts(
+    info: CodestreamInfo,
+    height: int | None = None,
+    width: int | None = None,
+) -> list[_SubbandLayout]:
+    """Reconstruct subband geometry in codestream (QCD/packet) order.
+
+    ``height``/``width`` give one tile's dimensions; they default to the
+    whole image (the single-tile layout).  The subband *count* depends only
+    on ``info.levels``, so the QCD consistency check is tile-independent.
+    """
     shapes = []
-    h, w = info.height, info.width
+    h = info.height if height is None else height
+    w = info.width if width is None else width
     lvl = 0
     while lvl < info.levels:
         lo_h, hi_h = (h + 1) // 2, h // 2
@@ -239,83 +255,139 @@ def _apply_decode_plan(plan, backend, workers, info):
     return backend, workers
 
 
-def _decode_parsed(info: CodestreamInfo) -> np.ndarray:
-    """Scalar reference decode: per-sample Tier-1, per-stage full passes.
+def _tile_layout(info: CodestreamInfo) -> tuple[list[bytes], list[tuple[int, int, int, int]]]:
+    """Tile bodies and their rectangles (one full-image entry when untiled)."""
+    if info.tiles is None:
+        return [info.tile_data], [(0, 0, info.height, info.width)]
+    grid = info.tile_grid()
+    if len(grid) != len(info.tiles):
+        raise HeaderFieldError(
+            f"SIZ tile grid implies {len(grid)} tiles but the codestream "
+            f"carries {len(info.tiles)}"
+        )
+    return info.tiles, grid
 
-    Deliberately untouched by the fast backends — this is the oracle the
-    vectorized/batched paths are differentially tested against.
-    """
-    layouts = _subband_layouts(info)
-    chroma_expanded = info.reversible and info.use_mct
 
-    # Per component, per subband: decoded coefficient planes.
-    coeff: list[dict[tuple[str, int], np.ndarray]] = [
-        {} for _ in range(info.num_components)
-    ]
+def _empty_coeff(
+    info: CodestreamInfo, layouts: list[_SubbandLayout]
+) -> list[dict[tuple[str, int], np.ndarray]]:
+    """Per-component, per-subband zeroed coefficient planes."""
     dtype = np.int32 if info.reversible else np.float64
-    for ci in range(info.num_components):
-        for lay in layouts:
-            coeff[ci][(lay.band, lay.dlevel)] = np.zeros(
-                (lay.height, lay.width), dtype=dtype
-            )
+    return [
+        {
+            (lay.band, lay.dlevel): np.zeros((lay.height, lay.width), dtype=dtype)
+            for lay in layouts
+        }
+        for _ in range(info.num_components)
+    ]
 
-    # Packets: resolution-major, component-minor; bands in QCD order.
-    pos = 0
-    data = info.tile_data
-    for res in range(info.levels + 1):
+
+def _iter_tile_blocks(
+    info: CodestreamInfo, layouts: list[_SubbandLayout], data: bytes
+):
+    """Walk one tile body's packets, yielding every included block.
+
+    Yields ``(ci, lay, spec, blk, msbs, step)`` tuples in packet order —
+    the progression/precinct geometry from the COD marker drives the walk,
+    which reduces to the historical resolution-major, component-minor
+    order for maximal-precinct LRCP streams.  Both decode paths consume
+    this one generator, so header validation raises identical typed
+    errors at identical points regardless of backend.
+    """
+    chroma_expanded = info.reversible and info.use_mct
+    nres = info.levels + 1
+    res_layouts: list[list[_SubbandLayout]] = []
+    res_parts: list[list[tuple[list, int, int]]] = []
+    for res in range(nres):
         if res == 0:
-            res_layouts = [layouts[0]]
+            lays = [layouts[0]]
         else:
             dl = info.levels - res + 1
-            res_layouts = [l for l in layouts if l.dlevel == dl and l.band != "LL"]
-        for ci in range(info.num_components):
-            grids = []
-            band_specs = []
-            for lay in res_layouts:
-                specs, grows, gcols = partition_subband(
-                    lay.height, lay.width, info.codeblock_size
-                )
-                grids.append((grows, gcols, len(specs)))
-                band_specs.append(specs)
-            parsed, pos = parse_packet(data, pos, grids)
-            for lay, specs, blocks in zip(res_layouts, band_specs, parsed):
-                rb = nominal_range_bits(info.bit_depth, lay.band, chroma_expanded)
-                num_bitplanes = lay.exponent + info.guard_bits - 1
-                step = (
-                    1.0
-                    if info.reversible
-                    else exponent_mantissa_to_step(lay.exponent, lay.mantissa, rb)
-                )
-                target = coeff[ci][(lay.band, lay.dlevel)]
-                for spec, blk in zip(specs, blocks):
-                    if not blk.included:
-                        continue
-                    msbs = num_bitplanes - blk.zero_bitplanes
-                    if msbs < 0:
-                        raise PacketError(
-                            f"block ({blk.grid_row}, {blk.grid_col}) signals "
-                            f"{blk.zero_bitplanes} missing bit planes but the "
-                            f"subband codes only {num_bitplanes}"
-                        )
-                    max_passes = 1 + 3 * (msbs - 1) if msbs else 0
-                    if blk.num_passes > max_passes:
-                        raise PacketError(
-                            f"block ({blk.grid_row}, {blk.grid_col}) signals "
-                            f"{blk.num_passes} coding passes but {msbs} bit "
-                            f"planes allow at most {max_passes}"
-                        )
-                    vals = decode_codeblock(
-                        blk.data, spec.height, spec.width, lay.band,
-                        msbs, blk.num_passes,
+            lays = [l for l in layouts if l.dlevel == dl and l.band != "LL"]
+        res_layouts.append(lays)
+        res_parts.append([
+            partition_subband(l.height, l.width, info.codeblock_size)
+            for l in lays
+        ])
+    pcb_by_res: list[int | None] = []
+    pcols_by_res: list[int] = []
+    nprec_by_res: list[int] = []
+    for res in range(nres):
+        pcb = precinct_cells(info.codeblock_size, info.precinct_size, res)
+        grids = [(grows, gcols) for (_s, grows, gcols) in res_parts[res]]
+        prows, pcols = precinct_counts(pcb, grids)
+        pcb_by_res.append(pcb)
+        pcols_by_res.append(pcols)
+        nprec_by_res.append(prows * pcols)
+    pos = 0
+    for res, ci, p in iter_packets(
+        info.levels, info.num_components, nprec_by_res, info.progression
+    ):
+        pcb = pcb_by_res[res]
+        pcols = pcols_by_res[res]
+        band_grids = []
+        band_sel = []
+        for (specs, grows, gcols) in res_parts[res]:
+            (r_lo, r_hi, c_lo, c_hi), (lr, lc) = precinct_band_window(
+                grows, gcols, pcb, pcols, p
+            )
+            sel = [
+                specs[gr * gcols + gc]
+                for gr in range(r_lo, r_hi)
+                for gc in range(c_lo, c_hi)
+            ]
+            band_grids.append((lr, lc, len(sel)))
+            band_sel.append(sel)
+        parsed, pos = parse_packet(data, pos, band_grids)
+        for lay, sel, blocks in zip(res_layouts[res], band_sel, parsed):
+            rb = nominal_range_bits(info.bit_depth, lay.band, chroma_expanded)
+            num_bitplanes = lay.exponent + info.guard_bits - 1
+            step = (
+                1.0
+                if info.reversible
+                else exponent_mantissa_to_step(lay.exponent, lay.mantissa, rb)
+            )
+            for spec, blk in zip(sel, blocks):
+                if not blk.included:
+                    continue
+                msbs = num_bitplanes - blk.zero_bitplanes
+                if msbs < 0:
+                    raise PacketError(
+                        f"block ({blk.grid_row}, {blk.grid_col}) signals "
+                        f"{blk.zero_bitplanes} missing bit planes but the "
+                        f"subband codes only {num_bitplanes}"
                     )
-                    if info.reversible:
-                        out = vals
-                    else:
-                        out = dequantize(vals, step)
-                    target[spec.row0 : spec.row0 + spec.height,
-                           spec.col0 : spec.col0 + spec.width] = out
+                max_passes = 1 + 3 * (msbs - 1) if msbs else 0
+                if blk.num_passes > max_passes:
+                    raise PacketError(
+                        f"block ({blk.grid_row}, {blk.grid_col}) signals "
+                        f"{blk.num_passes} coding passes but {msbs} bit "
+                        f"planes allow at most {max_passes}"
+                    )
+                yield ci, lay, spec, blk, msbs, step
 
-    # Inverse DWT per component.
+
+def _decode_tile_reference(
+    info: CodestreamInfo, data: bytes, height: int, width: int
+) -> list[np.ndarray]:
+    """Scalar reference decode of one tile body to component planes.
+
+    Per-sample Tier-1 (:func:`decode_codeblock`) and per-stage full-pass
+    inverse DWT (:func:`inverse_dwt2d`) — the oracle the vectorized and
+    batched paths are differentially tested against.
+    """
+    layouts = _subband_layouts(info, height, width)
+    coeff = _empty_coeff(info, layouts)
+    for ci, lay, spec, blk, msbs, step in _iter_tile_blocks(info, layouts, data):
+        vals = decode_codeblock(
+            blk.data, spec.height, spec.width, lay.band, msbs, blk.num_passes
+        )
+        out = vals if info.reversible else dequantize(vals, step)
+        coeff[ci][(lay.band, lay.dlevel)][
+            spec.row0 : spec.row0 + spec.height,
+            spec.col0 : spec.col0 + spec.width,
+        ] = out
+
     planes = []
     for ci in range(info.num_components):
         details = []
@@ -324,14 +396,31 @@ def _decode_parsed(info: CodestreamInfo) -> np.ndarray:
                 (coeff[ci][("HL", dl)], coeff[ci][("LH", dl)], coeff[ci][("HH", dl)])
             )
         decomp = Decomposition(
-            shape=(info.height, info.width), levels=info.levels,
+            shape=(height, width), levels=info.levels,
             reversible=info.reversible,
             ll=coeff[ci][("LL", info.levels)], details=details,
         )
         planes.append(inverse_dwt2d(decomp))
+    return mct.inverse_mct(planes, info.bit_depth, info.reversible)
 
-    comps = mct.inverse_mct(planes, info.bit_depth, info.reversible)
-    return _stack_output(comps, info.bit_depth)
+
+def _decode_parsed(info: CodestreamInfo) -> np.ndarray:
+    """Scalar reference decode; multi-tile streams decode tile by tile."""
+    tiles, grid = _tile_layout(info)
+    full: list[np.ndarray] | None = None
+    for body, (row0, col0, t_h, t_w) in zip(tiles, grid):
+        comps = _decode_tile_reference(info, body, t_h, t_w)
+        if full is None:
+            if info.tiles is None:
+                return _stack_output(comps, info.bit_depth)
+            full = [
+                np.zeros((info.height, info.width), dtype=c.dtype)
+                for c in comps
+            ]
+        for ci, c in enumerate(comps):
+            full[ci][row0 : row0 + t_h, col0 : col0 + t_w] = c
+    assert full is not None
+    return _stack_output(full, info.bit_depth)
 
 
 def _stack_output(comps: list[np.ndarray], bit_depth: int) -> np.ndarray:
@@ -349,88 +438,42 @@ def _decode_parsed_fast(
 ) -> np.ndarray:
     """Vectorized/batched decode: collect blocks, decode per image, fuse.
 
-    The packet walk below is a line-for-line copy of the reference's
-    traversal that *collects* block tasks instead of decoding inline, so
-    every typed error (header, packet, tag tree) is raised at the same
-    point in the same order.  Tier-1 decoding itself is total for
-    validated inputs — the MQ decoder treats truncation as an endless
-    ``0xFF`` tail and never raises — so deferring it cannot reorder
-    failures.  Blocks then decode in one batched call (or over the work
-    queue), are dequantized and placed, and the fused inverse front end
-    reconstructs the components.
+    The packet walk (:func:`_iter_tile_blocks`, shared with the reference
+    path) *collects* block tasks instead of decoding inline, so every
+    typed error (header, packet, tag tree) is raised at the same point in
+    the same order.  Tier-1 decoding itself is total for validated inputs
+    — the MQ decoder treats truncation as an endless ``0xFF`` tail and
+    never raises — so deferring it cannot reorder failures.  Blocks from
+    *all tiles* decode in one batched call (or over the work queue) — a
+    tiled stream parallelizes across spatial regions as well as blocks —
+    then are dequantized, placed, and each tile's fused inverse front end
+    reconstructs its components into the stitched output.
     """
     t0 = time.perf_counter()
-    layouts = _subband_layouts(info)
-    chroma_expanded = info.reversible and info.use_mct
+    tiles, grid = _tile_layout(info)
 
-    coeff: list[dict[tuple[str, int], np.ndarray]] = [
-        {} for _ in range(info.num_components)
-    ]
-    dtype = np.int32 if info.reversible else np.float64
-    for ci in range(info.num_components):
-        for lay in layouts:
-            coeff[ci][(lay.band, lay.dlevel)] = np.zeros(
-                (lay.height, lay.width), dtype=dtype
-            )
-
-    # Packet walk: identical traversal and identical typed-error ordering
-    # to the reference; blocks are recorded, not decoded.
+    # Packet walk per tile: identical traversal and identical typed-error
+    # ordering to the reference; blocks are recorded, not decoded.
     blocks_in: list[tuple[bytes, int, int, str, int, int]] = []
     placements: list[tuple[np.ndarray, object, float]] = []
-    pos = 0
-    data = info.tile_data
-    for res in range(info.levels + 1):
-        if res == 0:
-            res_layouts = [layouts[0]]
-        else:
-            dl = info.levels - res + 1
-            res_layouts = [l for l in layouts if l.dlevel == dl and l.band != "LL"]
-        for ci in range(info.num_components):
-            grids = []
-            band_specs = []
-            for lay in res_layouts:
-                specs, grows, gcols = partition_subband(
-                    lay.height, lay.width, info.codeblock_size
-                )
-                grids.append((grows, gcols, len(specs)))
-                band_specs.append(specs)
-            parsed, pos = parse_packet(data, pos, grids)
-            for lay, specs, blocks in zip(res_layouts, band_specs, parsed):
-                rb = nominal_range_bits(info.bit_depth, lay.band, chroma_expanded)
-                num_bitplanes = lay.exponent + info.guard_bits - 1
-                step = (
-                    1.0
-                    if info.reversible
-                    else exponent_mantissa_to_step(lay.exponent, lay.mantissa, rb)
-                )
-                target = coeff[ci][(lay.band, lay.dlevel)]
-                for spec, blk in zip(specs, blocks):
-                    if not blk.included:
-                        continue
-                    msbs = num_bitplanes - blk.zero_bitplanes
-                    if msbs < 0:
-                        raise PacketError(
-                            f"block ({blk.grid_row}, {blk.grid_col}) signals "
-                            f"{blk.zero_bitplanes} missing bit planes but the "
-                            f"subband codes only {num_bitplanes}"
-                        )
-                    max_passes = 1 + 3 * (msbs - 1) if msbs else 0
-                    if blk.num_passes > max_passes:
-                        raise PacketError(
-                            f"block ({blk.grid_row}, {blk.grid_col}) signals "
-                            f"{blk.num_passes} coding passes but {msbs} bit "
-                            f"planes allow at most {max_passes}"
-                        )
-                    blocks_in.append((
-                        blk.data, spec.height, spec.width, lay.band,
-                        msbs, blk.num_passes,
-                    ))
-                    placements.append((target, spec, step))
+    tile_coeffs = []
+    for body, (_row0, _col0, t_h, t_w) in zip(tiles, grid):
+        layouts = _subband_layouts(info, t_h, t_w)
+        coeff = _empty_coeff(info, layouts)
+        tile_coeffs.append(coeff)
+        for ci, lay, spec, blk, msbs, step in _iter_tile_blocks(
+            info, layouts, body
+        ):
+            blocks_in.append((
+                blk.data, spec.height, spec.width, lay.band,
+                msbs, blk.num_passes,
+            ))
+            placements.append((coeff[ci][(lay.band, lay.dlevel)], spec, step))
     t1 = time.perf_counter()
 
-    # Tier-1: per image, not per block.  The work queue path reassembles
-    # by sequence number, so results are identical at any worker count;
-    # tiny images clamp to serial exactly like the encoder.
+    # Tier-1: per image, not per block or per tile.  The work queue path
+    # reassembles by sequence number, so results are identical at any
+    # worker count; tiny images clamp to serial exactly like the encoder.
     from repro.core.workpool import CodeBlockWorkQueue, tier1_auto_workers
 
     eff_workers = tier1_auto_workers(workers, len(blocks_in))
@@ -458,23 +501,40 @@ def _decode_parsed_fast(
                spec.col0 : spec.col0 + spec.width] = out
     t3 = time.perf_counter()
 
-    # Fused inverse DWT + inverse MCT + level unshift.
-    decomps = []
-    for ci in range(info.num_components):
-        details = []
-        for dl in range(1, info.levels + 1):
-            details.append(
-                (coeff[ci][("HL", dl)], coeff[ci][("LH", dl)], coeff[ci][("HH", dl)])
-            )
-        decomps.append(Decomposition(
-            shape=(info.height, info.width), levels=info.levels,
-            reversible=info.reversible,
-            ll=coeff[ci][("LL", info.levels)], details=details,
-        ))
-    comps = run_inverse_frontend(
-        decomps, info.bit_depth, info.reversible, workers=workers,
-    )
-    out = _stack_output(comps, info.bit_depth)
+    # Fused inverse DWT + inverse MCT + level unshift, per tile, stitched
+    # into the full-image output planes.
+    full: list[np.ndarray] | None = None
+    out = None
+    for coeff, (row0, col0, t_h, t_w) in zip(tile_coeffs, grid):
+        decomps = []
+        for ci in range(info.num_components):
+            details = []
+            for dl in range(1, info.levels + 1):
+                details.append(
+                    (coeff[ci][("HL", dl)], coeff[ci][("LH", dl)],
+                     coeff[ci][("HH", dl)])
+                )
+            decomps.append(Decomposition(
+                shape=(t_h, t_w), levels=info.levels,
+                reversible=info.reversible,
+                ll=coeff[ci][("LL", info.levels)], details=details,
+            ))
+        comps = run_inverse_frontend(
+            decomps, info.bit_depth, info.reversible, workers=workers,
+        )
+        if info.tiles is None:
+            out = _stack_output(comps, info.bit_depth)
+            break
+        if full is None:
+            full = [
+                np.zeros((info.height, info.width), dtype=c.dtype)
+                for c in comps
+            ]
+        for ci, c in enumerate(comps):
+            full[ci][row0 : row0 + t_h, col0 : col0 + t_w] = c
+    if out is None:
+        assert full is not None
+        out = _stack_output(full, info.bit_depth)
     t4 = time.perf_counter()
     if timings is not None:
         timings.parse += t1 - t0

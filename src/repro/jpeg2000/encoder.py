@@ -11,7 +11,7 @@ the Cell/B.E. performance model in :mod:`repro.cell`.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -19,20 +19,26 @@ from repro.jpeg2000.codeblocks import CodeBlockSpec, partition_subband
 from repro.jpeg2000.codestream import (
     CodestreamInfo,
     SubbandQuantField,
+    tile_grid,
+    tlm_overhead,
     write_codestream,
     write_main_header,
 )
-from repro.jpeg2000.dwt import synthesis_gain_sq
+from repro.jpeg2000.dwt import effective_levels, synthesis_gain_sq
 from repro.jpeg2000.dwt_fast import StageTimings, run_frontend
 from repro.jpeg2000.params import EncoderParams
 from repro.jpeg2000.quantize import SubbandQuant
-from repro.jpeg2000.rate import RateModel
+from repro.jpeg2000.rate import RateModel, apportion_budget
 from repro.jpeg2000.tier1 import CodeBlockResult, encode_codeblock
 from repro.jpeg2000.tier2 import (
     BlockContribution,
     PacketBand,
     encode_packet,
+    iter_packets,
     packet_length,
+    precinct_band_window,
+    precinct_cells,
+    precinct_counts,
 )
 
 
@@ -88,6 +94,8 @@ class WorkloadStats:
     #: code blocks batched into them (0 when the batched path did not run).
     tier1_batch_groups: int = 0
     tier1_batch_blocks: int = 0
+    #: SIZ tile-grid population (1 for the legacy single-tile layout).
+    tiles: int = 1
 
     @property
     def num_pixels(self) -> int:
@@ -136,6 +144,7 @@ def scale_workload(stats: WorkloadStats, factor: int) -> WorkloadStats:
         tier1_dispatch=stats.tier1_dispatch,
         tier1_batch_groups=stats.tier1_batch_groups,
         tier1_batch_blocks=stats.tier1_batch_blocks * sq,
+        tiles=stats.tiles,
     )
 
 
@@ -238,100 +247,213 @@ def encode(
     height, width = comps[0].shape
     ncomp = len(comps)
     use_mct = ncomp == 3
+    itemsize = comps[0].dtype.itemsize
+
+    grid = tile_grid(width, height, params.tile_size, params.tile_size)
+    ntiles = len(grid)
+    tiled = ntiles > 1
 
     stats = WorkloadStats(
         height=height, width=width, num_components=ncomp, bit_depth=depth,
         lossless=params.lossless, levels=params.levels,
         codeblock_size=params.codeblock_size,
         raw_bytes=int(np.asarray(image).nbytes),
+        tiles=ntiles,
     )
-
-    # Front end: level shift + MCT + DWT + quantization, via the backend
-    # selected by ``params.dwt_backend`` (byte-identical either way).
     timings = StageTimings()
-    frontend = run_frontend(comps, depth, params, timings=timings)
-    decomps = frontend.decomps
-    actual_levels = frontend.levels
 
-    # Phase 1: collect the independent Tier-1 work items.  Nothing is
-    # encoded yet — the blocks go through the work queue as one batch so
-    # idle workers can steal from any subband.  Each subband keeps its
-    # quantized plane whole in ``planes``; pending items are (plane index,
-    # block spec) descriptors, so the dispatch layer can publish a plane
-    # once (shared memory) instead of shipping a copy per block.
-    planned: list[_PlannedSubband] = []
-    planes: list[np.ndarray] = []
-    pending: list[tuple[int, CodeBlockSpec]] = []
-    for ci, decomp in enumerate(decomps):
-        for sb in decomp.subbands():
-            quant = frontend.quants[(sb.band, sb.dlevel)]
-            q = sb.data  # already quantized int32 from the front end
-            specs, grows, gcols = partition_subband(
-                sb.shape[0], sb.shape[1], params.codeblock_size
-            )
-            psb = _PlannedSubband(
-                comp=ci, band=sb.band, dlevel=sb.dlevel,
-                height=sb.shape[0], width=sb.shape[1], quant=quant,
-                grid_rows=grows, grid_cols=gcols,
-            )
-            stats.subbands.append(
-                SubbandStats(ci, sb.band, sb.dlevel, sb.shape[0], sb.shape[1])
-            )
-            plane_idx = len(planes)
-            planes.append(q)
-            for spec in specs:
-                pending.append((plane_idx, spec))
-            planned.append(psb)
-
-    # Phase 2: Tier-1 encode all blocks — serially or through the
-    # multiprocessing work queue (the executable analogue of the paper's
-    # SPE dynamic queue).  Results come back in submission order, so
-    # everything downstream is identical for any worker count.
-    t0 = time.perf_counter()
-    results = _encode_pending(planned, planes, pending, params, pool, stats)
-    timings.tier1 += time.perf_counter() - t0
-
-    # Phase 3: reattach results in the original planning order.
-    for (plane_idx, spec), res in zip(pending, results):
-        psb = planned[plane_idx]
-        quant = psb.quant
-        if res.msbs > quant.num_bitplanes:
-            raise RuntimeError(
-                f"code block needs {res.msbs} bit planes but subband "
-                f"{psb.band}{psb.dlevel} signals only {quant.num_bitplanes}; "
-                f"increase guard_bits"
-            )
-        pb = _PlannedBlock(
-            comp=psb.comp, band=psb.band, dlevel=psb.dlevel, spec=spec,
-            quant=quant, result=res, included_passes=res.num_passes,
+    # Every tile shares one COD: clamp the decomposition depth to what the
+    # smallest tile supports so SIZ/COD/QCD describe all tiles at once.
+    if tiled:
+        actual_levels = min(
+            effective_levels((t_h, t_w), params.levels)
+            for (_r, _c, t_h, t_w) in grid
         )
-        psb.blocks.append(pb)
-        stats.blocks.append(
-            BlockStats(
-                comp=psb.comp, band=psb.band, dlevel=psb.dlevel,
-                height=spec.height, width=spec.width,
-                msbs=res.msbs, num_passes=res.num_passes,
-                total_symbols=res.total_symbols,
-                coded_bytes=len(res.data),
-                pass_symbols=list(res.pass_symbols),
-            )
-        )
+        tile_params = replace(params, levels=actual_levels)
+    else:
+        actual_levels = effective_levels((height, width), params.levels)
+        tile_params = params
 
-    info = CodestreamInfo(
-        width=width, height=height, num_components=ncomp, bit_depth=depth,
-        signed=False, levels=actual_levels, codeblock_size=params.codeblock_size,
-        reversible=params.lossless, use_mct=use_mct, num_layers=1,
-        guard_bits=params.guard_bits,
-        quant_fields=_qcd_fields(planned, ncomp),
-    )
+    # Streaming batches: tiles are front-ended, Tier-1 coded, and reduced
+    # to compressed bodies one batch at a time, so peak memory holds a few
+    # tiles' working sets instead of the whole image's.  The default batch
+    # is one tile row; an explicit ``mem_budget`` sizes the batch by the
+    # measured per-sample working set (TILE_WORKSET_BYTES — dominated by
+    # the batched Tier-1 coder's stacked block state, not the coefficient
+    # planes).
+    if tiled:
+        if params.mem_budget is not None:
+            from repro.jpeg2000.params import TILE_WORKSET_BYTES
 
-    if params.rate is not None:
-        t0 = time.perf_counter()
-        _apply_rate_control(planned, params, stats, info)
-        timings.rate_control += time.perf_counter() - t0
+            per_tile = (params.tile_size * params.tile_size * ncomp
+                        * TILE_WORKSET_BYTES)
+            tiles_per_batch = max(1, min(ntiles, params.mem_budget // per_tile))
+        else:
+            tiles_per_batch = (width + params.tile_size - 1) // params.tile_size
+        batches = [
+            list(range(i, min(i + tiles_per_batch, ntiles)))
+            for i in range(0, ntiles, tiles_per_batch)
+        ]
+    else:
+        batches = [[0]]
 
+    # Multi-batch parallel encodes reuse one process pool across batches
+    # instead of forking a fresh one per tile row.
+    mp_pool = None
+    if pool is None and len(batches) > 1:
+        from repro.core.workpool import ReusableWorkerPool, default_workers
+
+        eff = params.workers if params.workers is not None else default_workers()
+        if eff > 1:
+            mp_pool = ReusableWorkerPool(workers=eff)
+
+    tile_bodies: list[bytes] = [b""] * ntiles
+    info: CodestreamInfo | None = None
+    tile_budgets: list[tuple[float, float]] | None = None
+    try:
+        for batch in batches:
+            # Phase 1: collect the batch's independent Tier-1 work items.
+            # Nothing is encoded yet — the blocks go through the work queue
+            # as one batch so idle workers can steal from any subband of
+            # any tile.  Each subband keeps its quantized plane whole in
+            # ``planes``; pending items are (plane index, block spec)
+            # descriptors, so the dispatch layer can publish a plane once
+            # (shared memory) instead of shipping a copy per block.
+            batch_planned: list[_PlannedSubband] = []
+            planes: list[np.ndarray] = []
+            pending: list[tuple[int, CodeBlockSpec]] = []
+            tile_slices: list[tuple[int, int, int]] = []
+            for t in batch:
+                row0, col0, t_h, t_w = grid[t]
+                tcomps = [c[row0 : row0 + t_h, col0 : col0 + t_w] for c in comps]
+                frontend = run_frontend(tcomps, depth, tile_params,
+                                        timings=timings)
+                start = len(batch_planned)
+                for ci, decomp in enumerate(frontend.decomps):
+                    for sb in decomp.subbands():
+                        quant = frontend.quants[(sb.band, sb.dlevel)]
+                        q = sb.data  # already quantized int32
+                        specs, grows, gcols = partition_subband(
+                            sb.shape[0], sb.shape[1], params.codeblock_size
+                        )
+                        psb = _PlannedSubband(
+                            comp=ci, band=sb.band, dlevel=sb.dlevel,
+                            height=sb.shape[0], width=sb.shape[1], quant=quant,
+                            grid_rows=grows, grid_cols=gcols,
+                        )
+                        stats.subbands.append(
+                            SubbandStats(ci, sb.band, sb.dlevel,
+                                         sb.shape[0], sb.shape[1])
+                        )
+                        plane_idx = len(planes)
+                        planes.append(q)
+                        for spec in specs:
+                            pending.append((plane_idx, spec))
+                        batch_planned.append(psb)
+                tile_slices.append((t, start, len(batch_planned)))
+
+            # Phase 2: Tier-1 encode the batch's blocks — serially or
+            # through the multiprocessing work queue (the executable
+            # analogue of the paper's SPE dynamic queue).  Results come
+            # back in submission order, so everything downstream is
+            # identical for any worker count.
+            t0 = time.perf_counter()
+            results = _encode_pending(batch_planned, planes, pending, params,
+                                      pool, stats, mp_pool=mp_pool)
+            timings.tier1 += time.perf_counter() - t0
+
+            # Phase 3: reattach results in the original planning order.
+            for (plane_idx, spec), res in zip(pending, results):
+                psb = batch_planned[plane_idx]
+                quant = psb.quant
+                if res.msbs > quant.num_bitplanes:
+                    raise RuntimeError(
+                        f"code block needs {res.msbs} bit planes but subband "
+                        f"{psb.band}{psb.dlevel} signals only "
+                        f"{quant.num_bitplanes}; increase guard_bits"
+                    )
+                pb = _PlannedBlock(
+                    comp=psb.comp, band=psb.band, dlevel=psb.dlevel, spec=spec,
+                    quant=quant, result=res, included_passes=res.num_passes,
+                )
+                psb.blocks.append(pb)
+                stats.blocks.append(
+                    BlockStats(
+                        comp=psb.comp, band=psb.band, dlevel=psb.dlevel,
+                        height=spec.height, width=spec.width,
+                        msbs=res.msbs, num_passes=res.num_passes,
+                        total_symbols=res.total_symbols,
+                        coded_bytes=len(res.data),
+                        pass_symbols=list(res.pass_symbols),
+                    )
+                )
+
+            if info is None:
+                _t0, s0, e0 = tile_slices[0]
+                info = CodestreamInfo(
+                    width=width, height=height, num_components=ncomp,
+                    bit_depth=depth, signed=False, levels=actual_levels,
+                    codeblock_size=params.codeblock_size,
+                    reversible=params.lossless, use_mct=use_mct, num_layers=1,
+                    guard_bits=params.guard_bits,
+                    quant_fields=_qcd_fields(batch_planned[s0:e0], ncomp),
+                    tile_width=params.tile_size if tiled else None,
+                    tile_height=params.tile_size if tiled else None,
+                    progression=params.progression,
+                    precinct_size=params.precinct_size,
+                )
+                if params.rate is not None:
+                    header_len = len(write_main_header(info))
+                    if tiled:
+                        # Global PCRD budget, apportioned per tile by raw
+                        # size; the fixed overhead (main header, TLM, one
+                        # SOT+SOD per tile, EOC) splits the same way.
+                        overhead = (header_len + tlm_overhead(ntiles)
+                                    + ntiles * 14 + 2)
+                        raws = [t_h * t_w * ncomp * itemsize
+                                for (_r, _c, t_h, t_w) in grid]
+                        shares = apportion_budget(float(overhead), raws)
+                        tile_budgets = [
+                            (params.rate * raws[i], shares[i])
+                            for i in range(ntiles)
+                        ]
+                    else:
+                        tile_budgets = [(
+                            params.rate * stats.raw_bytes,
+                            float(header_len + 14 + 2),  # + SOT + SOD + EOC
+                        )]
+
+            # Phase 4: per-tile rate control and packet assembly; the
+            # batch's coefficient planes are released as soon as each
+            # tile's compressed body exists.
+            for (t, s, e) in tile_slices:
+                tplan = batch_planned[s:e]
+                if params.rate is not None and tile_budgets is not None:
+                    t0 = time.perf_counter()
+                    target_t, overhead_t = tile_budgets[t]
+                    _apply_rate_control(tplan, params, ncomp, actual_levels,
+                                        target_t, overhead_t)
+                    timings.rate_control += time.perf_counter() - t0
+                t0 = time.perf_counter()
+                tile_bodies[t] = _assemble_packets(
+                    tplan, ncomp, actual_levels, params.progression,
+                    params.precinct_size, params.codeblock_size,
+                )
+                timings.tier2 += time.perf_counter() - t0
+    except BaseException:
+        if mp_pool is not None:
+            mp_pool.terminate()
+        raise
+    else:
+        if mp_pool is not None:
+            mp_pool.close()
+
+    assert info is not None
     t0 = time.perf_counter()
-    info.tile_data = _assemble_packets(planned, ncomp, actual_levels)
+    if tiled:
+        info.tiles = tile_bodies
+    else:
+        info.tile_data = tile_bodies[0]
     codestream = write_codestream(info)
     timings.tier2 += time.perf_counter() - t0
     timings.total = time.perf_counter() - t_start
@@ -355,6 +477,7 @@ def _encode_pending(
     params: EncoderParams,
     pool=None,
     stats: WorkloadStats | None = None,
+    mp_pool=None,
 ) -> list[CodeBlockResult]:
     """Tier-1 encode the collected blocks, honouring ``params.workers``.
 
@@ -362,7 +485,9 @@ def _encode_pending(
     through it (the service's persistent pool / scheduler lane).  The
     blocks are described as slices of whole subband planes so the work
     queue can publish each plane once via shared memory and send workers
-    only ``(seq, plane, offsets, shape)`` descriptors.
+    only ``(seq, plane, offsets, shape)`` descriptors.  ``mp_pool``
+    optionally carries a :class:`repro.core.workpool.ReusableWorkerPool`
+    so tiled encodes reuse one process pool across tile batches.
     """
     from repro.jpeg2000.tier1 import resolve_backend
 
@@ -409,7 +534,7 @@ def _encode_pending(
             if nblocks < tier1_serial_threshold():
                 return run_batched_inprocess()
         return _encode_pending_queue(planned, planes, pending, params, pool,
-                                     stats, params.workers)
+                                     stats, params.workers, mp_pool)
 
     workers = params.workers
     if workers == 1 or nblocks < 2:
@@ -425,7 +550,7 @@ def _encode_pending(
         if eff_workers == 1:
             return run_batched_inprocess()
         return _encode_pending_groups(planned, planes, pending, params,
-                                      stats, eff_workers)
+                                      stats, eff_workers, mp_pool)
     if eff_workers == 1:
         if stats is not None:
             stats.tier1_dispatch = "serial"
@@ -439,17 +564,18 @@ def _encode_pending(
             for pi, spec in pending
         ]
     return _encode_pending_queue(planned, planes, pending, params, None,
-                                 stats, eff_workers)
+                                 stats, eff_workers, mp_pool)
 
 
 def _encode_pending_queue(
-    planned, planes, pending, params, pool, stats, workers
+    planned, planes, pending, params, pool, stats, workers, mp_pool=None
 ) -> list[CodeBlockResult]:
     """Per-block dispatch through :class:`CodeBlockWorkQueue`."""
     from repro.core.workpool import CodeBlockWorkQueue, PlaneBlockTask
 
     queue = CodeBlockWorkQueue(
-        workers=workers, backend=params.tier1_backend, pool=pool
+        workers=workers, backend=params.tier1_backend, pool=pool,
+        mp_pool=mp_pool,
     )
     tasks = [
         PlaneBlockTask(
@@ -465,7 +591,7 @@ def _encode_pending_queue(
 
 
 def _encode_pending_groups(
-    planned, planes, pending, params, stats, workers
+    planned, planes, pending, params, stats, workers, mp_pool=None
 ) -> list[CodeBlockResult]:
     """Batched dispatch: shard geometry *groups* across workers.
 
@@ -502,7 +628,8 @@ def _encode_pending_groups(
                     ),
                 )
             )
-    queue = CodeBlockWorkQueue(workers=workers, backend="batched")
+    queue = CodeBlockWorkQueue(workers=workers, backend="batched",
+                               mp_pool=mp_pool)
     results = queue.encode_plane_groups(planes, tasks)
     if stats is not None:
         dispatch = (
@@ -528,21 +655,24 @@ def _qcd_fields(planned: list[_PlannedSubband], ncomp: int) -> list[SubbandQuant
 def _apply_rate_control(
     planned: list[_PlannedSubband],
     params: EncoderParams,
-    stats: WorkloadStats,
-    info: CodestreamInfo,
+    ncomp: int,
+    levels: int,
+    target_total: float,
+    overhead: float,
 ) -> None:
-    """PCRD-opt truncation to hit ``rate * raw_bytes`` total codestream size.
+    """PCRD-opt truncation to hit ``target_total`` bytes for one tile.
 
-    The loop converges on *lengths* alone: truncations come from one
-    reusable :class:`RateModel` (hulls built once, bisection over flat
-    arrays) and each candidate's codestream size is priced exactly by
+    ``target_total`` is this tile's share of the global ``rate *
+    raw_bytes`` budget (the whole budget on the single-tile path) and
+    ``overhead`` its share of the fixed marker cost.  The loop converges
+    on *lengths* alone: truncations come from one reusable
+    :class:`RateModel` (hulls built once, bisection over flat arrays) and
+    each candidate's codestream size is priced exactly by
     :func:`repro.jpeg2000.tier2.packet_length` without materializing packet
     bytes.  Only after the loop settles does :func:`_assemble_packets` run —
-    once — so the final codestream is byte-identical to the era that
-    rebuilt every packet per iteration.
+    once per tile — so the final codestream is byte-identical to the era
+    that rebuilt every packet per iteration.
     """
-    target_total = params.rate * stats.raw_bytes
-    header_len = len(write_main_header(info)) + 14 + 2  # + SOT + SOD + EOC
     all_blocks = [b for psb in planned for b in psb.blocks]
     lengths_list = []
     dists_list = []
@@ -553,86 +683,137 @@ def _apply_rate_control(
         lengths_list.append([float(x) for x in b.result.pass_lengths])
         dists_list.append([d * weight for d in b.result.pass_dist])
     model = RateModel(lengths_list, dists_list)
-    budget = max(0.0, target_total - header_len)
+    budget = max(0.0, target_total - overhead)
     for _ in range(6):
         trunc = model.choose(budget)
         for b, t in zip(all_blocks, trunc):
             b.included_passes = int(t)
-        total = header_len + _packets_length(
-            planned, stats.num_components, info.levels
+        total = overhead + _packets_length(
+            planned, ncomp, levels, params.progression, params.precinct_size,
+            params.codeblock_size,
         )
         if total <= target_total or budget <= 0:
             break
         budget = max(0.0, budget - (total - target_total))
 
 
-def _iter_packet_bands(
-    planned: list[_PlannedSubband], ncomp: int, levels: int, with_data: bool
-):
-    """Packets in resolution-major, component-minor order, one band list each.
+def _band_keys(res: int, ci: int, levels: int) -> list[tuple[int, str, int]]:
+    """Subband lookup keys contributing to one (resolution, component)."""
+    if res == 0:
+        return [(ci, "LL", levels)]
+    dl = levels - res + 1
+    return [(ci, "HL", dl), (ci, "LH", dl), (ci, "HH", dl)]
 
-    ``with_data=False`` builds length-only contributions for the rate
-    loop's pricing; ``with_data=True`` carries the truncated body bytes for
-    the final assembly.  Both describe the identical packet.
+
+def _iter_packet_bands(
+    planned: list[_PlannedSubband],
+    ncomp: int,
+    levels: int,
+    with_data: bool,
+    progression: str = "LRCP",
+    precinct_size: int | None = None,
+    codeblock_size: int = 64,
+):
+    """Packets in ``progression`` order, one band list each.
+
+    With maximal precincts and LRCP this is exactly the historical
+    resolution-major, component-minor walk.  Precincts window each band's
+    code-block grid; block coordinates inside a packet are local to the
+    precinct.  ``with_data=False`` builds length-only contributions for
+    the rate loop's pricing; ``with_data=True`` carries the truncated body
+    bytes for the final assembly.  Both describe the identical packet.
     """
     by_key: dict[tuple[int, str, int], _PlannedSubband] = {
         (p.comp, p.band, p.dlevel): p for p in planned
     }
-    for res in range(levels + 1):
-        for ci in range(ncomp):
-            if res == 0:
-                keys = [(ci, "LL", levels)]
-            else:
-                dl = levels - res + 1
-                keys = [(ci, "HL", dl), (ci, "LH", dl), (ci, "HH", dl)]
-            bands = []
-            for key in keys:
-                psb = by_key.get(key)
-                if psb is None:
+    nres = levels + 1
+    pcb_by_res: list[int | None] = []
+    pcols_by_res: list[int] = []
+    nprec_by_res: list[int] = []
+    for res in range(nres):
+        pcb = precinct_cells(codeblock_size, precinct_size, res)
+        grids = [
+            (psb.grid_rows, psb.grid_cols)
+            for key in _band_keys(res, 0, levels)
+            if (psb := by_key.get(key)) is not None
+        ]
+        prows, pcols = precinct_counts(pcb, grids)
+        pcb_by_res.append(pcb)
+        pcols_by_res.append(pcols)
+        nprec_by_res.append(prows * pcols)
+    for res, ci, p in iter_packets(levels, ncomp, nprec_by_res, progression):
+        pcb = pcb_by_res[res]
+        pcols = pcols_by_res[res]
+        bands = []
+        for key in _band_keys(res, ci, levels):
+            psb = by_key.get(key)
+            if psb is None:
+                continue
+            (r_lo, r_hi, c_lo, c_hi), (lr, lc) = precinct_band_window(
+                psb.grid_rows, psb.grid_cols, pcb, pcols, p
+            )
+            contribs = []
+            for b in psb.blocks:
+                gr, gc = b.spec.grid_row, b.spec.grid_col
+                if not (r_lo <= gr < r_hi and c_lo <= gc < c_hi):
                     continue
-                contribs = []
-                for b in psb.blocks:
-                    inc = b.included_passes > 0
-                    length = b.included_length()
-                    contribs.append(
-                        BlockContribution(
-                            grid_row=b.spec.grid_row,
-                            grid_col=b.spec.grid_col,
-                            included=inc,
-                            zero_bitplanes=(
-                                b.quant.num_bitplanes - b.result.msbs if inc else 0
-                            ),
-                            num_passes=b.included_passes,
-                            data=b.result.data[:length] if with_data else b"",
-                            length=length,
-                        )
+                inc = b.included_passes > 0
+                length = b.included_length()
+                contribs.append(
+                    BlockContribution(
+                        grid_row=gr - r_lo,
+                        grid_col=gc - c_lo,
+                        included=inc,
+                        zero_bitplanes=(
+                            b.quant.num_bitplanes - b.result.msbs if inc else 0
+                        ),
+                        num_passes=b.included_passes,
+                        data=b.result.data[:length] if with_data else b"",
+                        length=length,
                     )
-                bands.append(PacketBand(psb.grid_rows, psb.grid_cols, contribs))
-            yield bands
+                )
+            bands.append(PacketBand(lr, lc, contribs))
+        yield bands
 
 
 def _packets_length(
-    planned: list[_PlannedSubband], ncomp: int, levels: int
+    planned: list[_PlannedSubband],
+    ncomp: int,
+    levels: int,
+    progression: str = "LRCP",
+    precinct_size: int | None = None,
+    codeblock_size: int = 64,
 ) -> int:
     """Exact ``len(_assemble_packets(...))`` without building any bytes."""
     return sum(
         packet_length(bands)
-        for bands in _iter_packet_bands(planned, ncomp, levels, with_data=False)
+        for bands in _iter_packet_bands(
+            planned, ncomp, levels, False, progression, precinct_size,
+            codeblock_size,
+        )
     )
 
 
 def _assemble_packets(
-    planned: list[_PlannedSubband], ncomp: int, levels: int
+    planned: list[_PlannedSubband],
+    ncomp: int,
+    levels: int,
+    progression: str = "LRCP",
+    precinct_size: int | None = None,
+    codeblock_size: int = 64,
 ) -> bytes:
-    """Concatenate packets in resolution-major, component-minor order."""
+    """Concatenate one tile's packets in ``progression`` order."""
     _assemble_packets.calls += 1
     out = bytearray()
-    for bands in _iter_packet_bands(planned, ncomp, levels, with_data=True):
+    for bands in _iter_packet_bands(
+        planned, ncomp, levels, True, progression, precinct_size,
+        codeblock_size,
+    ):
         out += encode_packet(bands)
     return bytes(out)
 
 
 #: Invocation counter (test observability): rate control prices candidate
 #: truncations via :func:`_packets_length`, so a lossy encode assembles
-#: packet bytes exactly once.
+#: packet bytes exactly once per tile (once per encode when untiled).
 _assemble_packets.calls = 0

@@ -91,6 +91,9 @@ class DecodeLimits:
     max_levels: int = 32
     #: Largest accepted sample bit depth (the codec emits uint8/uint16).
     max_bit_depth: int = 16
+    #: Largest accepted tile count (``ceil(w/XTsiz) * ceil(h/YTsiz)``) —
+    #: bounds the per-tile bookkeeping allocated while parsing SOT segments.
+    max_tiles: int = 65535
 
 
 #: Default limits used by :func:`repro.jpeg2000.codestream.parse_codestream`

@@ -4,6 +4,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+#: Measured peak encoder working set per tile sample, in bytes.  The
+#: front end's int32/float planes account for ~8, but the batched Tier-1
+#: coder's stacked per-block state (sign/significance/context planes and
+#: MQ output buffers) dominates at roughly 16x that.  ``mem_budget``
+#: batch sizing and the planner's automatic tile sizing both divide by
+#: this constant, so they share one definition.
+TILE_WORKSET_BYTES = 128
+
 
 @dataclass(frozen=True)
 class EncoderParams:
@@ -64,6 +72,36 @@ class EncoderParams:
         :mod:`repro.verify.roundtrip`).  A failed check raises
         :class:`repro.verify.VerificationError` instead of returning a
         bad codestream.  Off by default: it roughly doubles encode cost.
+    tile_size:
+        Edge length of the square tile grid (SIZ ``XTsiz``/``YTsiz``).
+        ``None`` (default) encodes the whole image as a single tile and
+        emits exactly the legacy codestream bytes.  When set, the image is
+        partitioned into ``tile_size x tile_size`` tiles (edge tiles may be
+        smaller), each coded independently and emitted as its own
+        SOT..SOD tile-part, with a TLM marker in the main header for
+        random spatial access.  Tiles shard across the Tier-1 work queue,
+        so a tiled encode parallelizes over spatial regions as well as
+        code blocks, and the streaming path bounds peak memory to a few
+        tile rows.
+    progression:
+        Tier-2 packet progression order written into COD and used when
+        sequencing packets: ``"LRCP"`` (default, layer-resolution-
+        component-position — the legacy order), ``"RPCL"``
+        (resolution-position-component-layer, the streaming-friendly
+        order), or ``"PCRL"`` (position-major, for spatial random access).
+        With one layer and one precinct all orders coincide, so the
+        default remains byte-identical.
+    precinct_size:
+        Precinct edge length at the highest resolution (halved once for
+        every lower resolution, floored at one code block).  ``None``
+        (default) uses maximal precincts (the whole subband — the legacy
+        layout, COD ``Scod`` bit 0 clear).  Must be a power of two and at
+        least ``codeblock_size``.
+    mem_budget:
+        Soft cap, in bytes, on the working set held in planes/coefficients
+        during a tiled encode.  Execution-only: it changes batching, never
+        bytes.  ``None`` (default) batches one tile row at a time when
+        tiled.  Requires ``tile_size`` to have an effect.
     plan:
         Execution-planner request: ``None`` (default) keeps the classic
         knob semantics above; ``"auto"`` asks
@@ -85,6 +123,10 @@ class EncoderParams:
     workers: int | None = 1
     dwt_backend: str = "auto"
     dwt_chunk_cols: int | None = None
+    tile_size: int | None = None
+    progression: str = "LRCP"
+    precinct_size: int | None = None
+    mem_budget: int | None = None
     self_check: bool = False
     plan: object = None
 
@@ -129,6 +171,28 @@ class EncoderParams:
         if self.dwt_chunk_cols is not None and self.dwt_chunk_cols < 1:
             raise ValueError(
                 f"dwt_chunk_cols must be >= 1 or None, got {self.dwt_chunk_cols}"
+            )
+        if self.tile_size is not None and self.tile_size < 16:
+            raise ValueError(
+                f"tile_size must be >= 16 or None, got {self.tile_size}"
+            )
+        from repro.jpeg2000.codestream import PROGRESSIONS  # lazy: avoids cycle
+
+        if self.progression not in PROGRESSIONS:
+            raise ValueError(
+                f"progression must be one of {sorted(PROGRESSIONS)}, "
+                f"got {self.progression!r}"
+            )
+        ps = self.precinct_size
+        if ps is not None:
+            if ps < self.codeblock_size or ps > 32768 or (ps & (ps - 1)) != 0:
+                raise ValueError(
+                    "precinct_size must be a power of two in "
+                    f"[codeblock_size, 32768] or None, got {ps}"
+                )
+        if self.mem_budget is not None and self.mem_budget < (1 << 20):
+            raise ValueError(
+                f"mem_budget must be >= 1 MiB or None, got {self.mem_budget}"
             )
         if self.plan is not None and self.plan != "auto":
             from repro.plan.model import ExecutionPlan  # lazy: avoids cycle

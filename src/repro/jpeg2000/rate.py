@@ -356,3 +356,21 @@ def choose_truncations_reference(
             lo = mid
     lam = hi
     return [b.truncation_for_slope(lam) for b in blocks]
+
+
+def apportion_budget(total: float, weights: list[int]) -> list[float]:
+    """Split ``total`` across items proportionally to ``weights``.
+
+    Used by tiled rate control to hand every tile its raw-size share of
+    the global byte budget (and of the fixed marker overhead).  Weights
+    must be non-negative with a positive sum; the shares sum to ``total``
+    exactly up to float rounding.
+    """
+    if not weights:
+        return []
+    if any(w < 0 for w in weights):
+        raise ValueError(f"weights must be non-negative, got {weights}")
+    wsum = float(sum(weights))
+    if wsum <= 0:
+        return [total / len(weights)] * len(weights)
+    return [total * (w / wsum) for w in weights]

@@ -183,6 +183,91 @@ def encode_packet(bands: list[PacketBand]) -> bytes:
     return header + bytes(body)
 
 
+def precinct_cells(
+    codeblock_size: int, precinct_size: int | None, res: int
+) -> int | None:
+    """Code-block cells per precinct edge in one subband at resolution ``res``.
+
+    Precincts are defined on the resolution-level grid; subbands at
+    resolutions above 0 have coordinates halved relative to it, so the
+    effective precinct edge in band coordinates halves once — floored at a
+    single code block.  ``None`` means maximal precincts (whole subband).
+    """
+    if precinct_size is None:
+        return None
+    eff = precinct_size if res == 0 else max(1, precinct_size // 2)
+    return max(1, eff // codeblock_size)
+
+
+def precinct_counts(
+    pcb: int | None, band_grids: list[tuple[int, int]]
+) -> tuple[int, int]:
+    """Precinct grid ``(rows, cols)`` covering the largest band grid."""
+    if pcb is None:
+        return 1, 1
+    max_rows = max((r for r, _ in band_grids), default=1)
+    max_cols = max((c for _, c in band_grids), default=1)
+    return (
+        max(1, (max_rows + pcb - 1) // pcb),
+        max(1, (max_cols + pcb - 1) // pcb),
+    )
+
+
+def precinct_band_window(
+    grid_rows: int, grid_cols: int, pcb: int | None, pcols: int, p: int
+) -> tuple[tuple[int, int, int, int], tuple[int, int]]:
+    """One precinct's window into a band's code-block grid.
+
+    Returns ``((r_lo, r_hi, c_lo, c_hi), (local_rows, local_cols))`` where
+    the half-open row/col ranges select this precinct's blocks and the
+    local dims give the packet's per-band grid.  With ``pcb=None`` the
+    single precinct covers the whole band.
+    """
+    if pcb is None:
+        return (0, grid_rows, 0, grid_cols), (grid_rows, grid_cols)
+    pr, pc = p // pcols, p % pcols
+    r_lo, c_lo = pr * pcb, pc * pcb
+    r_hi = min(grid_rows, r_lo + pcb)
+    c_hi = min(grid_cols, c_lo + pcb)
+    lr = max(0, r_hi - r_lo)
+    lc = max(0, c_hi - c_lo)
+    return (r_lo, r_hi, c_lo, c_hi), (lr, lc)
+
+
+def iter_packets(
+    levels: int, ncomp: int, nprec_by_res: list[int], progression: str
+):
+    """Yield ``(res, comp, precinct)`` in codestream packet order.
+
+    ``nprec_by_res[res]`` is the precinct count at each resolution.  With a
+    single quality layer the supported orders reduce to:
+
+    - ``LRCP``: resolution -> component -> precinct (the legacy order —
+      with one precinct this is exactly the historical ``res, comp`` loop);
+    - ``RPCL``: resolution -> precinct -> component;
+    - ``PCRL``: precinct position -> component -> resolution.
+    """
+    nres = levels + 1
+    if progression == "LRCP":
+        for res in range(nres):
+            for ci in range(ncomp):
+                for p in range(nprec_by_res[res]):
+                    yield res, ci, p
+    elif progression == "RPCL":
+        for res in range(nres):
+            for p in range(nprec_by_res[res]):
+                for ci in range(ncomp):
+                    yield res, ci, p
+    elif progression == "PCRL":
+        for p in range(max(nprec_by_res, default=1)):
+            for ci in range(ncomp):
+                for res in range(nres):
+                    if p < nprec_by_res[res]:
+                        yield res, ci, p
+    else:
+        raise ValueError(f"unknown progression order {progression!r}")
+
+
 @dataclass
 class ParsedBlock:
     """Decoded packet-header record for one code block."""

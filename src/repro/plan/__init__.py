@@ -49,6 +49,7 @@ from repro.plan.model import (
     ExecutionPlan,
     RequestShape,
     choose_plan,
+    choose_tile_size,
     estimate_code_blocks,
     explain,
     predict_stage_seconds,
@@ -65,6 +66,7 @@ __all__ = [
     "ServicePlanner",
     "apply_plan",
     "choose_plan",
+    "choose_tile_size",
     "default_cache_path",
     "dwt_serial_cutover_samples",
     "estimate_code_blocks",

@@ -46,6 +46,7 @@ class RequestShape:
     levels: int = 5
     codeblock_size: int = 64
     rate: float | None = None
+    tile_size: int | None = None
 
     @property
     def samples(self) -> int:
@@ -56,10 +57,23 @@ class RequestShape:
         return self.samples  # planner models 8-bit input; 16-bit ~2x
 
     def code_blocks(self) -> int:
-        return estimate_code_blocks(
-            (self.height, self.width, self.components),
-            self.levels, self.codeblock_size,
-        )
+        if self.tile_size is None:
+            return estimate_code_blocks(
+                (self.height, self.width, self.components),
+                self.levels, self.codeblock_size,
+            )
+        # Tiled: each tile runs its own decomposition, so block counts
+        # are per tile (edge tiles are smaller), then summed.
+        total = 0
+        for r0 in range(0, self.height, self.tile_size):
+            th = min(self.tile_size, self.height - r0)
+            for c0 in range(0, self.width, self.tile_size):
+                tw = min(self.tile_size, self.width - c0)
+                total += estimate_code_blocks(
+                    (th, tw, self.components),
+                    self.levels, self.codeblock_size,
+                )
+        return total
 
     @staticmethod
     def from_request(shape, params) -> "RequestShape":
@@ -70,6 +84,7 @@ class RequestShape:
             height=h, width=w, components=comps,
             lossless=params.lossless, levels=params.levels,
             codeblock_size=params.codeblock_size, rate=params.rate,
+            tile_size=getattr(params, "tile_size", None),
         )
 
 
@@ -98,6 +113,32 @@ def estimate_code_blocks(shape, levels: int, codeblock_size: int) -> int:
         lh, lw = hh, hw
     per_component += blocks_in(lh, lw)  # final LL
     return per_component * channels
+
+
+def choose_tile_size(
+    height: int, width: int, components: int, mem_budget: int
+) -> int | None:
+    """Pick a tile size so one streaming tile row fits ``mem_budget`` bytes.
+
+    Mirrors the encoder's measured working-set estimate
+    (:data:`repro.jpeg2000.params.TILE_WORKSET_BYTES` per sample): a row
+    of ``ceil(w/ts)`` tiles costs about ``w * ts * components *
+    TILE_WORKSET_BYTES`` bytes.  Returns ``None`` when the whole image
+    already fits — tiling then only adds header overhead — otherwise the
+    largest power-of-two tile size (>= 64) whose row fits.
+    """
+    from repro.jpeg2000.params import TILE_WORKSET_BYTES
+
+    if mem_budget <= 0:
+        raise ValueError(f"mem_budget must be > 0, got {mem_budget}")
+    per_sample = components * TILE_WORKSET_BYTES
+    if height * width * per_sample <= mem_budget:
+        return None
+    ts = 64
+    while ts * 2 <= min(height, width) and \
+            width * (ts * 2) * per_sample <= mem_budget:
+        ts *= 2
+    return ts
 
 
 @dataclass(frozen=True)

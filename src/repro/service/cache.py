@@ -22,11 +22,12 @@ import numpy as np
 
 from repro.jpeg2000.params import EncoderParams
 
-#: EncoderParams fields that affect emitted bytes.  ``tier1_backend`` and
-#: ``workers`` are execution strategy, not coding parameters.
+#: EncoderParams fields that affect emitted bytes.  ``tier1_backend``,
+#: ``workers``, and ``mem_budget`` are execution strategy (batch sizing
+#: never changes the codestream), not coding parameters.
 _CODESTREAM_FIELDS = (
     "lossless", "rate", "levels", "codeblock_size", "guard_bits",
-    "base_quant_step",
+    "base_quant_step", "tile_size", "progression", "precinct_size",
 )
 
 

@@ -33,7 +33,7 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
-from repro.image import parse_image
+from repro.image import ImageFormatError, parse_image
 from repro.jpeg2000.params import EncoderParams
 from repro.service import EncodeService, ServiceConfig
 from repro.service.admission import QueueFullError
@@ -50,6 +50,7 @@ def params_from_query(query: str) -> tuple[EncoderParams, int]:
     unknown = set(q) - {
         "lossy", "rate", "levels", "codeblock", "priority",
         "tier1_backend", "dwt_backend", "dwt_chunk", "verify", "plan",
+        "tile", "precinct", "progression", "mem_budget",
     }
     if unknown:
         raise ValueError(f"unknown query parameters: {sorted(unknown)}")
@@ -67,6 +68,12 @@ def params_from_query(query: str) -> tuple[EncoderParams, int]:
             tier1_backend=q.get("tier1_backend", "auto"),
             dwt_backend=q.get("dwt_backend", "auto"),
             dwt_chunk_cols=int(q["dwt_chunk"]) if "dwt_chunk" in q else None,
+            tile_size=int(q["tile"]) if "tile" in q else None,
+            precinct_size=int(q["precinct"]) if "precinct" in q else None,
+            progression=q.get("progression", "LRCP").upper(),
+            mem_budget=(
+                int(q["mem_budget"]) * 2**20 if "mem_budget" in q else None
+            ),
             plan="auto" if plan_q == "auto" else None,
         )
         priority = int(q.get("priority", 0))
@@ -189,6 +196,11 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             q = {k: v[-1] for k, v in parse_qs(parsed.query).items()}
             verify = q.get("verify", "0").lower() in ("1", "true", "yes")
             image = parse_image(body)
+        except ImageFormatError as exc:
+            # Typed rejection of unsupported upload bytes: structured 4xx
+            # (reason slug + message), never a generic 500.
+            self._json(400, {"error": str(exc), "reason": exc.reason})
+            return
         except ValueError as exc:
             self._error(400, str(exc))
             return
@@ -288,11 +300,11 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             "X-Decode-Seconds": f"{response.decode_s:.6f}",
             "X-Backend": response.backend,
         }
-        if image.dtype.itemsize != 1:
-            # 16-bit decodes exist but PNM here is 8-bit only; the decode
-            # itself succeeded, the entity just has no wire format.
+        if image.dtype.itemsize > 2:
+            # PNM tops out at 16-bit samples; the decode itself succeeded,
+            # the entity just has no wire format.
             self._error(422, f"decoded image is {image.dtype}, larger than "
-                             "the 8-bit PGM/PPM response format")
+                             "the 16-bit PGM/PPM response format")
             return
         content_type = ("image/x-portable-graymap" if image.ndim == 2
                         else "image/x-portable-pixmap")

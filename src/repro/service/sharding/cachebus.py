@@ -137,7 +137,7 @@ class CacheBusServer:
         self._cond = threading.Condition()
         self._entries: OrderedDict[str, _Entry] = OrderedDict()
         self._bytes = 0
-        self._leases: dict[str, float] = {}  # key -> grant time
+        self._leases: dict[str, float] = {}  # key -> monotonic grant time
         self._shard_blobs: dict[int, dict] = {}  # shard id -> stats blob
         self._closed = False
         self._listener: socket.socket | None = None
@@ -267,7 +267,11 @@ class CacheBusServer:
                 entry = self._entries.get(key)
                 if entry is not None:
                     break  # hit — reply outside the loop
-                now = time.time()
+                # Lease ages must be measured on the same monotonic clock
+                # as the wait deadline: stamping holders with wall-clock
+                # time let an NTP step instantly expire (or immortalize)
+                # every outstanding lease.
+                now = time.monotonic()
                 holder = self._leases.get(key)
                 if holder is None:
                     self._leases[key] = now

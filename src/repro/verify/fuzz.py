@@ -36,6 +36,7 @@ FUZZ_LIMITS = DecodeLimits(
     max_samples=1 << 18,
     max_components=8,
     max_levels=16,
+    max_tiles=256,
 )
 
 #: Known markers whose 16-bit length fields the length-corruption mutator
@@ -124,6 +125,28 @@ def _mut_tile_garbage(b: bytearray, rng: random.Random) -> bytes:
     return bytes(b)
 
 
+def _mut_psot_zero(b: bytearray, rng: random.Random) -> bytes:
+    """Zero one SOT segment's Psot (spec-legal: "extends to next SOT/EOC").
+
+    T.800 A.4.2 allows Psot=0 in the last tile-part; this mutator also
+    hits interior tile-parts, where the scan-forward recovery must still
+    terminate with either a decode or a typed error.
+    """
+    positions = []
+    start = 0
+    while True:
+        i = bytes(b).find(b"\xff\x90", start)
+        if i < 0 or i + 10 > len(b):
+            break
+        positions.append(i)
+        start = i + 2
+    if not positions:
+        return _mut_byteset(b, rng)
+    i = rng.choice(positions)
+    b[i + 6 : i + 10] = b"\x00\x00\x00\x00"
+    return bytes(b)
+
+
 def _mut_splice(b: bytearray, rng: random.Random) -> bytes:
     """Copy one region of the stream over another (tag-tree garbage)."""
     n = rng.randint(1, min(16, len(b)))
@@ -142,6 +165,7 @@ MUTATORS: tuple[tuple[str, object], ...] = (
     ("length_field", _mut_length_field),
     ("marker_shuffle", _mut_marker_shuffle),
     ("tile_garbage", _mut_tile_garbage),
+    ("psot_zero", _mut_psot_zero),
     ("splice", _mut_splice),
 )
 

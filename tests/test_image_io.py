@@ -69,17 +69,56 @@ class TestPnm:
         img = read_pnm(str(p))
         assert img.tolist() == [[1, 2], [3, 4]]
 
-    def test_rejects_16bit(self, tmp_path):
+    def test_16bit_pgm_roundtrip(self, tmp_path):
+        img = (np.arange(12, dtype=np.uint16).reshape(3, 4) * 5000)
+        path = str(tmp_path / "m.pgm")
+        write_pnm(path, img)
+        back = read_pnm(path)
+        assert back.dtype == np.uint16
+        assert np.array_equal(back, img)
+
+    def test_16bit_ppm_roundtrip(self, tmp_path):
+        img = np.random.default_rng(3).integers(
+            0, 65536, size=(5, 7, 3), dtype=np.uint16
+        )
+        path = str(tmp_path / "m.ppm")
+        write_pnm(path, img)
+        assert np.array_equal(read_pnm(path), img)
+
+    def test_16bit_samples_are_big_endian(self, tmp_path):
+        # Netpbm: two-byte samples are most-significant byte first.
+        p = tmp_path / "be.pgm"
+        p.write_bytes(b"P5\n2 1\n65535\n\x01\x00\x00\x02")
+        assert read_pnm(str(p)).tolist() == [[256, 2]]
+
+    def test_maxval_above_16bit_is_typed(self, tmp_path):
+        from repro.image.errors import ImageFormatError
+
         p = tmp_path / "m.pgm"
-        p.write_bytes(b"P5\n2 2\n65535\n" + b"\0" * 8)
-        with pytest.raises(ValueError):
+        p.write_bytes(b"P5\n2 2\n70000\n" + b"\0" * 8)
+        with pytest.raises(ImageFormatError) as err:
             read_pnm(str(p))
+        assert err.value.reason == "bad-maxval"
+
+    def test_truncated_pixels_are_typed(self, tmp_path):
+        from repro.image.errors import ImageFormatError
+
+        p = tmp_path / "short.pgm"
+        p.write_bytes(b"P5\n4 4\n255\n\x00\x01")
+        with pytest.raises(ImageFormatError) as err:
+            read_pnm(str(p))
+        assert err.value.reason == "truncated"
 
     def test_rejects_ascii_pnm(self, tmp_path):
         p = tmp_path / "a.pgm"
         p.write_bytes(b"P2\n2 2\n255\n1 2 3 4")
         with pytest.raises(ValueError):
             read_pnm(str(p))
+
+    def test_format_error_is_a_value_error(self):
+        from repro.image.errors import ImageFormatError
+
+        assert issubclass(ImageFormatError, ValueError)
 
 
 class TestSynthetic:

@@ -86,11 +86,42 @@ class TestEncodeEndpoint:
         with _post(f"{base_url}/encode?rate=0.3", path.read_bytes()) as resp:
             assert resp.read() == offline
 
+    def test_tiled_encode_matches_offline(self, base_url, pgm_bytes):
+        img = watch_face_image(48, 48, channels=1)
+        offline = encode(
+            img, EncoderParams(tile_size=16, progression="RPCL")
+        ).codestream
+        url = f"{base_url}/encode?tile=16&progression=rpcl"
+        with _post(url, pgm_bytes) as resp:
+            body = resp.read()
+        assert body == offline
+        assert np.array_equal(decode(body), img)
+
+    def test_16bit_pgm_upload_encodes(self, base_url):
+        from repro.image.pnm import dump_pnm
+
+        img = (watch_face_image(32, 32, channels=1).astype(np.uint16) * 257)
+        offline = encode(img, EncoderParams(levels=2)).codestream
+        with _post(f"{base_url}/encode?levels=2", dump_pnm(img)) as resp:
+            body = resp.read()
+        assert body == offline
+        out = decode(body)
+        assert out.dtype == np.uint16
+        assert np.array_equal(out, img)
+
     def test_bad_body_is_400(self, base_url):
         with pytest.raises(urllib.error.HTTPError) as err:
             _post(f"{base_url}/encode", b"this is not an image")
         assert err.value.code == 400
-        assert "unrecognized image format" in json.load(err.value)["error"]
+        payload = json.load(err.value)
+        assert "unrecognized image format" in payload["error"]
+        assert payload["reason"] == "bad-magic"
+
+    def test_unsupported_maxval_is_structured_400(self, base_url):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(f"{base_url}/encode", b"P5\n2 2\n70000\n" + b"\0" * 8)
+        assert err.value.code == 400
+        assert json.load(err.value)["reason"] == "bad-maxval"
 
     def test_empty_body_is_400(self, base_url):
         with pytest.raises(urllib.error.HTTPError) as err:
@@ -240,6 +271,15 @@ class TestQueryParsing:
         params, priority = params_from_query("verify=1&levels=3")
         assert params.levels == 3 and priority == 0
 
+    def test_tiling_keys(self):
+        params, _ = params_from_query(
+            "tile=256&precinct=512&progression=pcrl&mem_budget=64"
+        )
+        assert params.tile_size == 256
+        assert params.precinct_size == 512
+        assert params.progression == "PCRL"
+        assert params.mem_budget == 64 * 2**20
+
 
 class TestDecodeEndpoint:
     @pytest.fixture(scope="class")
@@ -266,6 +306,17 @@ class TestDecodeEndpoint:
         with _post(f"{base_url}/decode", cs) as resp:
             assert resp.headers["X-Cache"] == "HIT"
             assert resp.read() == first
+
+    def test_16bit_decode_served_as_16bit_pgm(self, base_url):
+        from repro.image.pnm import parse_pnm
+
+        img = (watch_face_image(24, 24, channels=1).astype(np.uint16) * 257)
+        cs = encode(img, EncoderParams(levels=2)).codestream
+        with _post(f"{base_url}/decode", cs) as resp:
+            assert resp.headers["Content-Type"] == "image/x-portable-graymap"
+            out = parse_pnm(resp.read())
+        assert out.dtype == np.uint16
+        assert np.array_equal(out, img)
 
     def test_grayscale_is_pgm(self, base_url):
         from repro.image.pnm import parse_pnm

@@ -141,6 +141,44 @@ class TestCacheBus:
         finally:
             server.stop()
 
+    def test_lease_age_ignores_wall_clock_steps(self, tmp_path, monkeypatch):
+        """Regression: lease holders were stamped with ``time.time()``, so
+        an NTP step (or any wall-clock jump) instantly aged every lease
+        past its TTL and let waiters steal in-flight work.  Ages must be
+        measured on the same monotonic clock as the wait deadlines."""
+        from repro.service.sharding import cachebus as cachebus_mod
+
+        real_time = time
+
+        class _SteppableClock:
+            wall_offset = 0.0
+            mono_offset = 0.0
+
+            def time(self):
+                return real_time.time() + self.wall_offset
+
+            def monotonic(self):
+                return real_time.monotonic() + self.mono_offset
+
+        clock = _SteppableClock()
+        monkeypatch.setattr(cachebus_mod, "time", clock)
+        server = CacheBusServer(
+            str(tmp_path / "bus.sock"), lease_ttl_s=30.0
+        ).start()
+        try:
+            a, b = CacheBusClient(server.path), CacheBusClient(server.path)
+            assert a.lease("k")[0] == "lead"
+            # A wall-clock jump far past the TTL must NOT expire the lease.
+            clock.wall_offset = 3600.0
+            assert b.lease("k", wait_timeout=0.2) == ("miss", None)
+            assert server.stats["lease_steals"] == 0
+            # Genuine elapsed (monotonic) time past the TTL must.
+            clock.mono_offset = 31.0
+            assert b.lease("k")[0] == "lead"
+            assert server.stats["lease_steals"] == 1
+        finally:
+            server.stop()
+
     def test_client_fails_open_without_server(self, tmp_path):
         client = CacheBusClient(str(tmp_path / "nobody-home.sock"))
         assert not client.ping()
